@@ -1,0 +1,81 @@
+package qsys
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: how the
+// §6.1 clustering thresholds trade contention against sharing, and how the
+// §6.3 memory budget trades eviction-induced recomputation against footprint.
+
+// BenchmarkAblationClusterThresholds sweeps Tm (the source-reliance threshold
+// seeding initial clusters): low Tm merges toward one big graph (ATC-FULL
+// behaviour: most sharing, most contention); high Tm splits toward per-query
+// graphs (ATC-UQ behaviour: least contention, least sharing).
+func BenchmarkAblationClusterThresholds(b *testing.B) {
+	w, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, tm := range []int{1, 2, 4, 6, 8} {
+			rep, err := exec.Run(w.Fleet, w.Catalog, w.Submissions, exec.Options{
+				Strategy: exec.StrategyCL,
+				Seed:     1,
+				Cluster:  cluster.Config{Tm: tm, Tc: 0.5},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				var total time.Duration
+				for _, u := range rep.UQs {
+					total += u.Latency()
+				}
+				b.Logf("Tm=%d: %2d graphs, avg latency %8v, %6d tuples consumed",
+					tm, len(rep.Groups), (total / time.Duration(len(rep.UQs))).Round(10*time.Millisecond),
+					rep.Total().TuplesConsumed())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMemoryBudget sweeps the §6.3 state budget: tight budgets
+// force LRU eviction, and later queries re-pay for streams the cache lost.
+func BenchmarkAblationMemoryBudget(b *testing.B) {
+	w, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, budget := range []int{0, 50000, 10000, 2000} {
+			rep, err := exec.Run(w.Fleet, w.Catalog, w.Submissions, exec.Options{
+				Strategy:     exec.StrategyFull,
+				Seed:         1,
+				MemoryBudget: budget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				evictions, state := 0, 0
+				for _, g := range rep.Groups {
+					evictions += g.Evictions
+					state += g.StateRows
+				}
+				label := "unbounded"
+				if budget > 0 {
+					label = fmt.Sprintf("%d rows", budget)
+				}
+				b.Logf("budget %-10s: %3d evictions, %6d resident rows, %6d tuples consumed",
+					label, evictions, state, rep.Total().TuplesConsumed())
+			}
+		}
+	}
+}

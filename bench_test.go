@@ -1,0 +1,101 @@
+package qsys
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Benchmarks: one per table/figure of the paper's evaluation (§7). Each
+// iteration regenerates the experiment at the default (shape-preserving)
+// scale and logs the formatted result, so `go test -bench=.` both times the
+// harness and reproduces the published series. cmd/qsys-bench prints the same
+// tables at full methodology (4 instances × 3 runs).
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Instances: []int{1}, Seeds: []uint64{1}}.Defaults()
+}
+
+func BenchmarkTable4_CQsExecuted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure7_RunningTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure8_TimeBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure9_BatchOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure10_WorkReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure11_OptimizerTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFigure12_RealData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}

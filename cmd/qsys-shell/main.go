@@ -1,0 +1,126 @@
+// Command qsys-shell is an interactive keyword-search shell over one of the
+// bundled workloads: pose searches as different users and watch the session
+// reuse state across queries (§6).
+//
+// Usage:
+//
+//	qsys-shell [-workload bio|gus|pfam] [-k 10] [-user name]
+//
+// Then type keyword queries, one per line (use quotes for phrases):
+//
+//	> protein "plasma membrane" gene
+//	> :user biologist2
+//	> protein metabolism
+//	> :stats
+//	> :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	qsys "repro"
+)
+
+func main() {
+	wl := flag.String("workload", "bio", "workload: bio, gus, pfam")
+	k := flag.Int("k", 10, "answers per search")
+	user := flag.String("user", "user1", "initial user name")
+	flag.Parse()
+
+	var (
+		w   *qsys.Workload
+		err error
+	)
+	switch *wl {
+	case "bio":
+		w, err = qsys.Bio()
+	case "gus":
+		w, err = qsys.GUS(1)
+	case "pfam":
+		w, err = qsys.Pfam()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys := qsys.NewSystem(w, qsys.Config{K: *k, Seed: 1})
+	cur := *user
+
+	fmt.Printf("Q System shell over %q — %d relations indexed. Keywords per line; :help for commands.\n",
+		w.Name, len(w.Schema.Nodes()))
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", cur)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":help":
+			fmt.Println("  <keywords...>   search (quote multi-word phrases)")
+			fmt.Println("  :user <name>    switch user (own scoring function)")
+			fmt.Println("  :stats          session statistics")
+			fmt.Println("  :terms          indexed keywords")
+			fmt.Println("  :quit           exit")
+		case line == ":stats":
+			fmt.Println(" ", sys.Stats())
+		case line == ":terms":
+			fmt.Println(" ", strings.Join(w.Schema.Terms(), ", "))
+		case strings.HasPrefix(line, ":user "):
+			cur = strings.TrimSpace(strings.TrimPrefix(line, ":user "))
+			fmt.Printf("  now searching as %s\n", cur)
+		default:
+			keywords := splitKeywords(line)
+			res, err := sys.Search(cur, keywords, *k)
+			if err != nil {
+				fmt.Println("  error:", err)
+				break
+			}
+			fmt.Printf("  %s: %d candidate networks, %d executed, %v\n",
+				res.ID, res.CandidateNetworks, res.ExecutedNetworks, res.Latency)
+			for _, a := range res.Answers {
+				parts := make([]string, len(a.Tuples))
+				for i, tp := range a.Tuples {
+					parts[i] = tp.String()
+				}
+				fmt.Printf("  %2d. %.4f  %s\n", a.Rank, a.Score, strings.Join(parts, " ⋈ "))
+			}
+		}
+		fmt.Printf("%s> ", cur)
+	}
+}
+
+// splitKeywords tokenises a query line, honouring double-quoted phrases.
+func splitKeywords(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,56 @@
+// Command qsys-workload inspects the bundled workloads: schema graph sizes,
+// keyword indexes, and the generated query suites with their candidate
+// networks — useful for understanding what the experiments actually execute.
+//
+// Usage:
+//
+//	qsys-workload [-workload bio|gus|pfam] [-instance 1] [-queries]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qsys "repro"
+)
+
+func main() {
+	wl := flag.String("workload", "gus", "workload: bio, gus, pfam")
+	instance := flag.Int("instance", 1, "GUS instance (1-4)")
+	queries := flag.Bool("queries", false, "dump every conjunctive query")
+	flag.Parse()
+
+	var (
+		w   *qsys.Workload
+		err error
+	)
+	switch *wl {
+	case "bio":
+		w, err = qsys.Bio()
+	case "gus":
+		w, err = qsys.GUS(*instance)
+	case "pfam":
+		w, err = qsys.Pfam()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s: %d relations, %d join edges, %d indexed keywords\n",
+		w.Name, len(w.Schema.Nodes()), w.Schema.NumEdges(), len(w.Schema.Terms()))
+	fmt.Printf("query suite: %d user queries\n\n", len(w.Submissions))
+	for _, s := range w.Submissions {
+		fmt.Printf("%-5s t=%-12v k=%-3d keywords=%v  (%d candidate networks)\n",
+			s.UQ.ID, s.At, s.UQ.K, s.UQ.Keywords, len(s.UQ.CQs))
+		if *queries {
+			for _, q := range s.UQ.CQs {
+				fmt.Printf("    %s\n", q)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package qsys
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/schemagraph"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Re-exported data-model types: downstream users define their own schemas
+// and relations with these (the implementations live in internal packages;
+// the aliases make them nameable outside the module).
+type (
+	// Value is a column value (int / float / string / null).
+	Value = tuple.Value
+	// Schema describes a relation's columns.
+	Schema = tuple.Schema
+	// Column is one schema column; set Score on the similarity-score
+	// attribute and Key on the primary key.
+	Column = tuple.Column
+	// Tuple is one relation row.
+	Tuple = tuple.Tuple
+	// Match is a keyword-to-relation match registered in the schema graph.
+	Match = schemagraph.Match
+	// SchemaGraphNode is a relation node of the schema graph.
+	SchemaGraphNode = schemagraph.Node
+	// SchemaGraphEdge is a join relationship between two relations.
+	SchemaGraphEdge = schemagraph.Edge
+)
+
+// Kind is the type of a column/value.
+type Kind = tuple.Kind
+
+// Column/value kinds.
+const (
+	KindNull   = tuple.KindNull
+	KindInt    = tuple.KindInt
+	KindFloat  = tuple.KindFloat
+	KindString = tuple.KindString
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = tuple.Int
+	// Float builds a float value.
+	Float = tuple.Float
+	// Str builds a string value.
+	Str = tuple.String
+	// Null builds the null value.
+	Null = tuple.Null
+)
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, cols ...Column) *Schema { return tuple.NewSchema(name, cols...) }
+
+// Workload bundles a database fleet, its statistics catalog, the schema
+// graph with its keyword index, and (for the bundled experiment workloads) a
+// timed query suite.
+type Workload = workload.Workload
+
+// Builder assembles a custom workload: simulated remote databases, relations,
+// join edges and keyword matches. Finish with Build, then open a session with
+// NewSystem.
+type Builder struct {
+	stores map[string]*relationdb.Store
+	cat    *catalog.Catalog
+	graph  *schemagraph.Graph
+	err    error
+}
+
+// NewBuilder creates an empty workload builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		stores: map[string]*relationdb.Store{},
+		cat:    catalog.New(),
+		graph:  schemagraph.New(),
+	}
+}
+
+// AddRelation registers a relation in the named database instance. Rows are
+// given column-wise per the schema; they are sorted into nonincreasing score
+// order automatically. Authority is the Q System node cost (0 = fully
+// authoritative).
+func (b *Builder) AddRelation(db string, schema *Schema, rows [][]Value, authority float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	store, ok := b.stores[db]
+	if !ok {
+		store = relationdb.NewStore(db)
+		b.stores[db] = store
+	}
+	ts := make([]*tuple.Tuple, 0, len(rows))
+	for _, vals := range rows {
+		if len(vals) != schema.NumCols() {
+			b.err = fmt.Errorf("qsys: relation %s: row arity %d != %d columns", schema.Name(), len(vals), schema.NumCols())
+			return b
+		}
+		ts = append(ts, tuple.New(schema, vals...))
+	}
+	rel := relationdb.NewRelation(schema, ts)
+	store.Put(rel)
+	b.cat.AddRelation(db, rel)
+	b.graph.AddNode(&schemagraph.Node{Rel: schema.Name(), DB: db, Schema: schema, Authority: authority})
+	return b
+}
+
+// AddJoin registers a potential join relationship between two relations'
+// columns, with a learned edge cost (lower = preferred by candidate
+// generation and scored higher by the Q System model).
+func (b *Builder) AddJoin(fromRel string, fromCol int, toRel string, toCol int, cost float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.graph.AddEdge(&schemagraph.Edge{From: fromRel, FromCol: fromCol, To: toRel, ToCol: toCol, Cost: cost})
+	return b
+}
+
+// IndexKeyword registers a keyword match: content matches (Col ≥ 0) add the
+// selection rel.col = keyword to generated queries; exact matches (Exact)
+// match relation metadata and add no selection.
+func (b *Builder) IndexKeyword(keyword string, m Match) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.graph.IndexTerm(keyword, m)
+	return b
+}
+
+// Build finalises the workload.
+func (b *Builder) Build(name string) (*Workload, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	var dbs []*remotedb.DB
+	for _, store := range b.stores {
+		dbs = append(dbs, remotedb.New(store))
+	}
+	return &Workload{Name: name, Fleet: remotedb.NewFleet(dbs...), Catalog: b.cat, Schema: b.graph}, nil
+}
+
+// --- Bundled workloads (§7, Figure 1) ----------------------------------------
+
+// Bio builds the paper's running example (Figure 1): a bioinformatics portal
+// over UniProt, InterPro, GeneOntology and NCBI Entrez, with the KQ1/KQ2/KQ3
+// query scenario of §1–§2.
+func Bio() (*Workload, error) { return workload.Bio() }
+
+// GUS builds one synthetic Genomics-Unified-Schema instance (§7): 358
+// relations, Zipfian scores and join keys, and the 15-user-query suite.
+func GUS(instance int) (*Workload, error) { return workload.GUS(instance, workload.GUSScaleDefault()) }
+
+// GUSScaled builds a GUS instance at a custom scale (GUSPaperScale matches
+// the published 20k–100k rows per relation).
+func GUSScaled(instance int, scale workload.GUSScale) (*Workload, error) {
+	return workload.GUS(instance, scale)
+}
+
+// GUSDefaultScale returns the test/bench scale; GUSPaperScale the published
+// one.
+func GUSDefaultScale() workload.GUSScale { return workload.GUSScaleDefault() }
+
+// GUSPaperScale returns the paper's 20k–100k rows-per-relation scale.
+func GUSPaperScale() workload.GUSScale { return workload.GUSScalePaper() }
+
+// Pfam builds the Pfam/InterPro real-data proxy workload (§7.5).
+func Pfam() (*Workload, error) { return workload.Pfam(workload.PfamScaleDefault()) }

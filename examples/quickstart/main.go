@@ -1,0 +1,78 @@
+// Quickstart: build a tiny two-database workload with the public API, index
+// keywords, and run a top-k search through the full shared-execution stack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	qsys "repro"
+)
+
+func main() {
+	// A paper catalogue in one database and an author registry in another —
+	// keyword answers must join across both "remote" systems.
+	papers := qsys.NewSchema("papers",
+		qsys.Column{Name: "pid", Type: qsys.KindInt, Key: true},
+		qsys.Column{Name: "topic", Type: qsys.KindString},
+		qsys.Column{Name: "relevance", Type: qsys.KindFloat, Score: true},
+	)
+	wrote := qsys.NewSchema("wrote",
+		qsys.Column{Name: "pid", Type: qsys.KindInt},
+		qsys.Column{Name: "aid", Type: qsys.KindInt},
+		qsys.Column{Name: "conf", Type: qsys.KindFloat, Score: true},
+	)
+	authors := qsys.NewSchema("authors",
+		qsys.Column{Name: "aid", Type: qsys.KindInt, Key: true},
+		qsys.Column{Name: "name", Type: qsys.KindString},
+		qsys.Column{Name: "fame", Type: qsys.KindFloat, Score: true},
+	)
+
+	topics := []string{"databases", "systems", "theory", "networks"}
+	names := []string{"ada", "grace", "edsger", "barbara"}
+	var paperRows, wroteRows, authorRows [][]qsys.Value
+	for i := 0; i < 400; i++ {
+		paperRows = append(paperRows, []qsys.Value{
+			qsys.Int(int64(i)), qsys.Str(topics[i%len(topics)]), qsys.Float(1.0 / float64(1+i)),
+		})
+		wroteRows = append(wroteRows, []qsys.Value{
+			qsys.Int(int64(i)), qsys.Int(int64((i*13 + 5) % 100)), qsys.Float(1.0 / float64(1+i%37)),
+		})
+	}
+	for a := 0; a < 100; a++ {
+		authorRows = append(authorRows, []qsys.Value{
+			qsys.Int(int64(a)), qsys.Str(names[a%len(names)]), qsys.Float(1.0 / float64(1+a)),
+		})
+	}
+
+	w, err := qsys.NewBuilder().
+		AddRelation("dblp", papers, paperRows, 0).
+		AddRelation("dblp", wrote, wroteRows, 0).
+		AddRelation("people", authors, authorRows, 0.1).
+		AddJoin("wrote", 0, "papers", 0, 0.4).
+		AddJoin("wrote", 1, "authors", 0, 0.5).
+		IndexKeyword("databases", qsys.Match{Rel: "papers", Col: 1, Score: 0.9}).
+		IndexKeyword("grace", qsys.Match{Rel: "authors", Col: 1, Score: 0.95}).
+		Build("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := qsys.NewSystem(w, qsys.Config{K: 5, Seed: 1})
+	res, err := sys.Search("me", []string{"databases", "grace"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("search %v -> %d candidate networks, %d executed, answered in %v (simulated)\n",
+		res.Keywords, res.CandidateNetworks, res.ExecutedNetworks, res.Latency)
+	for _, a := range res.Answers {
+		parts := make([]string, len(a.Tuples))
+		for i, t := range a.Tuples {
+			parts[i] = t.String()
+		}
+		fmt.Printf("%2d. score %.4f  %s\n", a.Rank, a.Score, strings.Join(parts, " ⋈ "))
+	}
+	fmt.Println("\nsession:", sys.Stats())
+}

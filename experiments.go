@@ -1,0 +1,74 @@
+package qsys
+
+import (
+	"repro/internal/exec"
+	"repro/internal/experiments"
+)
+
+// Experiment re-exports: one driver per table/figure of §7. Each returns a
+// result whose Format method prints the same rows/series the paper reports.
+type (
+	// ExperimentConfig sizes an experiment (instances, seeds, data scale).
+	ExperimentConfig = experiments.Config
+	// Strategy is a sharing configuration (ATC-CQ / ATC-UQ / ATC-FULL /
+	// ATC-CL, §7.1).
+	Strategy = exec.Strategy
+)
+
+// The four sharing configurations of §7.1.
+const (
+	ATCCQ   = exec.StrategyCQ
+	ATCUQ   = exec.StrategyUQ
+	ATCFULL = exec.StrategyFull
+	ATCCL   = exec.StrategyCL
+)
+
+// FullExperimentConfig mirrors the paper's methodology (4 instances × 3
+// runs); the zero ExperimentConfig is a faster shape-preserving default.
+func FullExperimentConfig() ExperimentConfig { return experiments.FullConfig() }
+
+// Table4 measures the average number of conjunctive queries executed to
+// return each user query's top-50 answers.
+func Table4(cfg ExperimentConfig) (*experiments.Table4Result, error) { return experiments.Table4(cfg) }
+
+// Figure7 measures per-user-query running times under all four sharing
+// configurations.
+func Figure7(cfg ExperimentConfig) (*experiments.Figure7Result, error) {
+	return experiments.Figure7(cfg)
+}
+
+// Figure8 measures the stream-read / random-access / join time breakdown.
+func Figure8(cfg ExperimentConfig) (*experiments.Figure8Result, error) {
+	return experiments.Figure8(cfg)
+}
+
+// Figure9 compares individually optimized (batch size 1) against
+// batch-optimized (batch size 5) execution.
+func Figure9(cfg ExperimentConfig) (*experiments.Figure9Result, error) {
+	return experiments.Figure9(cfg)
+}
+
+// Figure10 measures total input tuples consumed answering the first 5 versus
+// all 15 user queries.
+func Figure10(cfg ExperimentConfig) (*experiments.Figure10Result, error) {
+	return experiments.Figure10(cfg)
+}
+
+// Figure11 measures multiple-query-optimization time against the number of
+// candidate inputs.
+func Figure11(cfg ExperimentConfig) (*experiments.Figure11Result, error) {
+	return experiments.Figure11(cfg)
+}
+
+// Figure12 measures per-user-query running times over the Pfam/InterPro
+// proxy.
+func Figure12(cfg ExperimentConfig) (*experiments.Figure12Result, error) {
+	return experiments.Figure12(cfg)
+}
+
+// RunWorkload executes a bundled workload's query suite under a sharing
+// strategy, returning the full execution report (latencies, work counters,
+// per-graph stats). This is the batch-experiment counterpart of System.
+func RunWorkload(w *Workload, strat Strategy, seed uint64) (*exec.Report, error) {
+	return exec.Run(w.Fleet, w.Catalog, w.Submissions, exec.Options{Strategy: strat, Seed: seed})
+}

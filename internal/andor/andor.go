@@ -1,0 +1,149 @@
+// Package andor implements the AND-OR memoization structure used during
+// multi-query optimization (§5.1.2, following [26]): a DAG whose OR nodes are
+// equivalence classes of subexpressions (keyed by canonical form, so
+// subexpressions from different queries — or different users' sessions —
+// coincide) and whose AND nodes record how an expression can be derived by a
+// join of smaller expressions. The optimizer enumerates each query's
+// connected subexpressions into this graph once; candidate generation,
+// sharing counts and cost memoization all read from it.
+package andor
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// OrNode is one equivalence class of subexpressions.
+type OrNode struct {
+	// Expr is the canonical expression.
+	Expr *cq.Expr
+	// Occurrences maps CQ id -> where the expression occurs in that query.
+	// (One occurrence per query is retained; candidate networks do not repeat
+	// subexpressions within one query in our generators.)
+	Occurrences map[string]*cq.ExprOccurrence
+	// Derivations lists the AND nodes producing this expression.
+	Derivations []AndNode
+}
+
+// AndNode derives an expression as the join of two smaller expressions
+// (by canonical key). Single-atom expressions have no derivations.
+type AndNode struct {
+	LeftKey, RightKey string
+}
+
+// Graph is the memo.
+type Graph struct {
+	nodes map[string]*OrNode
+}
+
+// New creates an empty memo.
+func New() *Graph { return &Graph{nodes: map[string]*OrNode{}} }
+
+// Node returns the OR node for a key, or nil.
+func (g *Graph) Node(key string) *OrNode { return g.nodes[key] }
+
+// Size returns the number of OR nodes.
+func (g *Graph) Size() int { return len(g.nodes) }
+
+// Keys returns all expression keys, sorted.
+func (g *Graph) Keys() []string {
+	keys := make([]string, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AddQuery enumerates every connected subexpression of q up to maxAtoms atoms
+// into the memo, recording occurrences and derivations.
+func (g *Graph) AddQuery(q *cq.CQ, maxAtoms int) {
+	subsets := q.ConnectedSubsets(maxAtoms)
+	keyOf := make(map[string]string, len(subsets)) // subset signature -> expr key
+	for _, idxs := range subsets {
+		expr, mapping := q.SubExpr(idxs)
+		node, ok := g.nodes[expr.Key()]
+		if !ok {
+			node = &OrNode{Expr: expr, Occurrences: map[string]*cq.ExprOccurrence{}}
+			g.nodes[expr.Key()] = node
+		}
+		if _, seen := node.Occurrences[q.ID]; !seen {
+			node.Occurrences[q.ID] = &cq.ExprOccurrence{CQ: q, AtomOf: mapping}
+		}
+		keyOf[sig(idxs)] = expr.Key()
+		// Record derivations: all ways to split idxs into two connected
+		// halves already in the memo.
+		if len(idxs) >= 2 {
+			g.addDerivations(node, q, idxs, keyOf)
+		}
+	}
+}
+
+// addDerivations records splits of idxs into two connected parts. Subsets
+// arrive in nondecreasing size order, so halves are already registered.
+func (g *Graph) addDerivations(node *OrNode, q *cq.CQ, idxs []int, keyOf map[string]string) {
+	n := len(idxs)
+	if n > 16 {
+		return
+	}
+	seen := map[AndNode]bool{}
+	for _, d := range node.Derivations {
+		seen[d] = true
+	}
+	for mask := 1; mask < (1<<uint(n))-1; mask++ {
+		var left, right []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				left = append(left, idxs[i])
+			} else {
+				right = append(right, idxs[i])
+			}
+		}
+		lk, lok := keyOf[sig(left)]
+		rk, rok := keyOf[sig(right)]
+		if !lok || !rok {
+			continue // a side is disconnected (not enumerated)
+		}
+		d := AndNode{LeftKey: lk, RightKey: rk}
+		if lk > rk {
+			d = AndNode{LeftKey: rk, RightKey: lk}
+		}
+		if !seen[d] {
+			seen[d] = true
+			node.Derivations = append(node.Derivations, d)
+		}
+	}
+	sort.Slice(node.Derivations, func(i, j int) bool {
+		if node.Derivations[i].LeftKey != node.Derivations[j].LeftKey {
+			return node.Derivations[i].LeftKey < node.Derivations[j].LeftKey
+		}
+		return node.Derivations[i].RightKey < node.Derivations[j].RightKey
+	})
+}
+
+func sig(idxs []int) string {
+	b := make([]byte, 0, len(idxs)*2)
+	for _, i := range idxs {
+		b = append(b, byte('a'+i%26), byte('A'+i/26))
+	}
+	return string(b)
+}
+
+// SharedNodes returns the OR nodes occurring in at least minQueries distinct
+// queries, sorted by decreasing sharing then key.
+func (g *Graph) SharedNodes(minQueries int) []*OrNode {
+	var out []*OrNode
+	for _, n := range g.nodes {
+		if len(n.Occurrences) >= minQueries {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Occurrences) != len(out[j].Occurrences) {
+			return len(out[i].Occurrences) > len(out[j].Occurrences)
+		}
+		return out[i].Expr.Key() < out[j].Expr.Key()
+	})
+	return out
+}

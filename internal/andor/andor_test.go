@@ -1,0 +1,113 @@
+package andor
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/scoring"
+)
+
+func chain(id string, rels ...string) *cq.CQ {
+	atoms := make([]*cq.Atom, len(rels))
+	for i, r := range rels {
+		atoms[i] = &cq.Atom{Rel: r, DB: "db", Args: []cq.Term{cq.V(i), cq.V(i + 1)}}
+	}
+	w := make([]float64, len(rels))
+	for i := range w {
+		w[i] = 1
+	}
+	return &cq.CQ{ID: id, UQID: "U", Atoms: atoms, Model: scoring.QSystem(0, w)}
+}
+
+func TestAddQueryEnumeratesSubexpressions(t *testing.T) {
+	g := New()
+	g.AddQuery(chain("q1", "A", "B", "C"), 3)
+	// Chain of 3: subsets {A},{B},{C},{AB},{BC},{ABC} = 6 OR nodes.
+	if g.Size() != 6 {
+		t.Fatalf("memo size = %d, want 6 (keys: %v)", g.Size(), g.Keys())
+	}
+	for _, k := range g.Keys() {
+		n := g.Node(k)
+		if n == nil || len(n.Occurrences) != 1 {
+			t.Errorf("node %q occurrences wrong", k)
+		}
+	}
+}
+
+func TestSharedOccurrences(t *testing.T) {
+	g := New()
+	g.AddQuery(chain("q1", "A", "B", "C"), 3)
+	g.AddQuery(chain("q2", "A", "B", "D"), 3)
+	shared := g.SharedNodes(2)
+	// A, B, AB are shared (same canonical structure in both chains).
+	if len(shared) != 3 {
+		keys := []string{}
+		for _, n := range shared {
+			keys = append(keys, n.Expr.Key())
+		}
+		t.Fatalf("shared nodes = %d (%v), want 3", len(shared), keys)
+	}
+	for _, n := range shared {
+		occ := n.Occurrences
+		if occ["q1"] == nil || occ["q2"] == nil {
+			t.Errorf("shared node %s missing an occurrence", n.Expr.Key())
+		}
+		// Occurrence atom maps must point at matching relations.
+		for i := range n.Expr.Atoms {
+			r1 := occ["q1"].CQ.Atoms[occ["q1"].AtomOf[i]].Rel
+			r2 := occ["q2"].CQ.Atoms[occ["q2"].AtomOf[i]].Rel
+			if r1 != n.Expr.Atoms[i].Rel || r2 != n.Expr.Atoms[i].Rel {
+				t.Errorf("occurrence mapping wrong for %s", n.Expr.Key())
+			}
+		}
+	}
+}
+
+func TestDerivations(t *testing.T) {
+	g := New()
+	g.AddQuery(chain("q1", "A", "B", "C"), 3)
+	// Find the ABC node: it must have derivations A+BC and AB+C.
+	var abc *OrNode
+	for _, k := range g.Keys() {
+		if g.Node(k).Expr.Arity() == 3 {
+			abc = g.Node(k)
+		}
+	}
+	if abc == nil {
+		t.Fatal("no 3-atom node")
+	}
+	if len(abc.Derivations) != 2 {
+		t.Fatalf("ABC derivations = %d, want 2 (A+BC, AB+C)", len(abc.Derivations))
+	}
+	for _, d := range abc.Derivations {
+		if g.Node(d.LeftKey) == nil || g.Node(d.RightKey) == nil {
+			t.Error("derivation references unknown node")
+		}
+	}
+}
+
+func TestMaxAtomsCap(t *testing.T) {
+	g := New()
+	g.AddQuery(chain("q1", "A", "B", "C", "D"), 2)
+	for _, k := range g.Keys() {
+		if g.Node(k).Expr.Arity() > 2 {
+			t.Errorf("node %q exceeds atom cap", k)
+		}
+	}
+}
+
+func TestIdempotentAddQuery(t *testing.T) {
+	g := New()
+	q := chain("q1", "A", "B")
+	g.AddQuery(q, 3)
+	size := g.Size()
+	g.AddQuery(q, 3)
+	if g.Size() != size {
+		t.Error("re-adding a query changed the memo size")
+	}
+	for _, k := range g.Keys() {
+		if len(g.Node(k).Occurrences) != 1 {
+			t.Error("re-adding duplicated occurrences")
+		}
+	}
+}

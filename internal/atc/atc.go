@@ -1,0 +1,292 @@
+// Package atc implements the paper's execution coordinator (§4.2): the
+// module that "looks across" every rank-merge operator's thresholds and
+// decides, round-robin, which source to read next, routing each fetched tuple
+// through split operators into all consuming m-joins, fully pipelined.
+//
+// The ATC also owns the runtime side of §6.3's unlinking: when a conjunctive
+// query completes or is pruned, its endpoint is detached and the plan segment
+// feeding only that query is parked — execution bindings are removed
+// backwards until a split operator (a node with other live consumers) is
+// reached — while all state (logs, modules, stream positions) is retained for
+// reuse. Reviving a parked or freshly grafted segment tops its modules up
+// from upstream logs and recovers its historical outputs (Algorithm 2's bulk
+// form; see DESIGN.md).
+package atc
+
+import (
+	"time"
+
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+	"repro/internal/remotedb"
+	"repro/internal/source"
+)
+
+// MergeState tracks one user query's rank-merge within the controller.
+type MergeState struct {
+	RM *operator.RankMerge
+	// Arrival is the user query's (virtual) submission time.
+	Arrival time.Duration
+	// Finished is when the rank-merge completed; valid when Done.
+	Finished time.Duration
+	Done     bool
+}
+
+// Latency returns the user query's response time.
+func (m *MergeState) Latency() time.Duration { return m.Finished - m.Arrival }
+
+// attachment records where a CQ's sink is wired, for unlinking.
+type attachment struct {
+	node *operator.NodeExec
+	sink *operator.EndpointSink
+}
+
+// ATC coordinates one plan graph.
+type ATC struct {
+	Graph *plangraph.Graph
+	Env   *operator.Env
+	Fleet *remotedb.Fleet
+
+	epoch  int
+	execs  map[*plangraph.Node]*operator.NodeExec
+	ras    map[*plangraph.Node]*source.RandomAccess
+	merges []*MergeState
+	attach map[string]attachment // by CQ id
+
+	// historyComplete marks nodes whose log reflects every row derivable
+	// from their inputs' logs; parking clears it.
+	historyComplete map[*plangraph.Node]bool
+}
+
+// New creates a controller for a plan graph.
+func New(g *plangraph.Graph, env *operator.Env, fleet *remotedb.Fleet) *ATC {
+	return &ATC{
+		Graph:           g,
+		Env:             env,
+		Fleet:           fleet,
+		epoch:           0,
+		execs:           map[*plangraph.Node]*operator.NodeExec{},
+		ras:             map[*plangraph.Node]*source.RandomAccess{},
+		attach:          map[string]attachment{},
+		historyComplete: map[*plangraph.Node]bool{},
+	}
+}
+
+// Epoch returns the current epoch (§6.2's logical timestamp).
+func (a *ATC) Epoch() int { return a.epoch }
+
+// BumpEpoch starts a new epoch (called by the state manager at each graft).
+func (a *ATC) BumpEpoch() int {
+	a.epoch++
+	return a.epoch
+}
+
+// Merges returns the controller's rank-merge states in admission order.
+func (a *ATC) Merges() []*MergeState { return a.merges }
+
+// AddMerge registers a user query's rank-merge.
+func (a *ATC) AddMerge(rm *operator.RankMerge, arrival time.Duration) *MergeState {
+	m := &MergeState{RM: rm, Arrival: arrival}
+	a.merges = append(a.merges, m)
+	return m
+}
+
+// Exec returns (creating on demand) the runtime state for a plan node,
+// opening its remote source if it is a source node.
+func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
+	if x, ok := a.execs[n]; ok {
+		x.SyncInputs()
+		return x, nil
+	}
+	x := operator.NewNodeExec(n)
+	switch n.Kind {
+	case plangraph.SourceStream:
+		db, err := a.Fleet.DB(n.DB)
+		if err != nil {
+			return nil, err
+		}
+		st, err := source.OpenStream(db, n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		x.Stream = st
+	case plangraph.SourceProbe:
+		db, err := a.Fleet.DB(n.DB)
+		if err != nil {
+			return nil, err
+		}
+		ra := source.OpenRandomAccess(db, n.Expr)
+		a.ras[n] = ra
+	}
+	x.SetRAResolver(func(pn *plangraph.Node) *source.RandomAccess { return a.ras[pn] })
+	a.execs[n] = x
+	return x, nil
+}
+
+// HasExec reports whether runtime state exists for the node (used by the
+// state manager's memory accounting without forcing source opens).
+func (a *ATC) HasExec(n *plangraph.Node) (*operator.NodeExec, bool) {
+	x, ok := a.execs[n]
+	return x, ok
+}
+
+// DropExec discards a node's runtime state (eviction, §6.3).
+func (a *ATC) DropExec(n *plangraph.Node) {
+	delete(a.execs, n)
+	delete(a.ras, n)
+	delete(a.historyComplete, n)
+}
+
+// Revive brings a node fully live for the given epoch: parents are revived
+// first, each module is topped up with rows the node missed while parked (or
+// never saw, if freshly grafted), and the node's historical outputs are
+// recovered into its log. It returns the node's exec.
+func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
+	x, err := a.Exec(n)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != plangraph.Join {
+		// Sources are always consistent: their log mirrors their reads.
+		return x, nil
+	}
+	if a.historyComplete[n] && a.modulesCurrent(x) {
+		return x, nil
+	}
+	for _, e := range n.Inputs {
+		if e.Probe {
+			// Random-access inputs have no stream history to replay; probes
+			// re-fetch (cached) on demand.
+			if _, err := a.Exec(e.From); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		px, err := a.Revive(e.From, epoch)
+		if err != nil {
+			return nil, err
+		}
+		// Top up this module with the parent's logged rows it has missed.
+		have := x.Module(e.InputIdx).Len()
+		rows, epochs := px.Log.RowsFrom(have)
+		x.PreloadModule(e.InputIdx, rows, epochs)
+	}
+	x.RecoverHistory(a.Env, epoch)
+	// Re-establish live bindings parent -> node.
+	for _, e := range n.Inputs {
+		px := a.execs[e.From]
+		px.AddConsumer(e, x)
+	}
+	a.historyComplete[n] = true
+	return x, nil
+}
+
+func (a *ATC) modulesCurrent(x *operator.NodeExec) bool {
+	for _, e := range x.Node.Inputs {
+		if e.Probe {
+			continue
+		}
+		px, ok := a.execs[e.From]
+		if !ok || x.Module(e.InputIdx).Len() < px.Log.Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachCQ wires a conjunctive query's endpoint sink to its terminal node.
+func (a *ATC) AttachCQ(cqID string, node *operator.NodeExec, sink *operator.EndpointSink) {
+	node.AddSink(sink)
+	a.attach[cqID] = attachment{node: node, sink: sink}
+}
+
+// UnlinkCQ detaches a finished or pruned conjunctive query (§6.3) and parks
+// the plan segment that fed only it.
+func (a *ATC) UnlinkCQ(cqID string) {
+	at, ok := a.attach[cqID]
+	if !ok {
+		return
+	}
+	delete(a.attach, cqID)
+	a.Graph.RemoveEndpoint(cqID)
+	at.node.RemoveSink(at.sink)
+	a.park(at.node)
+}
+
+// park removes execution bindings backwards from a workless node until a
+// split (a node with remaining live consumers or sinks) is reached. State is
+// retained; historyComplete is cleared so a future revive tops the node up.
+func (a *ATC) park(x *operator.NodeExec) {
+	if x.HasWork() || x.Node.Kind != plangraph.Join {
+		return
+	}
+	a.historyComplete[x.Node] = false
+	for _, e := range x.Node.Inputs {
+		px, ok := a.execs[e.From]
+		if !ok {
+			continue
+		}
+		px.RemoveConsumerEdge(e)
+		a.park(px)
+	}
+}
+
+// RunRound performs one round-robin pass (§4.2): every unfinished rank-merge
+// advances — emitting and activating freely — until it either performs one
+// (blocking) source read or finishes. Reading from each operator's preferred
+// stream once per round "has the same outcome as a voting strategy where the
+// input stream with the highest number of tuple requests gets read the most"
+// and prevents source starvation (§4.2). It reports whether any merge is
+// still unfinished.
+func (a *ATC) RunRound() bool {
+	anyActive := false
+	for _, m := range a.merges {
+		if m.Done {
+			continue
+		}
+		a.driveMerge(m)
+		if !m.Done {
+			anyActive = true
+		}
+	}
+	return anyActive
+}
+
+// driveMerge advances one rank-merge until it reads a tuple or finishes.
+func (a *ATC) driveMerge(m *MergeState) {
+	const maxSteps = 1 << 22 // defensive: bounds a scheduling round
+	for i := 0; i < maxSteps; i++ {
+		step := m.RM.Advance(a.Env)
+		switch step.Kind {
+		case operator.StepDone:
+			m.Done = true
+			m.Finished = a.Env.Clock.Now()
+			for _, e := range m.RM.Entries {
+				a.UnlinkCQ(e.CQ.ID)
+			}
+			return
+		case operator.StepEmitted:
+			for _, id := range step.PrunedCQs {
+				a.UnlinkCQ(id)
+			}
+		case operator.StepActivated:
+			// Bookkeeping only; continue advancing.
+		case operator.StepRead:
+			if step.Source.ReadOne(a.Env, a.epoch) {
+				return // one read per merge per round
+			}
+			// Exhausted: let the merge reclassify and pick again.
+		}
+	}
+	panic("atc: scheduling round did not converge for " + m.RM.UQ.ID)
+}
+
+// AllDone reports whether every admitted user query has finished.
+func (a *ATC) AllDone() bool {
+	for _, m := range a.merges {
+		if !m.Done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,354 @@
+package atc_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/atc"
+	"repro/internal/batcher"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/mqo"
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+	"repro/internal/qsm"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/scoring"
+	"repro/internal/simclock"
+	"repro/internal/tuple"
+)
+
+// harness builds a random three-relation star database A ⋈ B ⋈ C plus the
+// full middleware stack, and runs queries through qsm+atc.
+type harness struct {
+	fleet *remotedb.Fleet
+	cat   *catalog.Catalog
+	env   *operator.Env
+	graph *plangraph.Graph
+	ctrl  *atc.ATC
+	mgr   *qsm.Manager
+}
+
+func newHarness(t *testing.T, seed uint64, nA, nB, nC int, withScoreless bool) *harness {
+	t.Helper()
+	rng := dist.New(seed)
+	store := relationdb.NewStore("db")
+	cat := catalog.New()
+
+	sa := tuple.NewSchema("A",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "term", Type: tuple.KindString},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	terms := []string{"x", "y"}
+	var rows []*tuple.Tuple
+	for i := 0; i < nA; i++ {
+		rows = append(rows, tuple.New(sa, tuple.Int(int64(i)), tuple.String(terms[rng.Intn(2)]), tuple.Float(0.1+0.9*rng.Float64())))
+	}
+	relA := relationdb.NewRelation(sa, rows)
+	store.Put(relA)
+	cat.AddRelation("db", relA)
+
+	var sb *tuple.Schema
+	if withScoreless {
+		sb = tuple.NewSchema("B",
+			tuple.Column{Name: "aid", Type: tuple.KindInt},
+			tuple.Column{Name: "cid", Type: tuple.KindInt},
+		)
+	} else {
+		sb = tuple.NewSchema("B",
+			tuple.Column{Name: "aid", Type: tuple.KindInt},
+			tuple.Column{Name: "cid", Type: tuple.KindInt},
+			tuple.Column{Name: "sim", Type: tuple.KindFloat, Score: true},
+		)
+	}
+	rows = nil
+	for i := 0; i < nB; i++ {
+		vals := []tuple.Value{tuple.Int(int64(rng.Intn(nA))), tuple.Int(int64(rng.Intn(nC)))}
+		if !withScoreless {
+			vals = append(vals, tuple.Float(0.1+0.9*rng.Float64()))
+		}
+		rows = append(rows, tuple.New(sb, vals...))
+	}
+	relB := relationdb.NewRelation(sb, rows)
+	store.Put(relB)
+	cat.AddRelation("db", relB)
+
+	sc := tuple.NewSchema("C",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	rows = nil
+	for i := 0; i < nC; i++ {
+		rows = append(rows, tuple.New(sc, tuple.Int(int64(i)), tuple.Float(0.1+0.9*rng.Float64())))
+	}
+	relC := relationdb.NewRelation(sc, rows)
+	store.Put(relC)
+	cat.AddRelation("db", relC)
+
+	env := &operator.Env{
+		Clock:   simclock.NewVirtual(0),
+		Delays:  simclock.DefaultDelays(dist.New(seed + 9)),
+		Metrics: &metrics.Counters{},
+	}
+	graph := plangraph.New("")
+	ctrl := atc.New(graph, env, remotedb.NewFleet(remotedb.New(store)))
+	cm := costmodel.New(cat, costmodel.DefaultParams())
+	mgr := qsm.New(graph, ctrl, cat, cm, qsm.ShareAll)
+	return &harness{fleet: nil, cat: cat, env: env, graph: graph, ctrl: ctrl, mgr: mgr}
+}
+
+// starCQ builds A(id,sel?,_) ⋈ B(id,cid) ⋈ C(cid,_) with the given model.
+func starCQ(id string, sel string, model *scoring.Model, withScoreless bool) *cq.CQ {
+	termArg := cq.V(10)
+	if sel != "" {
+		termArg = cq.C(tuple.String(sel))
+	}
+	bArgs := []cq.Term{cq.V(0), cq.V(1)}
+	if !withScoreless {
+		bArgs = append(bArgs, cq.V(12))
+	}
+	return &cq.CQ{
+		ID:   id,
+		UQID: "U-" + id,
+		Atoms: []*cq.Atom{
+			{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), termArg, cq.V(11)}},
+			{Rel: "B", DB: "db", Args: bArgs},
+			{Rel: "C", DB: "db", Args: []cq.Term{cq.V(1), cq.V(13)}},
+		},
+		Model: model,
+	}
+}
+
+// run submits one UQ and drives it to completion.
+func (h *harness) run(t *testing.T, uq *cq.UQ) []operator.Result {
+	t.Helper()
+	_, err := h.mgr.Admit([]batcher.Submission{{At: h.env.Clock.Now(), UQ: uq}}, mqo.Config{K: uq.K})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	for h.ctrl.RunRound() {
+	}
+	h.mgr.SyncCatalog()
+	for _, m := range h.ctrl.Merges() {
+		if m.RM.UQ.ID == uq.ID {
+			return m.RM.Results()
+		}
+	}
+	t.Fatal("merge not found")
+	return nil
+}
+
+// bruteTopK computes the reference top-k via exhaustive join + sort.
+func bruteTopK(h *harness, q *cq.CQ, k int, store *relationdb.Store) []float64 {
+	a := store.MustRelation("A")
+	b := store.MustRelation("B")
+	c := store.MustRelation("C")
+	sel := ""
+	if q.Atoms[0].Args[1].IsConst() {
+		sel = q.Atoms[0].Args[1].Const.AsString()
+	}
+	var scores []float64
+	for _, rb := range b.Rows() {
+		for _, ra := range a.Lookup(0, rb.Val(0)) {
+			if sel != "" && ra.Val(1).AsString() != sel {
+				continue
+			}
+			for _, rc := range c.Lookup(0, rb.Val(1)) {
+				scores = append(scores, q.Model.Score([]float64{ra.Score(), rb.Score(), rc.Score()}))
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+// TestTopKMatchesBruteForce is the core correctness property: for random
+// databases, random scoring models and both source modes (streamed and
+// probed B), the pipeline's top-k equals exhaustive evaluation.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		seed := uint64(100 + trial)
+		withScoreless := trial%2 == 0
+		nA, nB, nC := 30+trial*5, 80+trial*10, 25+trial*3
+
+		var model *scoring.Model
+		switch trial % 3 {
+		case 0:
+			model = scoring.QSystem(0.5, []float64{1, 1, 0.9})
+		case 1:
+			model = scoring.Discover(3)
+		default:
+			model = scoring.BANKS(0.7, []float64{1, 0.8, 1.2}, 0.4)
+		}
+		sel := ""
+		if trial%4 < 2 {
+			sel = "x"
+		}
+		k := 5 + trial*3
+
+		// Rebuild the same store for the brute-force reference.
+		ref := newHarness(t, seed, nA, nB, nC, withScoreless)
+		q := starCQ(fmt.Sprintf("CQ%d", trial), sel, model, withScoreless)
+		uq := &cq.UQ{ID: "U-" + q.ID, K: k, CQs: []*cq.CQ{q}}
+		got := ref.run(t, uq)
+
+		// Extract the reference store back out of the harness's controller
+		// is awkward; rebuild data identically instead.
+		h2 := newHarness(t, seed, nA, nB, nC, withScoreless)
+		store := storeOf(t, h2)
+		want := bruteTopK(h2, q, k, store)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: rank %d score %v, want %v", trial, i+1, got[i].Score, want[i])
+			}
+			if i > 0 && got[i].Score > got[i-1].Score+1e-12 {
+				t.Fatalf("trial %d: results out of order at %d", trial, i)
+			}
+		}
+	}
+}
+
+// storeOf rebuilds the harness's store (the harness hides it; data generation
+// is deterministic by seed so an identical copy suffices for reference
+// computations — this helper just re-derives it).
+func storeOf(t *testing.T, h *harness) *relationdb.Store {
+	t.Helper()
+	// The harness registered stats in its catalog; rebuild a store from the
+	// catalog's schemas is impossible (no rows). Instead the harness keeps
+	// the fleet inside the controller; easiest is to re-run generation. To
+	// avoid drift, newHarness is deterministic — so capture via the exported
+	// fleet on the controller.
+	return h.ctrl.Fleet.MustDB("db").Store()
+}
+
+// TestSharedSubexpressionAgreement: two users with different scoring models
+// share subexpressions; both must get the same answers as isolated runs.
+func TestSharedSubexpressionAgreement(t *testing.T) {
+	seed := uint64(42)
+	q1 := starCQ("CQ1", "x", scoring.QSystem(0.2, []float64{1, 1, 1}), false)
+	q2 := starCQ("CQ2", "x", scoring.Discover(3), false)
+	q2.UQID = "U-CQ2"
+
+	// Shared run: both user queries admitted together.
+	shared := newHarness(t, seed, 40, 120, 30, false)
+	uq1 := &cq.UQ{ID: "U-CQ1", K: 10, CQs: []*cq.CQ{q1}}
+	uq2 := &cq.UQ{ID: "U-CQ2", K: 10, CQs: []*cq.CQ{q2}}
+	_, err := shared.mgr.Admit([]batcher.Submission{
+		{At: 0, UQ: uq1}, {At: 0, UQ: uq2},
+	}, mqo.Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shared.ctrl.RunRound() {
+	}
+	sharedRes := map[string][]operator.Result{}
+	for _, m := range shared.ctrl.Merges() {
+		sharedRes[m.RM.UQ.ID] = m.RM.Results()
+	}
+
+	// Isolated runs.
+	for _, uq := range []*cq.UQ{uq1, uq2} {
+		solo := newHarness(t, seed, 40, 120, 30, false)
+		cp := *uq.CQs[0]
+		cp.ID += "-solo"
+		soloUQ := &cq.UQ{ID: uq.ID + "-solo", K: uq.K, CQs: []*cq.CQ{&cp}}
+		got := solo.run(t, soloUQ)
+		want := sharedRes[uq.ID]
+		if len(got) != len(want) {
+			t.Fatalf("%s: isolated %d results vs shared %d", uq.ID, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("%s: rank %d isolated %v vs shared %v", uq.ID, i, got[i].Score, want[i].Score)
+			}
+			if got[i].Row.Identity() != want[i].Row.Identity() {
+				t.Fatalf("%s: rank %d rows differ", uq.ID, i)
+			}
+		}
+	}
+}
+
+// TestGraftReuseEquivalence: a query admitted into a warm graph (after other
+// queries ran) must return exactly what it returns cold, while consuming
+// fewer source tuples.
+func TestGraftReuseEquivalence(t *testing.T) {
+	seed := uint64(7)
+	warm := newHarness(t, seed, 50, 150, 40, false)
+	first := starCQ("CQ1", "", scoring.QSystem(0.1, []float64{1, 1, 1}), false)
+	warm.run(t, &cq.UQ{ID: "U-CQ1", K: 15, CQs: []*cq.CQ{first}})
+	consumedAfterFirst := warm.env.Metrics.Snapshot().TuplesConsumed()
+
+	// The same structure under a different user's scoring coefficients — the
+	// §2.2 scenario; its plan matches the warm graph node for node.
+	second := starCQ("CQ2", "", scoring.QSystem(0.3, []float64{0.9, 1, 1}), false)
+	warm.env.Clock.Advance(time.Second)
+	gotWarm := warm.run(t, &cq.UQ{ID: "U-CQ2", K: 15, CQs: []*cq.CQ{second}})
+	warmDelta := warm.env.Metrics.Snapshot().TuplesConsumed() - consumedAfterFirst
+
+	cold := newHarness(t, seed, 50, 150, 40, false)
+	secondCold := starCQ("CQ2", "", scoring.QSystem(0.3, []float64{0.9, 1, 1}), false)
+	gotCold := cold.run(t, &cq.UQ{ID: "U-CQ2", K: 15, CQs: []*cq.CQ{secondCold}})
+	coldTotal := cold.env.Metrics.Snapshot().TuplesConsumed()
+
+	if len(gotWarm) != len(gotCold) {
+		t.Fatalf("warm %d results vs cold %d", len(gotWarm), len(gotCold))
+	}
+	for i := range gotWarm {
+		if math.Abs(gotWarm[i].Score-gotCold[i].Score) > 1e-9 || gotWarm[i].Row.Identity() != gotCold[i].Row.Identity() {
+			t.Fatalf("rank %d differs warm vs cold", i)
+		}
+	}
+	if warmDelta >= coldTotal {
+		t.Errorf("reuse saved nothing: warm delta %d vs cold %d", warmDelta, coldTotal)
+	}
+	t.Logf("warm delta %d vs cold %d tuples", warmDelta, coldTotal)
+
+	// Duplicates must not appear when recovered state merges with live rows.
+	for _, m := range warm.ctrl.Merges() {
+		for _, e := range m.RM.Entries {
+			if d := e.Duplicates(); d != 0 {
+				t.Errorf("entry %s dropped %d duplicates", e.CQ.ID, d)
+			}
+		}
+	}
+}
+
+// TestEpochRecoveryExactness: rows recovered from pre-epoch state plus live
+// rows must equal a fresh full evaluation (no missing all-old combinations).
+func TestEpochRecoveryExactness(t *testing.T) {
+	seed := uint64(21)
+	h := newHarness(t, seed, 40, 100, 30, false)
+	// First query reads streams partway (small k).
+	q1 := starCQ("CQ1", "", scoring.QSystem(0, []float64{1, 1, 1}), false)
+	h.run(t, &cq.UQ{ID: "U-CQ1", K: 3, CQs: []*cq.CQ{q1}})
+
+	// Second identical-shape query with large k must see everything.
+	q2 := starCQ("CQ2", "", scoring.QSystem(0, []float64{1, 1, 1}), false)
+	got := h.run(t, &cq.UQ{ID: "U-CQ2", K: 100000, CQs: []*cq.CQ{q2}})
+
+	store := h.ctrl.Fleet.MustDB("db").Store()
+	want := bruteTopK(h, q2, 1<<30, store)
+	if len(got) != len(want) {
+		t.Fatalf("recovered run returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-want[i]) > 1e-9 {
+			t.Fatalf("rank %d score %v, want %v", i, got[i].Score, want[i])
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package candidates_test
+
+import (
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// The bio workload (Figure 1) doubles as the generation fixture: it has
+// multi-database relations, synonym detours and a content keyword index.
+func bioCfg(t *testing.T) (candidates.Config, *workload.Workload) {
+	t.Helper()
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return candidates.Config{
+		Graph:             w.Schema,
+		Catalog:           w.Catalog,
+		MatchesPerKeyword: 2,
+		MaxAtoms:          7,
+		MaxPathLen:        4,
+		PathVariants:      2,
+		MaxCQs:            8,
+		Family:            candidates.FamilyQSystem,
+	}, w
+}
+
+func TestGenerateConnectsAllKeywords(t *testing.T) {
+	cfg, _ := bioCfg(t)
+	uq, err := candidates.Generate(cfg, "UQt", []string{"protein", "plasma membrane", "gene"}, 20, dist.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uq.CQs) == 0 || len(uq.CQs) > cfg.MaxCQs {
+		t.Fatalf("CQs = %d", len(uq.CQs))
+	}
+	for _, q := range uq.CQs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", q.ID, err)
+		}
+		// Every keyword's match must appear: selections for the content
+		// matches on TP/UP (protein), T (plasma membrane), GI (gene).
+		sawSel := 0
+		for _, a := range q.Atoms {
+			for _, term := range a.Args {
+				if term.IsConst() {
+					sawSel++
+				}
+			}
+		}
+		if sawSel < 3 {
+			t.Errorf("%s has %d selections, want one per keyword: %s", q.ID, sawSel, q)
+		}
+	}
+}
+
+func TestGenerateRankedByUpperBound(t *testing.T) {
+	cfg, w := bioCfg(t)
+	uq, err := candidates.Generate(cfg, "UQt", []string{"protein", "metabolism"}, 10, dist.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, q := range uq.CQs {
+		u := candidates.UpperBound(w.Catalog, q)
+		if u > prev+1e-12 {
+			t.Errorf("CQs not in nonincreasing U order: %v after %v", u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestGenerateDedupsCandidates(t *testing.T) {
+	cfg, _ := bioCfg(t)
+	uq, err := candidates.Generate(cfg, "UQt", []string{"membrane", "gene"}, 10, dist.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, q := range uq.CQs {
+		e, _ := q.SubExpr(allIdxT(len(q.Atoms)))
+		if seen[e.Key()] {
+			t.Errorf("duplicate candidate network %s", e.Key())
+		}
+		seen[e.Key()] = true
+	}
+}
+
+func TestGenerateUnknownKeyword(t *testing.T) {
+	cfg, _ := bioCfg(t)
+	if _, err := candidates.Generate(cfg, "UQt", []string{"quasiparticle"}, 10, dist.New(4)); err == nil {
+		t.Error("unmatched keyword should error")
+	}
+	if _, err := candidates.Generate(cfg, "UQt", nil, 10, dist.New(4)); err == nil {
+		t.Error("empty keywords should error")
+	}
+}
+
+func TestGenerateModelFamilies(t *testing.T) {
+	cfg, _ := bioCfg(t)
+	for _, fam := range []candidates.Family{candidates.FamilyQSystem, candidates.FamilyDiscover, candidates.FamilyBANKS} {
+		cfg.Family = fam
+		uq, err := candidates.Generate(cfg, "UQt", []string{"metabolism", "gene"}, 10, dist.New(5))
+		if err != nil {
+			t.Fatalf("family %d: %v", fam, err)
+		}
+		for _, q := range uq.CQs {
+			if q.Model == nil || q.Model.Arity() != len(q.Atoms) {
+				t.Fatalf("family %d produced bad model", fam)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg, _ := bioCfg(t)
+	a, err := candidates.Generate(cfg, "UQt", []string{"metabolism", "gene"}, 10, dist.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := candidates.Generate(cfg, "UQt", []string{"metabolism", "gene"}, 10, dist.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CQs) != len(b.CQs) {
+		t.Fatal("nondeterministic CQ count")
+	}
+	for i := range a.CQs {
+		if a.CQs[i].String() != b.CQs[i].String() {
+			t.Fatal("nondeterministic CQ")
+		}
+	}
+}
+
+func allIdxT(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,175 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relationdb"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+func buildCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	a := tuple.NewSchema("A",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "term", Type: tuple.KindString},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	var rows []*tuple.Tuple
+	terms := []string{"x", "y"}
+	for i := 0; i < 100; i++ {
+		rows = append(rows, tuple.New(a, tuple.Int(int64(i)), tuple.String(terms[i%2]), tuple.Float(1/float64(i+1))))
+	}
+	c.AddRelation("db", relationdb.NewRelation(a, rows))
+
+	b := tuple.NewSchema("B",
+		tuple.Column{Name: "aid", Type: tuple.KindInt},
+		tuple.Column{Name: "sim", Type: tuple.KindFloat, Score: true},
+	)
+	rows = nil
+	for i := 0; i < 200; i++ {
+		rows = append(rows, tuple.New(b, tuple.Int(int64(i%50)), tuple.Float(1/float64(i+1))))
+	}
+	c.AddRelation("db", relationdb.NewRelation(b, rows))
+	return c
+}
+
+func joinAB() *cq.CQ {
+	return &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(2)}},
+		{Rel: "B", DB: "db", Args: []cq.Term{cq.V(0), cq.V(3)}},
+	}, Model: scoring.Discover(2)}
+}
+
+func TestRelationStats(t *testing.T) {
+	c := buildCatalog(t)
+	st := c.MustRelation("A")
+	if st.Card != 100 || !st.HasScore || st.DB != "db" {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Distinct[1] != 2 {
+		t.Errorf("distinct(term) = %v", st.Distinct[1])
+	}
+	if st.MaxScore != 1 {
+		t.Errorf("max score = %v", st.MaxScore)
+	}
+	if _, err := c.Relation("missing"); err == nil {
+		t.Error("missing relation should error")
+	}
+	if got := c.Relations(); len(got) != 2 || got[0] != "A" {
+		t.Errorf("relations = %v", got)
+	}
+}
+
+func TestEstimateCardJoin(t *testing.T) {
+	c := buildCatalog(t)
+	q := joinAB()
+	e, _ := q.SubExpr([]int{0, 1})
+	// card(A)*card(B)/max(distinct) = 100*200/100 = 200.
+	if got := c.EstimateCard(e); math.Abs(got-200) > 1e-9 {
+		t.Errorf("join estimate = %v, want 200", got)
+	}
+	// With a selection on term: /2.
+	q.Atoms[0].Args[1] = cq.C(tuple.String("x"))
+	e2, _ := q.SubExpr([]int{0, 1})
+	if got := c.EstimateCard(e2); math.Abs(got-100) > 1e-9 {
+		t.Errorf("selected estimate = %v, want 100", got)
+	}
+}
+
+func TestEstimateCardObservationWins(t *testing.T) {
+	c := buildCatalog(t)
+	e, _ := joinAB().SubExpr([]int{0, 1})
+	est := c.EstimateCard(e)
+	c.RecordExprCard(e.Key(), 42)
+	if got := c.EstimateCard(e); got != 42 {
+		t.Errorf("observed card ignored: %v (estimate was %v)", got, est)
+	}
+}
+
+func TestEstimateCacheConsistent(t *testing.T) {
+	c := buildCatalog(t)
+	e, _ := joinAB().SubExpr([]int{0, 1})
+	a := c.EstimateCard(e)
+	b := c.EstimateCard(e) // cached path
+	if a != b {
+		t.Errorf("cached estimate differs: %v vs %v", a, b)
+	}
+}
+
+func TestStreamedAccounting(t *testing.T) {
+	c := buildCatalog(t)
+	c.RecordStreamed("k", 10)
+	c.RecordStreamed("k", 5) // lower never shrinks
+	if c.StreamedSoFar("k") != 10 {
+		t.Errorf("streamed = %d", c.StreamedSoFar("k"))
+	}
+	c.RecordStreamed("k", 20)
+	if c.StreamedSoFar("k") != 20 {
+		t.Errorf("streamed = %d", c.StreamedSoFar("k"))
+	}
+	c.ForgetStreamed("k")
+	if c.StreamedSoFar("k") != 0 {
+		t.Error("forget failed")
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	c := buildCatalog(t)
+	f1, f2 := c.Fork(), c.Fork()
+	f1.RecordStreamed("x", 9)
+	if f2.StreamedSoFar("x") != 0 || c.StreamedSoFar("x") != 0 {
+		t.Error("fork leaked reuse accounting")
+	}
+	// Shared stats still visible.
+	if f1.MustRelation("A").Card != 100 || f2.MustRelation("B").Card != 200 {
+		t.Error("forks lost relation stats")
+	}
+}
+
+func TestTopKDepth(t *testing.T) {
+	c := buildCatalog(t)
+	e, _ := joinAB().SubExpr([]int{1})
+	d := c.TopKDepth(e, 50, 2)
+	if d < 25-1e-9 || d > 200 {
+		t.Errorf("depth = %v", d)
+	}
+	if got := c.TopKDepth(e, 50, 0); got <= 0 {
+		t.Errorf("zero-fanout depth = %v", got)
+	}
+}
+
+func TestMaxScoreOf(t *testing.T) {
+	c := buildCatalog(t)
+	if c.MaxScoreOf("A") != 1 {
+		t.Error("max score of A")
+	}
+	if c.MaxScoreOf("missing") != tuple.NeutralScore {
+		t.Error("unknown relation should report neutral score")
+	}
+}
+
+func TestExpensiveJoin(t *testing.T) {
+	c := New()
+	// Two relations joining on very low-distinct columns.
+	s1 := tuple.NewSchema("X", tuple.Column{Name: "g", Type: tuple.KindInt})
+	s2 := tuple.NewSchema("Y", tuple.Column{Name: "g", Type: tuple.KindInt})
+	var r1, r2 []*tuple.Tuple
+	for i := 0; i < 100; i++ {
+		r1 = append(r1, tuple.New(s1, tuple.Int(int64(i%3))))
+		r2 = append(r2, tuple.New(s2, tuple.Int(int64(i%3))))
+	}
+	c.AddRelation("db", relationdb.NewRelation(s1, r1))
+	c.AddRelation("db", relationdb.NewRelation(s2, r2))
+	q := &cq.CQ{ID: "e", Atoms: []*cq.Atom{
+		{Rel: "X", DB: "db", Args: []cq.Term{cq.V(0)}},
+		{Rel: "Y", DB: "db", Args: []cq.Term{cq.V(0)}},
+	}, Model: scoring.Discover(2)}
+	e, _ := q.SubExpr([]int{0, 1})
+	if !c.ExpensiveJoin(e) {
+		t.Error("many-many join should be flagged expensive")
+	}
+}

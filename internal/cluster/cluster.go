@@ -1,0 +1,146 @@
+// Package cluster groups user queries into separately executed plan graphs
+// (§6.1 "preventing over-sharing of results"): a single shared graph can
+// thrash when unrelated queries contend for the ATC, so queries are clustered
+// around the workload's most frequently referenced source relations and each
+// cluster gets its own graph and ATC — the ATC-CL configuration of §7.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// Config holds the two thresholds of §6.1.
+type Config struct {
+	// Tm is the minimum number of references a user query must make to a
+	// frequent source to join that source's initial cluster.
+	Tm int
+	// Tc is the Jaccard-similarity threshold above which clusters merge.
+	Tc float64
+}
+
+// Defaults returns the thresholds used by the experiments: a user query
+// joins a source's initial cluster only when it references the source more
+// than four times across its conjunctive queries (strong reliance), and
+// clusters merge above 50% Jaccard overlap. These keep clusters small and
+// high-overlap, which is what lets ATC-CL retain most of sharing's savings
+// while splitting the contention of a single graph (§6.1, §7.1).
+func (c Config) Defaults() Config {
+	if c.Tm == 0 {
+		c.Tm = 4
+	}
+	if c.Tc == 0 {
+		c.Tc = 0.5
+	}
+	return c
+}
+
+// Cluster partitions the user queries. Each returned group is executed on
+// its own plan graph; every query appears in exactly one group.
+func Cluster(uqs []*cq.UQ, cfg Config) [][]*cq.UQ {
+	cfg = cfg.Defaults()
+	// Count per-UQ references to each source relation.
+	refs := make([]map[string]int, len(uqs))
+	freq := map[string]int{}
+	for i, uq := range uqs {
+		refs[i] = map[string]int{}
+		for _, q := range uq.CQs {
+			for _, a := range q.Atoms {
+				refs[i][a.Rel]++
+				freq[a.Rel]++
+			}
+		}
+	}
+	// Initial clusters: one per source, holding the UQ indexes that
+	// reference it more than Tm times.
+	rels := make([]string, 0, len(freq))
+	for r := range freq {
+		rels = append(rels, r)
+	}
+	sort.Slice(rels, func(i, j int) bool {
+		if freq[rels[i]] != freq[rels[j]] {
+			return freq[rels[i]] > freq[rels[j]]
+		}
+		return rels[i] < rels[j]
+	})
+	var clusters []map[int]bool
+	for _, r := range rels {
+		c := map[int]bool{}
+		for i := range uqs {
+			if refs[i][r] > cfg.Tm {
+				c[i] = true
+			}
+		}
+		if len(c) > 0 {
+			clusters = append(clusters, c)
+		}
+	}
+	// Merge clusters whose Jaccard similarity exceeds Tc, to fixpoint.
+	for merged := true; merged; {
+		merged = false
+		for i := 0; i < len(clusters) && !merged; i++ {
+			for j := i + 1; j < len(clusters) && !merged; j++ {
+				if jaccard(clusters[i], clusters[j]) > cfg.Tc {
+					for k := range clusters[j] {
+						clusters[i][k] = true
+					}
+					clusters = append(clusters[:j], clusters[j+1:]...)
+					merged = true
+				}
+			}
+		}
+	}
+	// Deterministic assignment: each UQ joins the largest cluster containing
+	// it (ties: earliest cluster); uncovered UQs become singletons.
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(clusters[order[a]]) > len(clusters[order[b]]) })
+	assigned := make([]int, len(uqs))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for _, ci := range order {
+		for k := range clusters[ci] {
+			if assigned[k] < 0 {
+				assigned[k] = ci
+			}
+		}
+	}
+	groups := map[int][]*cq.UQ{}
+	var keys []int
+	next := len(clusters)
+	for i, uq := range uqs {
+		g := assigned[i]
+		if g < 0 {
+			g = next
+			next++
+		}
+		if _, ok := groups[g]; !ok {
+			keys = append(keys, g)
+		}
+		groups[g] = append(groups[g], uq)
+	}
+	sort.Ints(keys)
+	out := make([][]*cq.UQ, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+func jaccard(a, b map[int]bool) float64 {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/scoring"
+)
+
+// uqOver builds a user query whose single CQ references the given relations
+// `times` times each.
+func uqOver(id string, times int, rels ...string) *cq.UQ {
+	var atoms []*cq.Atom
+	v := 0
+	for _, r := range rels {
+		for i := 0; i < times; i++ {
+			atoms = append(atoms, &cq.Atom{Rel: r, DB: "db", Args: []cq.Term{cq.V(v), cq.V(v + 1)}})
+			v++
+		}
+	}
+	w := make([]float64, len(atoms))
+	for i := range w {
+		w[i] = 1
+	}
+	return &cq.UQ{ID: id, K: 10, CQs: []*cq.CQ{{
+		ID: id + ".CQ1", UQID: id, Atoms: atoms, Model: scoring.QSystem(0, w),
+	}}}
+}
+
+func TestClusterGroupsHeavySharers(t *testing.T) {
+	uqs := []*cq.UQ{
+		uqOver("U1", 3, "Prot", "Link"),
+		uqOver("U2", 3, "Prot", "Gene"),
+		uqOver("U3", 3, "Term", "Syn"),
+		uqOver("U4", 1, "Prot"),
+	}
+	groups := Cluster(uqs, Config{Tm: 2, Tc: 0.4})
+	// U1 and U2 rely on Prot heavily (>2 refs) and should group; U3 and U4
+	// should not join them.
+	var protGroup []*cq.UQ
+	for _, g := range groups {
+		for _, u := range g {
+			if u.ID == "U1" {
+				protGroup = g
+			}
+		}
+	}
+	ids := map[string]bool{}
+	for _, u := range protGroup {
+		ids[u.ID] = true
+	}
+	if !ids["U2"] {
+		t.Errorf("U1 and U2 should cluster together: %v", ids)
+	}
+	if ids["U3"] || ids["U4"] {
+		t.Errorf("unrelated queries clustered: %v", ids)
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	uqs := []*cq.UQ{
+		uqOver("U1", 3, "A", "B"), uqOver("U2", 3, "A"), uqOver("U3", 3, "B"),
+		uqOver("U4", 2, "C"), uqOver("U5", 1, "D"),
+	}
+	groups := Cluster(uqs, Config{Tm: 1, Tc: 0.3})
+	seen := map[string]int{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Error("empty group")
+		}
+		for _, u := range g {
+			seen[u.ID]++
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("covered %d queries, want 5", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("%s appears in %d groups", id, n)
+		}
+	}
+}
+
+func TestClusterSingletonFallback(t *testing.T) {
+	// No query crosses Tm: every query should still land somewhere.
+	uqs := []*cq.UQ{uqOver("U1", 1, "A"), uqOver("U2", 1, "B")}
+	groups := Cluster(uqs, Config{Tm: 5, Tc: 0.5})
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 2 {
+		t.Errorf("lost queries: %d", total)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	uqs := []*cq.UQ{
+		uqOver("U1", 3, "A", "B"), uqOver("U2", 3, "A"), uqOver("U3", 2, "B"),
+	}
+	g1 := Cluster(uqs, Config{})
+	g2 := Cluster(uqs, Config{})
+	if len(g1) != len(g2) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range g1 {
+		if len(g1[i]) != len(g2[i]) {
+			t.Fatal("nondeterministic group sizes")
+		}
+		for j := range g1[i] {
+			if g1[i][j].ID != g2[i][j].ID {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package cq
+
+import "testing"
+
+func BenchmarkCanonicalize(b *testing.B) {
+	q := chainCQ("q", 6)
+	idx := allIdx(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.SubExpr(idx)
+	}
+}
+
+func BenchmarkConnectedSubsets(b *testing.B) {
+	q := chainCQ("q", 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.ConnectedSubsets(4)
+	}
+}

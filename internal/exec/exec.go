@@ -1,0 +1,320 @@
+// Package exec orchestrates complete runs: it maps user queries onto plan
+// graphs according to the chosen sharing strategy (the four configurations of
+// §7.1), drives each graph's ATC along the workload's arrival timeline —
+// admitting batches mid-execution exactly as §6 grafts new queries into a
+// running graph — and collects the per-query latencies and work counters the
+// paper's figures report.
+//
+// Each plan graph is one middleware execution thread with its own virtual
+// clock (see simclock): queries sharing a graph contend for that clock
+// (ATC-FULL's §7.1 contention), while separate graphs run in parallel
+// (ATC-CQ, ATC-UQ, ATC-CL).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/atc"
+	"repro/internal/batcher"
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/mqo"
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+	"repro/internal/qsm"
+	"repro/internal/remotedb"
+	"repro/internal/simclock"
+)
+
+// Strategy selects the sharing configuration (§7.1).
+type Strategy int
+
+const (
+	// StrategyCQ: ATC-CQ — each user query optimized separately, no sharing
+	// even among its own conjunctive queries.
+	StrategyCQ Strategy = iota
+	// StrategyUQ: ATC-UQ — sharing within a user query only.
+	StrategyUQ
+	// StrategyFull: ATC-FULL — one plan graph shared by every query.
+	StrategyFull
+	// StrategyCL: ATC-CL — user queries clustered (§6.1) into several
+	// shared plan graphs.
+	StrategyCL
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCQ:
+		return "ATC-CQ"
+	case StrategyUQ:
+		return "ATC-UQ"
+	case StrategyFull:
+		return "ATC-FULL"
+	default:
+		return "ATC-CL"
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	Strategy Strategy
+	// BatchSize / BatchWindow configure the query batcher (§7.1 uses 5 and
+	// the 6-second inter-arrival spread).
+	BatchSize   int
+	BatchWindow time.Duration
+	// Opt configures the multi-query optimizer.
+	Opt mqo.Config
+	// CostParams prices the cost model (defaults match the delay model).
+	CostParams costmodel.Params
+	// Cluster tunes §6.1 clustering (StrategyCL).
+	Cluster cluster.Config
+	// MemoryBudget bounds per-graph state in rows (0 = unbounded).
+	MemoryBudget int
+	// Seed drives the delay distributions.
+	Seed uint64
+	// Delays overrides the §7 delay model when non-nil.
+	Delays func(rng *dist.RNG) *simclock.DelayModel
+	// ChargeOptimizer controls whether measured optimization wall time is
+	// added to the virtual clock (the paper's timings include it, §7.4).
+	// Disable for bit-deterministic latency tests.
+	ChargeOptimizer bool
+}
+
+// Defaults fills zero values with the paper's experimental settings.
+func (o Options) Defaults() Options {
+	if o.BatchSize == 0 {
+		o.BatchSize = 5
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 6 * time.Second
+	}
+	if o.CostParams == (costmodel.Params{}) {
+		o.CostParams = costmodel.DefaultParams()
+	}
+	if o.Delays == nil {
+		o.Delays = simclock.DefaultDelays
+	}
+	return o
+}
+
+// UQReport is one user query's outcome.
+type UQReport struct {
+	UQ          *cq.UQ
+	GroupID     int
+	Arrival     time.Duration
+	Finished    time.Duration
+	Results     []operator.Result
+	ExecutedCQs int
+	Duplicates  int
+}
+
+// Latency is the user query's response time.
+func (r *UQReport) Latency() time.Duration { return r.Finished - r.Arrival }
+
+// OptSample records one optimization round for Figure 11.
+type OptSample struct {
+	Candidates  int
+	Wall        time.Duration
+	SearchNodes int
+}
+
+// GroupReport summarises one plan graph's execution.
+type GroupReport struct {
+	GroupID   int
+	Metrics   metrics.Snapshot
+	Stats     plangraph.Stats
+	Evictions int
+	StateRows int
+}
+
+// Report is a complete run's outcome.
+type Report struct {
+	Strategy Strategy
+	UQs      []*UQReport
+	Groups   []*GroupReport
+	Opt      []OptSample
+}
+
+// Total sums work across groups.
+func (r *Report) Total() metrics.Snapshot {
+	var t metrics.Snapshot
+	for _, g := range r.Groups {
+		t = t.Add(g.Metrics)
+	}
+	return t
+}
+
+// ByUQ returns the report for a user query id, or nil.
+func (r *Report) ByUQ(id string) *UQReport {
+	for _, u := range r.UQs {
+		if u.UQ.ID == id {
+			return u
+		}
+	}
+	return nil
+}
+
+// Run executes the submissions against the fleet under the options. The
+// query batcher runs first (batches of BatchSize over BatchWindow, §3); each
+// released batch is split across the strategy's plan graphs and grafted into
+// them, exactly as Figure 3's pipeline orders the components.
+func Run(fleet *remotedb.Fleet, cat *catalog.Catalog, subs []batcher.Submission, opts Options) (*Report, error) {
+	opts = opts.Defaults()
+	b := &batcher.Batcher{Size: opts.BatchSize, Window: opts.BatchWindow}
+	globalBatches := b.Plan(subs)
+	groups := groupSubmissions(subs, opts)
+	report := &Report{Strategy: opts.Strategy}
+	for gi, gsubs := range groups {
+		member := map[string]bool{}
+		for _, s := range gsubs {
+			member[s.UQ.ID] = true
+		}
+		var gb []batcher.Batch
+		for _, batch := range globalBatches {
+			var part []batcher.Submission
+			for _, s := range batch.Submissions {
+				if member[s.UQ.ID] {
+					part = append(part, s)
+				}
+			}
+			if len(part) > 0 {
+				gb = append(gb, batcher.Batch{ReleasedAt: batch.ReleasedAt, Submissions: part})
+			}
+		}
+		gr, uqReports, optSamples, err := runGroup(gi, fleet, cat, gb, opts)
+		if err != nil {
+			return nil, fmt.Errorf("exec: group %d: %w", gi, err)
+		}
+		report.Groups = append(report.Groups, gr)
+		report.UQs = append(report.UQs, uqReports...)
+		report.Opt = append(report.Opt, optSamples...)
+	}
+	sort.SliceStable(report.UQs, func(i, j int) bool { return report.UQs[i].Arrival < report.UQs[j].Arrival })
+	return report, nil
+}
+
+// groupSubmissions maps user queries to plan graphs per the strategy.
+func groupSubmissions(subs []batcher.Submission, opts Options) [][]batcher.Submission {
+	switch opts.Strategy {
+	case StrategyCQ, StrategyUQ:
+		out := make([][]batcher.Submission, len(subs))
+		for i, s := range subs {
+			out[i] = []batcher.Submission{s}
+		}
+		return out
+	case StrategyCL:
+		uqs := make([]*cq.UQ, len(subs))
+		at := map[string]batcher.Submission{}
+		for i, s := range subs {
+			uqs[i] = s.UQ
+			at[s.UQ.ID] = s
+		}
+		clusters := cluster.Cluster(uqs, opts.Cluster)
+		out := make([][]batcher.Submission, len(clusters))
+		for ci, cuqs := range clusters {
+			for _, uq := range cuqs {
+				out[ci] = append(out[ci], at[uq.ID])
+			}
+			sort.SliceStable(out[ci], func(a, b int) bool { return out[ci][a].At < out[ci][b].At })
+		}
+		return out
+	default:
+		return [][]batcher.Submission{append([]batcher.Submission(nil), subs...)}
+	}
+}
+
+func shareMode(s Strategy) qsm.ShareMode {
+	switch s {
+	case StrategyCQ:
+		return qsm.ShareNone
+	case StrategyUQ:
+		return qsm.ShareWithinUQ
+	default:
+		return qsm.ShareAll
+	}
+}
+
+// runGroup executes one plan graph's submissions along the arrival timeline.
+// Batching happens globally before grouping (the batcher precedes the
+// optimizer and clusterer in Figure 3), so each submission carries its batch
+// release time: response times are measured from release, as a query cannot
+// start before its batch is handed to the optimizer.
+func runGroup(gi int, fleet *remotedb.Fleet, cat *catalog.Catalog, batches []batcher.Batch, opts Options) (*GroupReport, []*UQReport, []OptSample, error) {
+	rng := dist.New(opts.Seed + uint64(gi)*7919 + 1)
+	env := &operator.Env{
+		Clock:   simclock.NewVirtual(0),
+		Delays:  opts.Delays(rng),
+		Metrics: &metrics.Counters{},
+	}
+	graph := plangraph.New("")
+	controller := atc.New(graph, env, fleet)
+	groupCat := cat.Fork()
+	cm := costmodel.New(groupCat, opts.CostParams)
+	manager := qsm.New(graph, controller, groupCat, cm, shareMode(opts.Strategy))
+	manager.MemoryBudget = opts.MemoryBudget
+	manager.ChargeOptimizer = opts.ChargeOptimizer
+
+	var optSamples []OptSample
+	for _, batch := range batches {
+		// Keep executing admitted queries until the batch's release time.
+		for !controller.AllDone() && env.Clock.Now() < batch.ReleasedAt {
+			controller.RunRound()
+		}
+		if env.Clock.Now() < batch.ReleasedAt {
+			env.Clock.AdvanceTo(batch.ReleasedAt)
+		}
+		released := make([]batcher.Submission, len(batch.Submissions))
+		for i, s := range batch.Submissions {
+			released[i] = batcher.Submission{At: batch.ReleasedAt, UQ: s.UQ}
+		}
+		// Feed observed statistics back before each optimization round
+		// (§6.1 "updated cost estimates").
+		manager.SyncCatalog()
+		rep, err := manager.Admit(released, opts.Opt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, c := range rep.CandidatesPerGroup {
+			optSamples = append(optSamples, OptSample{
+				Candidates:  c,
+				Wall:        rep.OptimizeWall / time.Duration(len(rep.CandidatesPerGroup)),
+				SearchNodes: rep.SearchNodes,
+			})
+		}
+	}
+	for controller.RunRound() {
+	}
+	manager.SyncCatalog()
+
+	var uqReports []*UQReport
+	for _, m := range controller.Merges() {
+		dups := 0
+		for _, e := range m.RM.Entries {
+			dups += e.Duplicates()
+		}
+		uqReports = append(uqReports, &UQReport{
+			UQ:          m.RM.UQ,
+			GroupID:     gi,
+			Arrival:     m.Arrival,
+			Finished:    m.Finished,
+			Results:     m.RM.Results(),
+			ExecutedCQs: m.RM.ExecutedCQs(),
+			Duplicates:  dups,
+		})
+	}
+	gr := &GroupReport{
+		GroupID:   gi,
+		Metrics:   env.Metrics.Snapshot(),
+		Stats:     graph.Stats(),
+		Evictions: manager.Evictions(),
+		StateRows: manager.StateSize(),
+	}
+	return gr, uqReports, optSamples, nil
+}

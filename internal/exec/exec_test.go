@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/operator"
+	"repro/internal/workload"
+)
+
+// runBio executes the Figure 1 scenario under a strategy.
+func runBio(t *testing.T, strat Strategy) (*Report, *workload.Workload) {
+	t.Helper()
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	rep, err := Run(w.Fleet, w.Catalog, w.Submissions, Options{Strategy: strat, Seed: 1})
+	if err != nil {
+		t.Fatalf("run %v: %v", strat, err)
+	}
+	return rep, w
+}
+
+func resultKey(rs []operator.Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmt.Sprintf("%.9f|%s", r.Score, r.Row.Identity())
+	}
+	return out
+}
+
+func TestBioAllStrategiesAgree(t *testing.T) {
+	var baseline map[string][]string
+	for _, strat := range []Strategy{StrategyCQ, StrategyUQ, StrategyFull, StrategyCL} {
+		rep, _ := runBio(t, strat)
+		got := map[string][]string{}
+		for _, u := range rep.UQs {
+			if len(u.Results) == 0 {
+				t.Fatalf("%v: %s produced no results", strat, u.UQ.ID)
+			}
+			if u.Duplicates != 0 {
+				t.Errorf("%v: %s dropped %d duplicate rows", strat, u.UQ.ID, u.Duplicates)
+			}
+			got[u.UQ.ID] = resultKey(u.Results)
+			// Results must be in nonincreasing score order.
+			for i := 1; i < len(u.Results); i++ {
+				if u.Results[i].Score > u.Results[i-1].Score+1e-12 {
+					t.Errorf("%v: %s results out of order at %d: %.6f > %.6f",
+						strat, u.UQ.ID, i, u.Results[i].Score, u.Results[i-1].Score)
+				}
+			}
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		for id, keys := range got {
+			base := baseline[id]
+			if len(base) != len(keys) {
+				t.Fatalf("%v: %s returned %d results, baseline %d", strat, id, len(keys), len(base))
+			}
+			for i := range keys {
+				if keys[i] != base[i] {
+					t.Errorf("%v: %s result %d differs:\n  got  %s\n  want %s", strat, id, i, keys[i], base[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestBioStateReuseSavesWork(t *testing.T) {
+	// UQ3 refines UQ1 (Table 3): under ATC-FULL its conjunctive queries are
+	// subexpressions of UQ1's, so reuse should leave the third query's
+	// incremental stream reads well below a cold run's.
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	full, err := Run(w.Fleet, w.Catalog, w.Submissions, Options{Strategy: StrategyFull, Seed: 1})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	cold, err := Run(w.Fleet, w.Catalog, w.Submissions[2:], Options{Strategy: StrategyFull, Seed: 1})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	warmTotal := full.Total().TuplesConsumed()
+	coldUQ3 := cold.Total().TuplesConsumed()
+	first2, err := Run(w.Fleet, w.Catalog, w.Submissions[:2], Options{Strategy: StrategyFull, Seed: 1})
+	if err != nil {
+		t.Fatalf("first2: %v", err)
+	}
+	warmUQ3 := warmTotal - first2.Total().TuplesConsumed()
+	t.Logf("UQ3 tuples consumed: cold=%d warm=%d", coldUQ3, warmUQ3)
+	if warmUQ3 >= coldUQ3 {
+		t.Errorf("state reuse did not save work: warm=%d cold=%d", warmUQ3, coldUQ3)
+	}
+}

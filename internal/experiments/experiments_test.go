@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func testCfg() Config {
+	return Config{Instances: []int{1}, Seeds: []uint64{1}}.Defaults()
+}
+
+// TestTable4Shape: far fewer conjunctive queries execute than are generated
+// (the paper reports 3.25–13.75 of ≤20).
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if res.AvgCQs[i] <= 0 {
+			t.Errorf("UQ%d executed no CQs", i+1)
+		}
+		if res.AvgCQs[i] > res.GeneratedCQ[i]+1e-9 {
+			t.Errorf("UQ%d executed %v of %v generated", i+1, res.AvgCQs[i], res.GeneratedCQ[i])
+		}
+	}
+	if !strings.Contains(res.Format(), "Table 4") {
+		t.Error("format broken")
+	}
+}
+
+// TestFigure7Shape: ATC-UQ ≤ ATC-CQ on average; ATC-CL is the best shared
+// configuration; ATC-FULL wins on some but not most queries (§7.1).
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum [4]float64
+	fullWins := 0
+	for i := 0; i < 15; i++ {
+		for si, s := range Strategies {
+			v := res.Seconds[s][i]
+			if v <= 0 {
+				t.Fatalf("%v UQ%d latency %v", s, i+1, v)
+			}
+			sum[si] += v
+		}
+		if res.Seconds[exec.StrategyFull][i] < res.Seconds[exec.StrategyUQ][i] {
+			fullWins++
+		}
+	}
+	cqSum, uqSum, fullSum, clSum := sum[0], sum[1], sum[2], sum[3]
+	if uqSum > cqSum*1.05 {
+		t.Errorf("ATC-UQ total %.1fs should not exceed ATC-CQ %.1fs", uqSum, cqSum)
+	}
+	if clSum > uqSum*1.10 {
+		t.Errorf("ATC-CL total %.1fs should be competitive with ATC-UQ %.1fs", clSum, uqSum)
+	}
+	if fullWins == 0 || fullWins == 15 {
+		t.Errorf("ATC-FULL wins %d/15 queries; the paper reports a minority (5/15)", fullWins)
+	}
+	_ = fullSum
+	t.Logf("totals: CQ=%.1fs UQ=%.1fs FULL=%.1fs CL=%.1fs, FULL wins %d/15", cqSum, uqSum, fullSum, clSum, fullWins)
+}
+
+// TestFigure8Shape: shared configurations shift time away from stream reads.
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies {
+		f := res.Fractions[s]
+		total := f[0] + f[1] + f[2]
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%v fractions sum to %v", s, total)
+		}
+		if f[0] <= 0 || f[1] <= 0 {
+			t.Errorf("%v missing stream/probe time: %v", s, f)
+		}
+	}
+	// Stream-read share highest for ATC-CQ (it re-reads everything).
+	cq := res.Fractions[exec.StrategyCQ][0]
+	full := res.Fractions[exec.StrategyFull][0]
+	if full > cq+0.05 {
+		t.Errorf("ATC-FULL stream share %v should not exceed ATC-CQ %v", full, cq)
+	}
+}
+
+// TestFigure9Shape: both optimization regimes complete every query, and
+// neither degenerates (each stays within 2× of the other). The paper found
+// batch optimization clearly better; in this implementation cross-time state
+// reuse (grafting onto in-flight plans) captures most of proactive batching's
+// benefit, so the regimes land close together — EXPERIMENTS.md discusses the
+// divergence.
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, batch float64
+	for i := 0; i < 15; i++ {
+		if res.SingleOpt[i] < 0 || res.BatchOpt[i] < 0 {
+			// Zero is legitimate: a query fully answered from reused state
+			// completes at its admission instant.
+			t.Fatalf("UQ%d negative latency", i+1)
+		}
+		single += res.SingleOpt[i]
+		batch += res.BatchOpt[i]
+	}
+	if batch > single*2 || single > batch*2 {
+		t.Errorf("regimes diverged beyond 2x: single=%.1fs batch=%.1fs", single, batch)
+	}
+	if res.SingleWork <= 0 || res.BatchWork <= 0 {
+		t.Error("missing work counters")
+	}
+	t.Logf("single=%.1fs (%.0f tuples) batch=%.1fs (%.0f tuples)", single, res.SingleWork, batch, res.BatchWork)
+}
+
+// TestFigure10Shape: work ordering FULL < CL < UQ < CQ, with the 15:5 ratio
+// largest for the non-reusing configurations (paper: ≈3× for CQ/UQ, ≈1.75×
+// for FULL, ≈2× for CL).
+func TestFigure10Shape(t *testing.T) {
+	res, err := Figure10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq15 := res.Tuples15[exec.StrategyCQ]
+	uq15 := res.Tuples15[exec.StrategyUQ]
+	full15 := res.Tuples15[exec.StrategyFull]
+	cl15 := res.Tuples15[exec.StrategyCL]
+	if !(full15 < cl15 && cl15 < uq15 && uq15 < cq15) {
+		t.Errorf("work ordering violated: CQ=%v UQ=%v CL=%v FULL=%v", cq15, uq15, cl15, full15)
+	}
+	ratioCQ := cq15 / res.Tuples5[exec.StrategyCQ]
+	ratioFull := full15 / res.Tuples5[exec.StrategyFull]
+	if ratioFull >= ratioCQ {
+		t.Errorf("reuse should flatten FULL's growth: CQ ratio %.2f vs FULL %.2f", ratioCQ, ratioFull)
+	}
+	t.Logf("15:5 ratios: CQ=%.2f UQ=%.2f FULL=%.2f CL=%.2f",
+		ratioCQ, uq15/res.Tuples5[exec.StrategyUQ], ratioFull, cl15/res.Tuples5[exec.StrategyCL])
+}
+
+// TestFigure11Shape: optimization time grows with candidate count.
+func TestFigure11Shape(t *testing.T) {
+	res, err := Figure11(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no optimizer samples")
+	}
+	for _, s := range res.Samples {
+		if s.Candidates < 0 || s.Wall < 0 || s.SearchNodes <= 0 {
+			t.Errorf("bad sample %+v", s)
+		}
+	}
+	// Search effort (nodes) must grow from the smallest to the largest
+	// candidate count observed.
+	first, last := res.Samples[0], res.Samples[len(res.Samples)-1]
+	if last.Candidates > first.Candidates && last.SearchNodes < first.SearchNodes {
+		t.Errorf("search effort did not grow: %d cands/%d nodes -> %d cands/%d nodes",
+			first.Candidates, first.SearchNodes, last.Candidates, last.SearchNodes)
+	}
+}
+
+// TestFigure12Shape: on the larger real-data proxy, ATC-UQ ≤ ATC-CQ and
+// ATC-CL improves the late queries (§7.5: "especially in queries 7-15").
+func TestFigure12Shape(t *testing.T) {
+	res, err := Figure12(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters <= 1 || res.Clusters >= 15 {
+		t.Errorf("ATC-CL used %d plan graphs; the paper found a handful", res.Clusters)
+	}
+	var cqSum, uqSum, clLate, uqLate float64
+	for i := 0; i < 15; i++ {
+		cqSum += res.Seconds[exec.StrategyCQ][i]
+		uqSum += res.Seconds[exec.StrategyUQ][i]
+		if i >= 7 {
+			clLate += res.Seconds[exec.StrategyCL][i]
+			uqLate += res.Seconds[exec.StrategyUQ][i]
+		}
+	}
+	if uqSum > cqSum*1.05 {
+		t.Errorf("pfam: ATC-UQ %.1fs should not exceed ATC-CQ %.1fs", uqSum, cqSum)
+	}
+	if clLate > uqLate*1.05 {
+		t.Errorf("pfam: ATC-CL late-query total %.1fs should beat ATC-UQ %.1fs", clLate, uqLate)
+	}
+	t.Logf("pfam: CQ=%.1fs UQ=%.1fs, late: CL=%.1fs UQ=%.1fs (clusters=%d)", cqSum, uqSum, clLate, uqLate, res.Clusters)
+}

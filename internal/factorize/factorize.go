@@ -1,0 +1,268 @@
+// Package factorize builds the query plan graph from an input assignment
+// (§5.2): starting from a frontier of source inputs, it greedily applies the
+// join operation shared by the most conjunctive queries (breaking ties toward
+// the most selective), merging frontier expressions into m-join nodes and
+// implicitly inserting split operators wherever a node's consumers diverge.
+// Join *ordering* inside each node is deliberately not decided here — it is
+// deferred to runtime, where the m-join adapts its probe sequences from
+// monitored selectivities (§4.1).
+//
+// Adjacent joins consumed by exactly the same query set collapse into one
+// m-way join node ("as few factored components as possible", §5.2), so the
+// resulting graph matches Figure 4: shared components bounded by splits, one
+// terminal node per conjunctive query.
+package factorize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/plangraph"
+)
+
+// entry is one frontier element: a plan node plus, per consuming query, the
+// mapping from the node's expression atoms to that query's atoms.
+type entry struct {
+	node  *plangraph.Node
+	probe bool
+	uses  map[string][]int // cq id -> node expr atom -> cq atom idx
+}
+
+// Build factors the batch's input assignment into a plan graph. qs must be
+// exactly the queries named by the assignment's use sets.
+func Build(g *plangraph.Graph, qs []*cq.CQ, inputs []*costmodel.Input, cat *catalog.Catalog) error {
+	byID := map[string]*cq.CQ{}
+	for _, q := range qs {
+		byID[q.ID] = q
+	}
+	done := map[string]bool{}
+	hasEndpoint := map[*plangraph.Node]bool{}
+	for _, ep := range g.Endpoints() {
+		hasEndpoint[ep.Node] = true
+	}
+	// Nodes created by this build: only these may be absorbed into m-way
+	// joins or pruned as orphans — pre-existing nodes are reusable state
+	// owned by the query state manager.
+	created := map[*plangraph.Node]bool{}
+	ensure := func(kind plangraph.Kind, expr *cq.Expr, db string) *plangraph.Node {
+		existing := g.Node(g.NodeKey(kind, expr.Key()))
+		n := g.EnsureNode(kind, expr, db)
+		if existing == nil {
+			created[n] = true
+		}
+		return n
+	}
+
+	var entries []*entry
+	for _, in := range inputs {
+		kind := plangraph.SourceStream
+		if in.Mode == costmodel.Probe {
+			kind = plangraph.SourceProbe
+		}
+		node := ensure(kind, in.Expr, in.DB)
+		e := &entry{node: node, probe: in.Mode == costmodel.Probe, uses: map[string][]int{}}
+		for cqID, occ := range in.Uses {
+			if byID[cqID] == nil {
+				return fmt.Errorf("factorize: input %s names unknown query %s", in.Expr.Key(), cqID)
+			}
+			e.uses[cqID] = append([]int(nil), occ.AtomOf...)
+		}
+		entries = append(entries, e)
+	}
+
+	// Queries fully covered by a single input terminate immediately.
+	for _, e := range entries {
+		for cqID, atomOf := range e.uses {
+			q := byID[cqID]
+			if len(atomOf) == len(q.Atoms) && !done[cqID] {
+				if e.probe {
+					return fmt.Errorf("factorize: query %s covered entirely by probe input", cqID)
+				}
+				g.SetEndpoint(q, e.node, atomOf)
+				hasEndpoint[e.node] = true
+				done[cqID] = true
+				delete(e.uses, cqID)
+			}
+		}
+	}
+
+	for !allDone(byID, done) {
+		cand := bestMerge(entries, byID, done, cat)
+		if cand == nil {
+			return fmt.Errorf("factorize: no applicable merge but %d queries unfinished", len(byID)-len(done))
+		}
+		entries = applyMerge(g, entries, cand, byID, done, hasEndpoint, created, ensure)
+	}
+	g.PruneOrphans(created)
+	return g.Validate()
+}
+
+func allDone(byID map[string]*cq.CQ, done map[string]bool) bool {
+	return len(done) == len(byID)
+}
+
+// merge is one candidate step: join entries a and b for the query group.
+type merge struct {
+	a, b    int // entry indexes
+	exprKey string
+	group   []string // cq ids (sorted)
+	card    float64
+}
+
+// bestMerge scans frontier pairs for the join step shared by the most
+// queries, breaking ties toward the smaller estimated result then the key.
+func bestMerge(entries []*entry, byID map[string]*cq.CQ, done map[string]bool, cat *catalog.Catalog) *merge {
+	var best *merge
+	better := func(m *merge) bool {
+		if best == nil {
+			return true
+		}
+		if len(m.group) != len(best.group) {
+			return len(m.group) > len(best.group)
+		}
+		if m.card != best.card {
+			return m.card < best.card
+		}
+		return m.exprKey < best.exprKey
+	}
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			ea, eb := entries[i], entries[j]
+			if ea.probe && eb.probe {
+				continue // an m-join needs a streaming side
+			}
+			// Group shared queries by the canonical combined expression.
+			groups := map[string][]string{}
+			cards := map[string]float64{}
+			for cqID, ua := range ea.uses {
+				ub, ok := eb.uses[cqID]
+				if !ok || done[cqID] {
+					continue
+				}
+				q := byID[cqID]
+				idxs := append(append([]int(nil), ua...), ub...)
+				sort.Ints(idxs)
+				if !q.Connected(idxs) {
+					continue
+				}
+				expr, _ := q.SubExpr(idxs)
+				groups[expr.Key()] = append(groups[expr.Key()], cqID)
+				cards[expr.Key()] = cat.EstimateCard(expr)
+			}
+			for key, ids := range groups {
+				sort.Strings(ids)
+				m := &merge{a: i, b: j, exprKey: key, group: ids, card: cards[key]}
+				if better(m) {
+					best = m
+				}
+			}
+		}
+	}
+	return best
+}
+
+// applyMerge executes a merge step: creates (or reuses) the join node,
+// wires edges (absorbing exclusive upstream joins into an m-way node),
+// updates frontier uses, and registers endpoints for queries now complete.
+func applyMerge(g *plangraph.Graph, entries []*entry, m *merge, byID map[string]*cq.CQ, done map[string]bool, hasEndpoint map[*plangraph.Node]bool, created map[*plangraph.Node]bool, ensure func(plangraph.Kind, *cq.Expr, string) *plangraph.Node) []*entry {
+	ea, eb := entries[m.a], entries[m.b]
+	rep := byID[m.group[0]]
+	idxs := append(append([]int(nil), ea.uses[rep.ID]...), eb.uses[rep.ID]...)
+	sort.Ints(idxs)
+	expr, mapping := rep.SubExpr(idxs) // mapping: expr atom -> rep atom idx
+	// invMap: rep atom idx -> expr atom position.
+	invMap := map[int]int{}
+	for p, ai := range mapping {
+		invMap[ai] = p
+	}
+	refCount := map[*plangraph.Node]int{}
+	for _, e := range entries {
+		refCount[e.node]++
+	}
+	node := g.Node(g.NodeKey(plangraph.Join, expr.Key()))
+	fresh := node == nil
+	if fresh {
+		node = ensure(plangraph.Join, expr, "")
+		for _, side := range []*entry{ea, eb} {
+			atomMap := make([]int, len(side.node.Expr.Atoms))
+			for a, repAtom := range side.uses[rep.ID] {
+				atomMap[a] = invMap[repAtom]
+			}
+			if refCount[side.node] == 1 && created[side.node] && absorbable(side, m.group, hasEndpoint) {
+				// Collapse the upstream join into this m-way node.
+				for _, ie := range side.node.Inputs {
+					composed := make([]int, len(ie.AtomMap))
+					for fi, mid := range ie.AtomMap {
+						composed[fi] = atomMap[mid]
+					}
+					g.Connect(ie.From, node, composed, ie.Probe)
+					removeConsumer(ie.From, ie)
+				}
+				g.RemoveNode(side.node)
+			} else {
+				g.Connect(side.node, node, atomMap, side.probe)
+			}
+		}
+	}
+	// Build the new frontier entry with per-query atom mappings.
+	ne := &entry{node: node, uses: map[string][]int{}}
+	for _, cqID := range m.group {
+		q := byID[cqID]
+		qidxs := append(append([]int(nil), ea.uses[cqID]...), eb.uses[cqID]...)
+		sort.Ints(qidxs)
+		qexpr, qmap := q.SubExpr(qidxs)
+		if qexpr.Key() != expr.Key() {
+			// Group membership guaranteed key equality; defensive.
+			panic("factorize: group key mismatch for " + cqID)
+		}
+		ne.uses[cqID] = qmap
+		delete(ea.uses, cqID)
+		delete(eb.uses, cqID)
+		if len(qmap) == len(q.Atoms) {
+			g.SetEndpoint(q, node, qmap)
+			hasEndpoint[node] = true
+			done[cqID] = true
+			delete(ne.uses, cqID)
+		}
+	}
+	var out []*entry
+	for _, e := range entries {
+		if len(e.uses) > 0 {
+			out = append(out, e)
+		}
+	}
+	if len(ne.uses) > 0 {
+		out = append(out, ne)
+	}
+	return out
+}
+
+// absorbable reports whether a frontier join node can be collapsed into its
+// consumer: it must be a join used by exactly the merging group, feed nothing
+// else, and serve no endpoint.
+func absorbable(side *entry, group []string, hasEndpoint map[*plangraph.Node]bool) bool {
+	if side.node.Kind != plangraph.Join || len(side.node.Consumers) > 0 || hasEndpoint[side.node] {
+		return false
+	}
+	if len(side.uses) != len(group) {
+		return false
+	}
+	for _, id := range group {
+		if _, ok := side.uses[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func removeConsumer(n *plangraph.Node, e *plangraph.Edge) {
+	for i, c := range n.Consumers {
+		if c == e {
+			n.Consumers = append(n.Consumers[:i], n.Consumers[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package factorize
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/mqo"
+	"repro/internal/plangraph"
+	"repro/internal/relationdb"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+func fixture(t *testing.T, n int) (*costmodel.Model, *catalog.Catalog) {
+	t.Helper()
+	cat := catalog.New()
+	// A large score-less bridge relation: never streamable, never pushable.
+	xs := tuple.NewSchema("X",
+		tuple.Column{Name: "a", Type: tuple.KindInt},
+		tuple.Column{Name: "b", Type: tuple.KindInt},
+	)
+	xrng := dist.New(999)
+	var xrows []*tuple.Tuple
+	for r := 0; r < 4000; r++ {
+		xrows = append(xrows, tuple.New(xs, tuple.Int(int64(xrng.Intn(300))), tuple.Int(int64(xrng.Intn(300)))))
+	}
+	cat.AddRelation("db", relationdb.NewRelation(xs, xrows))
+	for i := 0; i < n; i++ {
+		s := tuple.NewSchema(rel(i),
+			tuple.Column{Name: "a", Type: tuple.KindInt},
+			tuple.Column{Name: "b", Type: tuple.KindInt},
+			tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+		)
+		rng := dist.New(uint64(i) + 3)
+		var rows []*tuple.Tuple
+		for r := 0; r < 300; r++ {
+			rows = append(rows, tuple.New(s, tuple.Int(int64(rng.Intn(300))), tuple.Int(int64(rng.Intn(300))), tuple.Float(rng.Float64())))
+		}
+		cat.AddRelation("db", relationdb.NewRelation(s, rows))
+	}
+	return costmodel.New(cat, costmodel.DefaultParams()), cat
+}
+
+func rel(i int) string { return string(rune('P' + i)) }
+
+func chain(id string, start, n int) *cq.CQ {
+	atoms := make([]*cq.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = &cq.Atom{Rel: rel(start + i), DB: "db", Args: []cq.Term{cq.V(i), cq.V(i + 1), cq.V(50 + i)}}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &cq.CQ{ID: id, UQID: "U", Atoms: atoms, Model: scoring.QSystem(0, w)}
+}
+
+func buildFor(t *testing.T, qs []*cq.CQ) *plangraph.Graph {
+	t.Helper()
+	cm, cat := fixture(t, 8)
+	res, err := mqo.Optimize(qs, cm, mqo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := plangraph.New("")
+	if err := Build(g, qs, res.Inputs, cat); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildSingleQuery(t *testing.T) {
+	q := chain("q1", 0, 4)
+	g := buildFor(t, []*cq.CQ{q})
+	ep := g.Endpoint("q1")
+	if ep == nil {
+		t.Fatal("no endpoint")
+	}
+	if len(ep.AtomMap) != 4 {
+		t.Errorf("endpoint covers %d atoms", len(ep.AtomMap))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSharesAcrossQueries(t *testing.T) {
+	qs := []*cq.CQ{chain("q1", 0, 4), chain("q2", 0, 3), chain("q3", 0, 4)}
+	// q3 is structurally identical to q1: same terminal node expected.
+	g := buildFor(t, qs)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e1, e3 := g.Endpoint("q1"), g.Endpoint("q3")
+	if e1.Node != e3.Node {
+		t.Error("identical queries should share their terminal node")
+	}
+}
+
+// bridged builds P(x0,x1) ⋈ X(x1,x2) ⋈ last(x2,x3): the score-less X cannot
+// join a pushed-down stream, forcing a middleware m-join.
+func bridged(id string, last int) *cq.CQ {
+	atoms := []*cq.Atom{
+		{Rel: rel(0), DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(50)}},
+		{Rel: "X", DB: "db", Args: []cq.Term{cq.V(1), cq.V(2)}},
+		{Rel: rel(last), DB: "db", Args: []cq.Term{cq.V(2), cq.V(3), cq.V(51)}},
+	}
+	return &cq.CQ{ID: id, UQID: "U", Atoms: atoms, Model: scoring.QSystem(0, []float64{1, 1, 1})}
+}
+
+func TestBuildInsertsSplitsForDivergingQueries(t *testing.T) {
+	// Two queries share the P ⋈ X prefix and diverge on the last relation:
+	// the shared prefix must feed both through a split (Figure 4's shape).
+	qs := []*cq.CQ{bridged("q1", 2), bridged("q2", 3)}
+	g := buildFor(t, qs)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Splits == 0 {
+		t.Log(g.Dump())
+		t.Error("diverging queries with a common prefix produced no split")
+	}
+	if g.Endpoint("q1").Node == g.Endpoint("q2").Node {
+		t.Error("diverging queries must have distinct terminals")
+	}
+}
+
+func TestBuildMWayCollapse(t *testing.T) {
+	// A single 5-atom query with no sharing partners should factor into few
+	// m-way joins rather than a deep binary chain.
+	q := chain("q1", 0, 5)
+	g := buildFor(t, []*cq.CQ{q})
+	joins := 0
+	maxInputs := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == plangraph.Join {
+			joins++
+			if len(n.Inputs) > maxInputs {
+				maxInputs = len(n.Inputs)
+			}
+		}
+	}
+	if joins > 2 {
+		t.Log(g.Dump())
+		t.Errorf("expected ≤2 join nodes for an unshared query, got %d", joins)
+	}
+	if maxInputs < 3 {
+		t.Errorf("expected an m-way join (≥3 inputs), got max %d", maxInputs)
+	}
+}
+
+func TestBuildIntoLiveGraphReusesNodes(t *testing.T) {
+	cm, cat := fixture(t, 8)
+	g := plangraph.New("")
+	q1 := chain("q1", 0, 4)
+	res1, err := mqo.Optimize([]*cq.CQ{q1}, cm, mqo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Build(g, []*cq.CQ{q1}, res1.Inputs, cat); err != nil {
+		t.Fatal(err)
+	}
+	nodesAfterFirst := len(g.Nodes())
+
+	// Identical second query: grafting must add no new computation nodes.
+	q2 := chain("q2", 0, 4)
+	res2, err := mqo.Optimize([]*cq.CQ{q2}, cm, mqo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Build(g, []*cq.CQ{q2}, res2.Inputs, cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes()) != nodesAfterFirst {
+		t.Log(g.Dump())
+		t.Errorf("grafting an identical query grew the graph: %d -> %d", nodesAfterFirst, len(g.Nodes()))
+	}
+	if g.Endpoint("q2") == nil {
+		t.Error("second endpoint missing")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPropertyRandomBatches(t *testing.T) {
+	cm, cat := fixture(t, 8)
+	rng := dist.New(17)
+	for trial := 0; trial < 40; trial++ {
+		var qs []*cq.CQ
+		nq := 1 + rng.Intn(4)
+		for i := 0; i < nq; i++ {
+			start := rng.Intn(4)
+			n := 2 + rng.Intn(4)
+			qs = append(qs, chain(rel(trial)+"-"+rel(i)+"-q", start, n))
+		}
+		res, err := mqo.Optimize(qs, cm, mqo.Config{MaxCandidates: 6, SearchNodeBudget: 4000})
+		if err != nil {
+			t.Fatalf("trial %d optimize: %v", trial, err)
+		}
+		g := plangraph.New("")
+		if err := Build(g, qs, res.Inputs, cat); err != nil {
+			t.Fatalf("trial %d build: %v", trial, err)
+		}
+		for _, q := range qs {
+			ep := g.Endpoint(q.ID)
+			if ep == nil {
+				t.Fatalf("trial %d: no endpoint for %s", trial, q.ID)
+			}
+			if len(ep.AtomMap) != len(q.Atoms) {
+				t.Fatalf("trial %d: endpoint arity %d != %d", trial, len(ep.AtomMap), len(q.Atoms))
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddStreamRead(2 * time.Millisecond)
+	c.AddStreamRead(3 * time.Millisecond)
+	c.AddProbe(time.Millisecond, 4)
+	c.AddProbeCacheHit()
+	c.AddJoin(time.Microsecond)
+	c.AddJoinInsert()
+	c.AddJoinProbe()
+	c.AddResult()
+	c.AddReplayTuple()
+	s := c.Snapshot()
+	if s.StreamTime != 5*time.Millisecond || s.StreamTuples != 2 {
+		t.Errorf("stream: %v %d", s.StreamTime, s.StreamTuples)
+	}
+	if s.ProbeTime != time.Millisecond || s.ProbeCalls != 1 || s.ProbeTuples != 4 || s.ProbeCacheHits != 1 {
+		t.Errorf("probe: %+v", s)
+	}
+	if s.JoinTime != time.Microsecond || s.JoinInserts != 1 || s.JoinProbes != 1 {
+		t.Errorf("join: %+v", s)
+	}
+	if s.ResultsEmitted != 1 || s.ReplayTuples != 1 {
+		t.Errorf("results/replay: %+v", s)
+	}
+	if s.TuplesConsumed() != 6 {
+		t.Errorf("consumed = %d, want streamTuples+probeTuples = 6", s.TuplesConsumed())
+	}
+	if s.TotalTime() != 5*time.Millisecond+time.Millisecond+time.Microsecond {
+		t.Errorf("total = %v", s.TotalTime())
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	var a, b Counters
+	a.AddStreamRead(time.Millisecond)
+	b.AddProbe(2*time.Millisecond, 3)
+	sum := a.Snapshot().Add(b.Snapshot())
+	if sum.StreamTuples != 1 || sum.ProbeTuples != 3 || sum.TotalTime() != 3*time.Millisecond {
+		t.Errorf("sum = %+v", sum)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddStreamRead(time.Microsecond)
+				c.AddJoinProbe()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.StreamTuples != 8000 || s.JoinProbes != 8000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

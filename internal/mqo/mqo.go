@@ -1,0 +1,488 @@
+// Package mqo is the multiple-query optimizer of §5.1: it factors a batch of
+// conjunctive queries into an input assignment (I, I) — subexpressions
+// evaluated at the remote databases, each shared by the queries in I[J] —
+// by enumerating candidate subexpressions into an AND-OR memo, pruning them
+// with the paper's four heuristics (§5.1.1), and running the BestPlan
+// top-down search with memoization (Algorithm 1) under the cost model.
+package mqo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/andor"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+)
+
+// Config tunes candidate generation and search.
+type Config struct {
+	// K is the per-query result target used for depth estimation.
+	K int
+	// MaxCandidateAtoms bounds the size of pushdown candidates.
+	MaxCandidateAtoms int
+	// MinShare is the minimum number of consuming queries for a candidate
+	// that is not low-cardinality (§5.1.1 "filter subexpressions by
+	// estimated utility").
+	MinShare int
+	// LowCardThreshold admits low-cardinality candidates regardless of
+	// sharing.
+	LowCardThreshold float64
+	// MaxCandidates caps the candidate set fed to BestPlan (the search is
+	// exponential in this number — Figure 11).
+	MaxCandidates int
+	// SearchNodeBudget aborts pathological searches (safety valve; the
+	// heuristics keep real workloads well under it).
+	SearchNodeBudget int
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	if c.K == 0 {
+		c.K = 50
+	}
+	if c.MaxCandidateAtoms == 0 {
+		c.MaxCandidateAtoms = 4
+	}
+	if c.MinShare == 0 {
+		c.MinShare = 2
+	}
+	if c.LowCardThreshold == 0 {
+		c.LowCardThreshold = 200
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 16
+	}
+	if c.SearchNodeBudget == 0 {
+		c.SearchNodeBudget = 30000
+	}
+	return c
+}
+
+// Result is the optimizer's output.
+type Result struct {
+	// Inputs is the chosen input assignment (I with its I[J] sets).
+	Inputs []*costmodel.Input
+	// Cost is the estimated cost of the assignment.
+	Cost float64
+	// CandidateCount is the number of pushdown candidates searched
+	// (Figure 11's x-axis).
+	CandidateCount int
+	// SearchNodes counts BestPlan invocations (memoised and not).
+	SearchNodes int
+	// Memo is the AND-OR graph (reused by the factorizer).
+	Memo *andor.Graph
+}
+
+// candidate is one searchable subexpression with its (restrictable) use set.
+type candidate struct {
+	// idx is the candidate's ordinal in the searched set; restricted copies
+	// share it (memo keys intern on it instead of the expression string).
+	idx  int
+	expr *cq.Expr
+	uses map[string]*cq.ExprOccurrence
+	gain float64
+}
+
+// Optimize runs multi-query optimization over the batch.
+func Optimize(qs []*cq.CQ, cm *costmodel.Model, cfg Config) (*Result, error) {
+	cfg = cfg.Defaults()
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("mqo: empty query batch")
+	}
+	memo := andor.New()
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		memo.AddQuery(q, cfg.MaxCandidateAtoms)
+	}
+	cands := collectCandidates(qs, memo, cm, cfg)
+	for i, c := range cands {
+		c.idx = i
+	}
+	cqOrd := map[string]int{}
+	for _, q := range qs {
+		cqOrd[q.ID] = len(cqOrd)
+	}
+	s := &searcher{
+		qs:     qs,
+		cm:     cm,
+		cfg:    cfg,
+		cqOrd:  cqOrd,
+		memo:   map[string]searchResult{},
+		budget: cfg.SearchNodeBudget,
+	}
+	best := s.bestPlan(cands, nil)
+	if best.inputs == nil {
+		return nil, fmt.Errorf("mqo: search failed to produce a valid plan")
+	}
+	return &Result{
+		Inputs:         best.inputs,
+		Cost:           best.cost,
+		CandidateCount: len(cands),
+		SearchNodes:    s.nodes,
+		Memo:           memo,
+	}, nil
+}
+
+// collectCandidates applies the §5.1.1 pruning heuristics.
+func collectCandidates(qs []*cq.CQ, memo *andor.Graph, cm *costmodel.Model, cfg Config) []*candidate {
+	// Query relation sets for the overlap rule, and full-query cardinalities
+	// for the small-query rule.
+	relSets := make(map[string]map[string]bool, len(qs))
+	fullCard := make(map[string]float64, len(qs))
+	for _, q := range qs {
+		set := map[string]bool{}
+		for _, a := range q.Atoms {
+			set[a.Rel] = true
+		}
+		relSets[q.ID] = set
+		fullCard[q.ID] = cm.Cat.EstimateCard(cm.FullExpr(q))
+	}
+	var cands []*candidate
+	for _, key := range memo.Keys() {
+		node := memo.Node(key)
+		e := node.Expr
+		multi := !e.SingleAtom()
+		if multi {
+			// Pushdown requires a single owning database (§5.1).
+			if e.SingleDB() == "" {
+				continue
+			}
+			// Streamability (§5.1.1 "only stream relations that have scoring
+			// attributes"): every member of a pushed-down stream must carry a
+			// scoring attribute — a score-less relation is served by random
+			// access instead — unless the whole result is small.
+			if !exprAllScored(e, cm) && cm.Cat.EstimateCard(e) > cfg.LowCardThreshold {
+				continue
+			}
+			// Expensive source joins are pruned (§5.1.1).
+			if cm.Cat.ExpensiveJoin(e) {
+				continue
+			}
+			// Utility: shared enough, or low-cardinality (§5.1.1).
+			if len(node.Occurrences) < cfg.MinShare && cm.Cat.EstimateCard(e) > cfg.LowCardThreshold {
+				continue
+			}
+			// Small-query rule: skip single-use subexpressions of queries
+			// that produce few results anyway (§5.1.1 "consider queries as
+			// shared subexpressions").
+			if len(node.Occurrences) == 1 {
+				small := false
+				for cqID := range node.Occurrences {
+					if fullCard[cqID] <= float64(cfg.K) {
+						small = true
+					}
+				}
+				if small {
+					continue
+				}
+			}
+			// Non-overlap (§5.1.1): a query either uses a candidate as a
+			// proper subexpression or not at all — never partially. Candidate
+			// occurrences are exact subexpression matches by construction
+			// (the AND-OR memo records only exact occurrences), and Algorithm
+			// 1's restriction step (bestPlan) prevents any query from being
+			// covered by two relation-overlapping inputs. Pruning candidates
+			// merely for *sharing a relation* with some query would reject
+			// the paper's own Example 5 (G2G⋈GI⋈T is kept for CQ2 although
+			// its relations also appear in CQ1), so no further check is
+			// needed here.
+		}
+		uses := make(map[string]*cq.ExprOccurrence, len(node.Occurrences))
+		for id, occ := range node.Occurrences {
+			uses[id] = occ
+		}
+		baseCard := 0.0
+		for _, a := range e.Atoms {
+			if st, err := cm.Cat.Relation(a.Rel); err == nil {
+				baseCard += st.Card
+			}
+		}
+		gain := float64(len(uses)) * (baseCard - cm.Cat.EstimateCard(e))
+		cands = append(cands, &candidate{expr: e, uses: uses, gain: gain})
+	}
+	// Multi-atom candidates are the search's combinatorial dimension; keep
+	// the most promising ones. Single-atom candidates (base relations,
+	// §5.1.1 "always designate base relations ... as useful") are kept only
+	// when they give the search a way to partially reject a multi-atom
+	// candidate, i.e. when they overlap one.
+	var multi, single []*candidate
+	for _, c := range cands {
+		if c.expr.SingleAtom() {
+			single = append(single, c)
+		} else {
+			multi = append(multi, c)
+		}
+	}
+	sort.Slice(multi, func(i, j int) bool {
+		if multi[i].gain != multi[j].gain {
+			return multi[i].gain > multi[j].gain
+		}
+		return multi[i].expr.Key() < multi[j].expr.Key()
+	})
+	if len(multi) > cfg.MaxCandidates {
+		multi = multi[:cfg.MaxCandidates]
+	}
+	coveredRels := map[string]bool{}
+	for _, c := range multi {
+		for _, a := range c.expr.Atoms {
+			coveredRels[a.Rel] = true
+		}
+	}
+	out := multi
+	for _, c := range single {
+		if coveredRels[c.expr.Atoms[0].Rel] {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].gain != out[j].gain {
+			return out[i].gain > out[j].gain
+		}
+		return out[i].expr.Key() < out[j].expr.Key()
+	})
+	return out
+}
+
+func exprAllScored(e *cq.Expr, cm *costmodel.Model) bool {
+	for _, a := range e.Atoms {
+		st, err := cm.Cat.Relation(a.Rel)
+		if err != nil || !st.HasScore {
+			return false
+		}
+	}
+	return true
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// --- BestPlan (Algorithm 1) --------------------------------------------------
+
+type searchResult struct {
+	inputs []*costmodel.Input
+	cost   float64
+}
+
+type searcher struct {
+	qs     []*cq.CQ
+	cm     *costmodel.Model
+	cfg    Config
+	cqOrd  map[string]int
+	memo   map[string]searchResult
+	nodes  int
+	budget int
+}
+
+// bestPlan implements Algorithm 1: it either completes the partial input
+// assignment `chosen` into a full plan (when no candidates remain or the
+// budget is spent), or tries each remaining candidate as the next input,
+// restricting the others per line 14 and recursing.
+func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchResult {
+	s.nodes++
+	key := s.stateKey(chosen)
+	if r, ok := s.memo[key]; ok {
+		return r
+	}
+	if len(remaining) == 0 || s.nodes > s.budget {
+		r := s.complete(chosen)
+		s.memo[key] = r
+		return r
+	}
+	best := searchResult{cost: -1}
+	for i, j := range remaining {
+		// Line 12-17: restrict the other candidates against J.
+		var rest []*candidate
+		for k2, j2 := range remaining {
+			if k2 == i {
+				continue
+			}
+			if !j.expr.SharesRelation(j2.expr) {
+				rest = append(rest, j2)
+				continue
+			}
+			diff := make(map[string]*cq.ExprOccurrence)
+			for id, occ := range j2.uses {
+				if _, served := j.uses[id]; !served {
+					diff[id] = occ
+				}
+			}
+			if len(diff) > 0 {
+				rest = append(rest, &candidate{idx: j2.idx, expr: j2.expr, uses: diff, gain: j2.gain})
+			}
+		}
+		r := s.bestPlan(rest, append(chosen, j))
+		if r.inputs != nil && (best.cost < 0 || r.cost < best.cost) {
+			best = r
+		}
+	}
+	if best.inputs == nil {
+		best = s.complete(chosen)
+	}
+	s.memo[key] = best
+	return best
+}
+
+// stateKey interns the chosen set (Algorithm 1's memo on A) compactly: per
+// candidate, its ordinal plus a bitset of the consuming queries.
+func (s *searcher) stateKey(chosen []*candidate) string {
+	words := (len(s.cqOrd) + 63) / 64
+	entrySize := 2 + 8*words
+	buf := make([]byte, 0, entrySize*len(chosen))
+	entries := make([]string, len(chosen))
+	for i, c := range chosen {
+		e := make([]byte, entrySize)
+		e[0] = byte(c.idx >> 8)
+		e[1] = byte(c.idx)
+		for id := range c.uses {
+			ord := s.cqOrd[id]
+			pos := 2 + (ord/64)*8
+			bit := uint(ord % 64)
+			word := uint64(e[pos])<<56 | uint64(e[pos+1])<<48 | uint64(e[pos+2])<<40 | uint64(e[pos+3])<<32 |
+				uint64(e[pos+4])<<24 | uint64(e[pos+5])<<16 | uint64(e[pos+6])<<8 | uint64(e[pos+7])
+			word |= 1 << bit
+			e[pos] = byte(word >> 56)
+			e[pos+1] = byte(word >> 48)
+			e[pos+2] = byte(word >> 40)
+			e[pos+3] = byte(word >> 32)
+			e[pos+4] = byte(word >> 24)
+			e[pos+5] = byte(word >> 16)
+			e[pos+6] = byte(word >> 8)
+			e[pos+7] = byte(word)
+		}
+		entries[i] = string(e)
+	}
+	sort.Strings(entries)
+	for _, e := range entries {
+		buf = append(buf, e...)
+	}
+	return string(buf)
+}
+
+// complete turns a set of chosen candidates into a valid input assignment:
+// every (query, relation) pair not yet covered is covered by that query's own
+// single-atom expression (shared across queries via canonical keys), modes
+// are assigned per §5.1.1, and every query is guaranteed a streaming input.
+func (s *searcher) complete(chosen []*candidate) searchResult {
+	inputs := map[string]*costmodel.Input{}
+	covered := map[string]map[int]bool{} // cq id -> atom idx covered
+	for _, q := range s.qs {
+		covered[q.ID] = map[int]bool{}
+	}
+	addUse := func(e *cq.Expr, cqID string, occ *cq.ExprOccurrence) bool {
+		cov := covered[cqID]
+		for _, ai := range occ.AtomOf {
+			if cov[ai] {
+				return false // would double-cover an atom; skip this use
+			}
+		}
+		in, ok := inputs[e.Key()]
+		if !ok {
+			in = &costmodel.Input{Expr: e, DB: e.SingleDB(), Uses: map[string]*cq.ExprOccurrence{}}
+			inputs[e.Key()] = in
+		}
+		in.Uses[cqID] = occ
+		for _, ai := range occ.AtomOf {
+			cov[ai] = true
+		}
+		return true
+	}
+	for _, c := range chosen {
+		ids := sortedIDs(c.uses)
+		for _, id := range ids {
+			addUse(c.expr, id, c.uses[id])
+		}
+	}
+	// Completion with single-atom inputs.
+	for _, q := range s.qs {
+		for ai := range q.Atoms {
+			if covered[q.ID][ai] {
+				continue
+			}
+			e, mapping := q.SubExpr([]int{ai})
+			addUse(e, q.ID, &cq.ExprOccurrence{CQ: q, AtomOf: mapping})
+		}
+	}
+	// Assign modes, then guarantee each query at least one streaming input.
+	list := make([]*costmodel.Input, 0, len(inputs))
+	for _, in := range inputs {
+		in.Mode = s.cm.ChooseMode(in.Expr)
+		list = append(list, in)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Expr.Key() < list[j].Expr.Key() })
+	for _, q := range s.qs {
+		hasStream := false
+		var smallest *costmodel.Input
+		var smallestCard float64
+		for _, in := range list {
+			if _, uses := in.Uses[q.ID]; !uses {
+				continue
+			}
+			if in.Mode == costmodel.Stream {
+				hasStream = true
+				break
+			}
+			card := s.cm.Cat.EstimateCard(in.Expr)
+			if smallest == nil || card < smallestCard {
+				smallest, smallestCard = in, card
+			}
+		}
+		if !hasStream && smallest != nil {
+			smallest.Mode = costmodel.Stream
+		}
+	}
+	cost := s.cm.AssignmentCost(s.qs, list, s.cfg.K)
+	return searchResult{inputs: list, cost: cost}
+}
+
+func sortedIDs(m map[string]*cq.ExprOccurrence) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Validate checks Definition 1: every relation occurrence (atom) of every
+// query is covered by exactly one input that uses the query.
+func Validate(qs []*cq.CQ, inputs []*costmodel.Input) error {
+	for _, q := range qs {
+		count := make([]int, len(q.Atoms))
+		streams := 0
+		for _, in := range inputs {
+			occ, ok := in.Uses[q.ID]
+			if !ok {
+				continue
+			}
+			if in.Mode == costmodel.Stream {
+				streams++
+			}
+			for i, ai := range occ.AtomOf {
+				if ai < 0 || ai >= len(q.Atoms) {
+					return fmt.Errorf("mqo: input %s maps atom out of range for %s", in.Expr.Key(), q.ID)
+				}
+				if in.Expr.Atoms[i].Rel != q.Atoms[ai].Rel {
+					return fmt.Errorf("mqo: input %s atom %d relation mismatch for %s", in.Expr.Key(), i, q.ID)
+				}
+				count[ai]++
+			}
+		}
+		for ai, c := range count {
+			if c != 1 {
+				return fmt.Errorf("mqo: query %s atom %d (%s) covered %d times", q.ID, ai, q.Atoms[ai].Rel, c)
+			}
+		}
+		if streams == 0 {
+			return fmt.Errorf("mqo: query %s has no streaming input", q.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package mqo
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/relationdb"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+// fixture builds relations R0..Rn-1 (chained by shared keys) plus a catalog.
+func fixture(t *testing.T, nRels int, cardBase int) *costmodel.Model {
+	t.Helper()
+	cat := catalog.New()
+	for i := 0; i < nRels; i++ {
+		s := tuple.NewSchema(rel(i),
+			tuple.Column{Name: "a", Type: tuple.KindInt},
+			tuple.Column{Name: "b", Type: tuple.KindInt},
+			tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+		)
+		rng := dist.New(uint64(i) + 5)
+		var rows []*tuple.Tuple
+		card := cardBase + i*100
+		for r := 0; r < card; r++ {
+			rows = append(rows, tuple.New(s,
+				tuple.Int(int64(rng.Intn(card))),
+				tuple.Int(int64(rng.Intn(card))),
+				tuple.Float(rng.Float64())))
+		}
+		cat.AddRelation("db", relationdb.NewRelation(s, rows))
+	}
+	return costmodel.New(cat, costmodel.DefaultParams())
+}
+
+func rel(i int) string { return string(rune('P' + i)) }
+
+// chain builds rel(start)(x0,x1) ⋈ rel(start+1)(x1,x2) ⋈ ...
+func chain(id string, start, n int) *cq.CQ {
+	atoms := make([]*cq.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = &cq.Atom{Rel: rel(start + i), DB: "db", Args: []cq.Term{cq.V(i), cq.V(i + 1), cq.V(100 + i)}}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &cq.CQ{ID: id, UQID: "U", Atoms: atoms, Model: scoring.QSystem(0, w)}
+}
+
+func TestOptimizeSingleQueryValid(t *testing.T) {
+	cm := fixture(t, 4, 300)
+	q := chain("q1", 0, 4)
+	res, err := Optimize([]*cq.CQ{q}, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]*cq.CQ{q}, res.Inputs); err != nil {
+		t.Fatalf("invalid assignment: %v", err)
+	}
+	if res.Cost <= 0 || res.SearchNodes == 0 {
+		t.Errorf("cost=%v nodes=%d", res.Cost, res.SearchNodes)
+	}
+}
+
+func TestOptimizeSharedBatchValid(t *testing.T) {
+	cm := fixture(t, 6, 300)
+	qs := []*cq.CQ{
+		chain("q1", 0, 4),
+		chain("q2", 0, 3), // prefix overlap with q1
+		chain("q3", 2, 4), // suffix overlap
+	}
+	res, err := Optimize(qs, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(qs, res.Inputs); err != nil {
+		t.Fatalf("invalid shared assignment: %v", err)
+	}
+	// The shared prefix should be covered for q1 and q2 by a common input.
+	sharedInputs := 0
+	for _, in := range res.Inputs {
+		if len(in.Uses) >= 2 {
+			sharedInputs++
+		}
+	}
+	if sharedInputs == 0 {
+		t.Error("batch with overlapping queries produced no shared inputs")
+	}
+}
+
+// Property: over random batches of random chain queries, BestPlan always
+// returns a valid assignment (Definition 1) within budget.
+func TestOptimizeValidityProperty(t *testing.T) {
+	cm := fixture(t, 8, 250)
+	rng := dist.New(99)
+	for trial := 0; trial < 60; trial++ {
+		nq := 1 + rng.Intn(4)
+		var qs []*cq.CQ
+		for i := 0; i < nq; i++ {
+			start := rng.Intn(4)
+			n := 2 + rng.Intn(4)
+			qs = append(qs, chain(rel(start)+string(rune('0'+i))+"-q", start, n))
+		}
+		res, err := Optimize(qs, cm, Config{MaxCandidates: 6, SearchNodeBudget: 5000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Validate(qs, res.Inputs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestOptimizeEmptyBatch(t *testing.T) {
+	cm := fixture(t, 2, 100)
+	if _, err := Optimize(nil, cm, Config{}); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+func TestReuseDiscountSteersPlan(t *testing.T) {
+	cm := fixture(t, 4, 400)
+	q := chain("q1", 0, 3)
+	res1, err := Optimize([]*cq.CQ{q}, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark every chosen stream as fully buffered; cost must drop.
+	for _, in := range res1.Inputs {
+		if in.Mode == costmodel.Stream {
+			cm.Cat.RecordStreamed(in.Expr.Key(), 1<<20)
+		}
+	}
+	res2, err := Optimize([]*cq.CQ{q}, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost >= res1.Cost {
+		t.Errorf("buffered state did not reduce plan cost: %v -> %v", res1.Cost, res2.Cost)
+	}
+}
+
+func TestValidateCatchesBadAssignments(t *testing.T) {
+	cm := fixture(t, 3, 200)
+	q := chain("q1", 0, 3)
+	res, err := Optimize([]*cq.CQ{q}, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove one input's use: should fail coverage.
+	var victim string
+	for _, in := range res.Inputs {
+		if _, ok := in.Uses[q.ID]; ok {
+			victim = in.Expr.Key()
+			delete(in.Uses, q.ID)
+			break
+		}
+	}
+	if err := Validate([]*cq.CQ{q}, res.Inputs); err == nil {
+		t.Errorf("dropped coverage of %s not detected", victim)
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	cm := fixture(t, 8, 250)
+	qs := []*cq.CQ{chain("q1", 0, 5), chain("q2", 0, 5), chain("q3", 1, 5)}
+	res, err := Optimize(qs, cm, Config{MaxCandidates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, in := range res.Inputs {
+		if !in.Expr.SingleAtom() {
+			multi++
+		}
+	}
+	if multi > 3 {
+		t.Errorf("plan uses %d multi-atom inputs despite cap 3", multi)
+	}
+}

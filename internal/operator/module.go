@@ -1,0 +1,164 @@
+package operator
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Log records a node's delivered rows in arrival order, each tagged with the
+// epoch (§6.2's logical timestamp) current when it arrived. Logs are the
+// durable state the query state manager reuses across executions: they stand
+// in for the paper's linked lists embedded in m-join hash tables, recording
+// exactly the original arrival (score) order.
+type Log struct {
+	rows   []*tuple.Row
+	epochs []int
+}
+
+// Append records a delivered row.
+func (l *Log) Append(r *tuple.Row, epoch int) {
+	l.rows = append(l.rows, r)
+	l.epochs = append(l.epochs, epoch)
+}
+
+// Len returns the number of logged rows.
+func (l *Log) Len() int { return len(l.rows) }
+
+// Row returns the i'th logged row.
+func (l *Log) Row(i int) *tuple.Row { return l.rows[i] }
+
+// Before returns the rows logged with epoch < e, in arrival order — the
+// pre-epoch partition Algorithm 2 replays.
+func (l *Log) Before(e int) []*tuple.Row {
+	var out []*tuple.Row
+	for i, r := range l.rows {
+		if l.epochs[i] < e {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BeforeSorted returns the pre-epoch rows sorted by nonincreasing score
+// product (join-node logs hold rows in production order; recovery streams
+// them in score order so downstream thresholds stay correct).
+func (l *Log) BeforeSorted(e int) []*tuple.Row {
+	out := l.Before(e)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i].ScoreProduct(), out[j].ScoreProduct()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Identity() < out[j].Identity()
+	})
+	return out
+}
+
+// RowsFrom returns the logged rows and their epochs starting at index i —
+// the suffix a revived consumer missed while parked.
+func (l *Log) RowsFrom(i int) ([]*tuple.Row, []int) {
+	if i < 0 || i > len(l.rows) {
+		i = len(l.rows)
+	}
+	return l.rows[i:], l.epochs[i:]
+}
+
+// Identities returns the identity set of all logged rows (duplicate
+// suppression during state recovery).
+func (l *Log) Identities() map[string]bool {
+	set := make(map[string]bool, len(l.rows))
+	for _, r := range l.rows {
+		set[r.Identity()] = true
+	}
+	return set
+}
+
+// Reset discards the log (eviction, §6.3).
+func (l *Log) Reset() { l.rows, l.epochs = nil, nil }
+
+// partialRow is a row translated into a join node's atom space: parts is
+// indexed by the node expression's atom positions, nil outside the
+// originating input's coverage.
+type partialRow struct {
+	parts []*tuple.Tuple
+	epoch int
+}
+
+// AccessModule is the per-input state of an m-join (§4.1): the rows received
+// on one input, stored in node-space with arrival order and epochs preserved,
+// and hash-indexed on demand by (atom position, column).
+type AccessModule struct {
+	rows []partialRow
+	// indexes maps (atom<<16|col) -> value key -> row positions.
+	indexes map[int]map[string][]int
+	// coverage lists the node atom positions this input covers.
+	coverage []int
+}
+
+// NewAccessModule creates a module covering the given node atom positions.
+func NewAccessModule(coverage []int) *AccessModule {
+	return &AccessModule{indexes: map[int]map[string][]int{}, coverage: append([]int(nil), coverage...)}
+}
+
+// Coverage returns the node atom positions this module covers.
+func (m *AccessModule) Coverage() []int { return m.coverage }
+
+// Len returns the number of stored rows (memory accounting).
+func (m *AccessModule) Len() int { return len(m.rows) }
+
+// Insert stores a translated row with its epoch and maintains any built
+// indexes.
+func (m *AccessModule) Insert(parts []*tuple.Tuple, epoch int) {
+	pos := len(m.rows)
+	m.rows = append(m.rows, partialRow{parts: parts, epoch: epoch})
+	for ik, idx := range m.indexes {
+		atom, col := ik>>16, ik&0xffff
+		if t := parts[atom]; t != nil {
+			k := t.Val(col).Key()
+			idx[k] = append(idx[k], pos)
+		}
+	}
+}
+
+// Probe returns the stored rows whose (atom, col) value equals v and whose
+// epoch is strictly below maxEpoch (pass math.MaxInt for live probes; state
+// recovery passes the graft epoch to see only pre-existing rows).
+func (m *AccessModule) Probe(atom, col int, v tuple.Value, maxEpoch int) []partialRow {
+	ik := atom<<16 | col
+	idx, ok := m.indexes[ik]
+	if !ok {
+		idx = map[string][]int{}
+		for pos, pr := range m.rows {
+			if t := pr.parts[atom]; t != nil {
+				k := t.Val(col).Key()
+				idx[k] = append(idx[k], pos)
+			}
+		}
+		m.indexes[ik] = idx
+	}
+	positions := idx[v.Key()]
+	out := make([]partialRow, 0, len(positions))
+	for _, pos := range positions {
+		if m.rows[pos].epoch < maxEpoch {
+			out = append(out, m.rows[pos])
+		}
+	}
+	return out
+}
+
+// Scan returns stored rows with epoch < maxEpoch in insertion order (used by
+// state recovery when no index applies).
+func (m *AccessModule) Scan(maxEpoch int) []partialRow {
+	var out []partialRow
+	for _, pr := range m.rows {
+		if pr.epoch < maxEpoch {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// MaxEpochLive is the epoch filter admitting every row.
+const MaxEpochLive = math.MaxInt

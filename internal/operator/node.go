@@ -1,0 +1,510 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/plangraph"
+	"repro/internal/source"
+	"repro/internal/tuple"
+)
+
+// NodeExec is the runtime state of one plan-graph node: the opened source for
+// stream/probe nodes, or the m-join machinery (access modules, join
+// predicates, adaptive probe orders) for join nodes. Every node also carries
+// its output Log — the arrival-ordered, epoch-tagged row history that powers
+// state reuse (§6).
+type NodeExec struct {
+	Node *plangraph.Node
+
+	// Stream is set for SourceStream nodes.
+	Stream *source.Stream
+	// RA is set for SourceProbe nodes.
+	RA *source.RandomAccess
+
+	// modules holds one access module per join input (join nodes only).
+	modules []*AccessModule
+	// preds are the node expression's join predicates in node atom space.
+	preds []cq.JoinPred
+	// probeOrders caches the adaptive probe sequence per driving input.
+	probeOrders map[int][]int
+	// stats tracks per (drive, probed) fanout for adaptation [24].
+	stats map[[2]int]*probeStat
+	// arrivals counts rows per input since the last adaptation.
+	arrivals map[int]int
+
+	// Log is the node's output history.
+	Log *Log
+
+	// consumers are downstream join nodes fed by this node's output (the
+	// fan-out across several consumers is the split operator).
+	consumers []consumerBinding
+	// sinks are rank-merge endpoints fed by this node's output.
+	sinks []*EndpointSink
+
+	// raResolve maps a probe-source node to its opened RandomAccess; the ATC
+	// installs it so operator need not import the executor.
+	raResolve func(*plangraph.Node) *source.RandomAccess
+}
+
+type consumerBinding struct {
+	edge   *plangraph.Edge
+	target *NodeExec
+}
+
+type probeStat struct {
+	probes  float64
+	outputs float64
+}
+
+// adaptEvery is how many arrivals pass between probe-order recomputations.
+const adaptEvery = 64
+
+// NewNodeExec builds runtime state for a plan node. Sources are opened by
+// the caller (the executor knows the database fleet).
+func NewNodeExec(n *plangraph.Node) *NodeExec {
+	x := &NodeExec{
+		Node:        n,
+		Log:         &Log{},
+		probeOrders: map[int][]int{},
+		stats:       map[[2]int]*probeStat{},
+		arrivals:    map[int]int{},
+	}
+	if n.Kind == plangraph.Join {
+		x.preds = n.Expr.JoinPreds()
+		x.modules = make([]*AccessModule, len(n.Inputs))
+		for i, e := range n.Inputs {
+			x.modules[i] = NewAccessModule(e.AtomMap)
+		}
+	}
+	return x
+}
+
+// SyncInputs appends access modules for join inputs added after construction
+// (grafting can extend an existing join node... it does not in the current
+// state manager, but keeping modules aligned with inputs is cheap insurance).
+func (x *NodeExec) SyncInputs() {
+	for len(x.modules) < len(x.Node.Inputs) {
+		e := x.Node.Inputs[len(x.modules)]
+		x.modules = append(x.modules, NewAccessModule(e.AtomMap))
+	}
+}
+
+// AddConsumer wires a downstream join node.
+func (x *NodeExec) AddConsumer(edge *plangraph.Edge, target *NodeExec) {
+	for _, c := range x.consumers {
+		if c.edge == edge {
+			return
+		}
+	}
+	x.consumers = append(x.consumers, consumerBinding{edge, target})
+}
+
+// AddSink wires a rank-merge endpoint.
+func (x *NodeExec) AddSink(s *EndpointSink) {
+	for _, old := range x.sinks {
+		if old == s {
+			return
+		}
+	}
+	x.sinks = append(x.sinks, s)
+}
+
+// RemoveSink detaches an endpoint (CQ completion, §6.3).
+func (x *NodeExec) RemoveSink(s *EndpointSink) {
+	for i, old := range x.sinks {
+		if old == s {
+			x.sinks = append(x.sinks[:i], x.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveConsumerEdge detaches the runtime binding for a structural edge
+// (parking, §6.3); the plan-graph edge itself is kept for future revival.
+func (x *NodeExec) RemoveConsumerEdge(e *plangraph.Edge) {
+	for i, c := range x.consumers {
+		if c.edge == e {
+			x.consumers = append(x.consumers[:i], x.consumers[i+1:]...)
+			return
+		}
+	}
+}
+
+// HasWork reports whether anything still consumes this node's output.
+func (x *NodeExec) HasWork() bool { return len(x.consumers) > 0 || len(x.sinks) > 0 }
+
+// Module returns the i'th access module (tests and the state manager).
+func (x *NodeExec) Module(i int) *AccessModule { return x.modules[i] }
+
+// Frontier returns the score-product bound on this stream source's unread
+// rows. Only meaningful for SourceStream nodes.
+func (x *NodeExec) Frontier() float64 {
+	if x.Stream == nil {
+		return 0
+	}
+	return x.Stream.Frontier()
+}
+
+// Exhausted reports whether the stream source has no more rows.
+func (x *NodeExec) Exhausted() bool { return x.Stream == nil || x.Stream.Exhausted() }
+
+// ReadOne pulls one row from this stream source with a synchronous fetch:
+// the ATC thread blocks for the round trip (§7's per-tuple stream delay),
+// exactly like the paper's JDBC fetches — which is why queries sharing one
+// ATC contend for its read bandwidth (§7.1). The row is logged and pipelined
+// through every consumer (split semantics). It returns false when the stream
+// is exhausted.
+func (x *NodeExec) ReadOne(env *Env, epoch int) bool {
+	if x.Stream == nil {
+		return false
+	}
+	r := x.Stream.Next()
+	if r == nil {
+		return false
+	}
+	env.ChargeStreamRead()
+	x.Deliver(env, r, epoch)
+	return true
+}
+
+// Deliver logs an output row and pipelines it downstream: into every
+// consumer m-join (which may cascade) and every endpoint sink.
+func (x *NodeExec) Deliver(env *Env, r *tuple.Row, epoch int) {
+	x.Log.Append(r, epoch)
+	for _, s := range x.sinks {
+		s.Offer(env, r)
+	}
+	for _, c := range x.consumers {
+		c.target.Arrive(env, r, c.edge, epoch)
+	}
+}
+
+// Arrive handles a row landing on one input of a join node: it is translated
+// into node space, inserted into the input's access module, and probed
+// against the other modules following the adaptive probe sequence; complete
+// join results are delivered downstream (fully pipelined, §4.1).
+func (x *NodeExec) Arrive(env *Env, r *tuple.Row, edge *plangraph.Edge, epoch int) {
+	if x.Node.Kind != plangraph.Join {
+		panic("operator: Arrive on non-join node " + x.Node.Key)
+	}
+	idx := edge.InputIdx
+	parts := x.translate(r, edge.AtomMap)
+	x.modules[idx].Insert(parts, epoch)
+	env.Metrics.AddJoinInsert()
+	env.ChargeJoin()
+	x.arrivals[idx]++
+	if x.arrivals[idx]%adaptEvery == 1 {
+		x.probeOrders[idx] = nil // recompute lazily from fresh stats
+	}
+	for _, out := range x.joinFrom(env, idx, parts, MaxEpochLive) {
+		x.Deliver(env, out, epoch)
+	}
+}
+
+// joinFrom extends a newly arrived partial row across all other inputs,
+// returning the complete join results. maxEpoch restricts which stored rows
+// participate (MaxEpochLive for live arrivals; the graft epoch during state
+// recovery, §6.2).
+func (x *NodeExec) joinFrom(env *Env, drive int, parts []*tuple.Tuple, maxEpoch int) []*tuple.Row {
+	partials := [][]*tuple.Tuple{parts}
+	for _, j := range x.probeOrder(drive) {
+		if len(partials) == 0 {
+			return nil
+		}
+		var next [][]*tuple.Tuple
+		st := x.stat(drive, j)
+		for _, p := range partials {
+			merged := x.probeModule(env, j, p, maxEpoch)
+			st.probes++
+			st.outputs += float64(len(merged))
+			next = append(next, merged...)
+		}
+		partials = next
+	}
+	out := make([]*tuple.Row, len(partials))
+	for i, p := range partials {
+		out[i] = tuple.NewRow(p...)
+	}
+	return out
+}
+
+// probeModule finds the rows of input j joinable with the bound positions of
+// p, returning merged part vectors. Remote random-access inputs are probed
+// through their source (cached middleware-side); stored inputs are probed
+// through their hash index.
+func (x *NodeExec) probeModule(env *Env, j int, p []*tuple.Tuple, maxEpoch int) [][]*tuple.Tuple {
+	edge := x.Node.Inputs[j]
+	// Predicates between p's bound atoms and j's coverage, oriented as
+	// (bound atom, bound col) -> (j atom, j col).
+	var lookup *cq.JoinPred
+	var verify []cq.JoinPred
+	jCov := make(map[int]bool, len(edge.AtomMap))
+	for _, a := range edge.AtomMap {
+		jCov[a] = true
+	}
+	for _, p0 := range x.preds {
+		var pr cq.JoinPred
+		switch {
+		case jCov[p0.AtomB] && !jCov[p0.AtomA] && p[p0.AtomA] != nil:
+			pr = p0
+		case jCov[p0.AtomA] && !jCov[p0.AtomB] && p[p0.AtomB] != nil:
+			pr = cq.JoinPred{AtomA: p0.AtomB, ColA: p0.ColB, AtomB: p0.AtomA, ColB: p0.ColA}
+		default:
+			continue
+		}
+		if lookup == nil {
+			lp := pr
+			lookup = &lp
+		} else {
+			verify = append(verify, pr)
+		}
+	}
+
+	var candidates []partialRow
+	if edge.Probe {
+		// Remote random-access source.
+		if lookup == nil {
+			// Not yet connected: cannot probe remotely without a key. The
+			// connectivity-aware probe order avoids this; treat as empty.
+			return nil
+		}
+		key := p[lookup.AtomA].Val(lookup.ColA)
+		baseCol := x.baseColFor(edge, lookup.AtomB, lookup.ColB)
+		rows, cached, err := x.RAOf(edge).Probe(baseCol, key)
+		if err != nil {
+			panic(fmt.Sprintf("operator: probe %s: %v", edge.From.Key, err))
+		}
+		if cached {
+			env.Metrics.AddProbeCacheHit()
+			env.ChargeJoin()
+		} else {
+			env.ChargeRemoteProbe(len(rows))
+		}
+		for _, r := range rows {
+			candidates = append(candidates, partialRow{parts: x.translate(r, edge.AtomMap)})
+		}
+	} else {
+		env.Metrics.AddJoinProbe()
+		env.ChargeJoin()
+		if lookup != nil {
+			candidates = x.modules[j].Probe(lookup.AtomB, lookup.ColB, p[lookup.AtomA].Val(lookup.ColA), maxEpoch)
+		} else {
+			candidates = x.modules[j].Scan(maxEpoch)
+		}
+	}
+
+	var out [][]*tuple.Tuple
+	for _, cand := range candidates {
+		ok := true
+		for _, vp := range verify {
+			pv := p[vp.AtomA]
+			cv := cand.parts[vp.AtomB]
+			if pv == nil || cv == nil || !pv.Val(vp.ColA).Equal(cv.Val(vp.ColB)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		merged := make([]*tuple.Tuple, len(p))
+		copy(merged, p)
+		for pos, t := range cand.parts {
+			if t != nil {
+				merged[pos] = t
+			}
+		}
+		out = append(out, merged)
+	}
+	return out
+}
+
+// RAOf resolves the random-access source behind a probe edge. The executor
+// fills raResolver; indirection keeps operator free of executor imports.
+func (x *NodeExec) RAOf(edge *plangraph.Edge) *source.RandomAccess {
+	if x.raResolve == nil {
+		panic("operator: probe edge without random-access resolver on " + x.Node.Key)
+	}
+	ra := x.raResolve(edge.From)
+	if ra == nil {
+		panic("operator: no random-access source for " + edge.From.Key)
+	}
+	return ra
+}
+
+// SetRAResolver installs the probe-source resolver (set once by the ATC).
+func (x *NodeExec) SetRAResolver(f func(*plangraph.Node) *source.RandomAccess) { x.raResolve = f }
+
+// baseColFor translates a node-space (atom, col) into the probe source's base
+// relation column: probe sources are single-atom, so the column carries over.
+func (x *NodeExec) baseColFor(edge *plangraph.Edge, nodeAtom, col int) int {
+	_ = edge
+	_ = nodeAtom
+	return col
+}
+
+// translate maps a producer row (producer atom order) into this node's atom
+// space using the edge's atom map.
+func (x *NodeExec) translate(r *tuple.Row, atomMap []int) []*tuple.Tuple {
+	parts := make([]*tuple.Tuple, len(x.Node.Expr.Atoms))
+	for fi, ti := range atomMap {
+		parts[ti] = r.Part(fi)
+	}
+	return parts
+}
+
+// probeOrder returns (computing if stale) the adaptive probe sequence for a
+// driving input: a connectivity-respecting order over the other inputs,
+// cheapest observed fanout first, remote probes deferred on ties.
+func (x *NodeExec) probeOrder(drive int) []int {
+	if ord := x.probeOrders[drive]; ord != nil {
+		return ord
+	}
+	n := len(x.Node.Inputs)
+	bound := map[int]bool{}
+	for _, a := range x.Node.Inputs[drive].AtomMap {
+		bound[a] = true
+	}
+	remaining := map[int]bool{}
+	for j := 0; j < n; j++ {
+		if j != drive {
+			remaining[j] = true
+		}
+	}
+	var order []int
+	for len(remaining) > 0 {
+		best := -1
+		bestKey := [3]float64{}
+		for j := range remaining {
+			connected := x.connectsTo(j, bound)
+			fan := x.fanout(drive, j)
+			remote := 0.0
+			if x.Node.Inputs[j].Probe {
+				remote = 1
+			}
+			disc := 0.0
+			if !connected {
+				disc = 1
+			}
+			key := [3]float64{disc, fan, remote*0.5 + float64(j)*1e-9}
+			if best < 0 || less3(key, bestKey) {
+				best, bestKey = j, key
+			}
+		}
+		order = append(order, best)
+		for _, a := range x.Node.Inputs[best].AtomMap {
+			bound[a] = true
+		}
+		delete(remaining, best)
+	}
+	x.probeOrders[drive] = order
+	return order
+}
+
+func less3(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func (x *NodeExec) connectsTo(j int, bound map[int]bool) bool {
+	jCov := map[int]bool{}
+	for _, a := range x.Node.Inputs[j].AtomMap {
+		jCov[a] = true
+	}
+	for _, p := range x.preds {
+		if (jCov[p.AtomA] && bound[p.AtomB]) || (jCov[p.AtomB] && bound[p.AtomA]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *NodeExec) stat(i, j int) *probeStat {
+	k := [2]int{i, j}
+	st, ok := x.stats[k]
+	if !ok {
+		st = &probeStat{}
+		x.stats[k] = st
+	}
+	return st
+}
+
+func (x *NodeExec) fanout(i, j int) float64 {
+	st := x.stats[[2]int{i, j}]
+	if st == nil || st.probes == 0 {
+		return 1.0
+	}
+	return st.outputs / st.probes
+}
+
+// RecoverHistory computes the node's all-old join results — every
+// combination whose parts all arrived before epoch e and is not already in
+// the node's log — charging the in-memory join work, appending the missing
+// results to the log tagged e-1, and returning how many were recovered. This
+// is Algorithm 2 in bulk per-node form (see DESIGN.md): the recovered rows
+// are routed only to newly grafted consumers via the log; live consumers
+// already received every combination involving a newer row.
+func (x *NodeExec) RecoverHistory(env *Env, e int) int {
+	if x.Node.Kind != plangraph.Join {
+		return 0
+	}
+	drive := -1
+	for i, edge := range x.Node.Inputs {
+		if !edge.Probe {
+			drive = i
+			break
+		}
+	}
+	if drive < 0 {
+		return 0
+	}
+	have := x.Log.Identities()
+	var results []*tuple.Row
+	for _, pr := range x.modules[drive].Scan(e) {
+		env.Metrics.AddReplayTuple()
+		env.ChargeJoin()
+		for _, out := range x.joinFrom(env, drive, pr.parts, e) {
+			if !have[out.Identity()] {
+				have[out.Identity()] = true
+				results = append(results, out)
+			}
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		si, sj := results[i].ScoreProduct(), results[j].ScoreProduct()
+		if si != sj {
+			return si > sj
+		}
+		return results[i].Identity() < results[j].Identity()
+	})
+	for _, r := range results {
+		x.Log.Append(r, e-1)
+	}
+	return len(results)
+}
+
+// PreloadModule bulk-inserts historical rows into input j's module with
+// their original epochs (graft-time state transfer; no stream delay is
+// charged — the rows are already in middleware memory).
+func (x *NodeExec) PreloadModule(j int, rows []*tuple.Row, epochs []int) {
+	edge := x.Node.Inputs[j]
+	for i, r := range rows {
+		x.modules[j].Insert(x.translate(r, edge.AtomMap), epochs[i])
+	}
+}
+
+// StateSize reports the node's resident state in rows (modules + log) for
+// the §6.3 memory accounting.
+func (x *NodeExec) StateSize() int {
+	n := x.Log.Len()
+	for _, m := range x.modules {
+		n += m.Len()
+	}
+	return n
+}

@@ -1,0 +1,452 @@
+package operator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/tuple"
+)
+
+// Result is one top-k answer delivered to a user.
+type Result struct {
+	// UQID / CQID identify which user query and which conjunctive query
+	// produced the answer.
+	UQID, CQID string
+	// Score is the answer's score under the query's model.
+	Score float64
+	// Row holds the answer's base tuples in the CQ's atom order.
+	Row *tuple.Row
+	// At is the (virtual) time the answer was emitted.
+	At time.Duration
+}
+
+// EntryState tracks a conjunctive query's lifecycle inside a rank-merge.
+type EntryState int
+
+const (
+	// Pending: not yet activated — the query state manager activates CQs
+	// incrementally, in nonincreasing U(C) order, only when their upper
+	// bound could still beat the emission gate (§3, Table 4).
+	Pending EntryState = iota
+	// Active: reading inputs and producing candidates.
+	Active
+	// Pruned: deactivated because its threshold fell below the kth
+	// candidate (§6.3); buffered candidates remain eligible.
+	Pruned
+	// Complete: all inputs exhausted and buffer drained.
+	Complete
+)
+
+// String names the state.
+func (s EntryState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Active:
+		return "active"
+	case Pruned:
+		return "pruned"
+	default:
+		return "complete"
+	}
+}
+
+// ThresholdGroup ties one streaming input of a CQ to the threshold formula:
+// the input covers Atoms (CQ atom indexes) and its unseen rows have score
+// product at most Source.Frontier().
+type ThresholdGroup struct {
+	Atoms  []int
+	Source *NodeExec
+}
+
+// CQEntry is the per-conjunctive-query state inside a rank-merge operator.
+type CQEntry struct {
+	CQ *cq.CQ
+	// U is the query's overall score upper bound (activation order).
+	U float64
+	// State is the lifecycle state.
+	State EntryState
+	// Groups lists the query's streaming inputs for threshold maintenance.
+	Groups []*ThresholdGroup
+
+	maxima []float64
+	buffer candidateHeap
+	seen   map[string]bool
+	dups   int
+
+	// Threshold memoisation: thresholds change only when a group's stream
+	// frontier moves, so the last frontier vector is snapshotted.
+	thCache     float64
+	thFrontiers []float64
+	thSource    *NodeExec
+	thValid     bool
+}
+
+// NewCQEntry builds an entry. maxima holds the per-atom score maxima in CQ
+// atom order.
+func NewCQEntry(q *cq.CQ, u float64, maxima []float64) *CQEntry {
+	return &CQEntry{CQ: q, U: u, maxima: append([]float64(nil), maxima...), seen: map[string]bool{}}
+}
+
+// Threshold returns the NRA/HRJN-style corner bound on any future (unseen)
+// result of this query: the max over non-exhausted streaming inputs of the
+// score bound when that input's unseen product cap constrains its atoms and
+// every other atom sits at its maximum (§4.1; see scoring.Model.Bound).
+// It is -Inf when no input can produce new rows.
+func (e *CQEntry) Threshold() float64 {
+	e.refresh()
+	return e.thCache
+}
+
+// PreferredSource returns the non-exhausted streaming input whose bound
+// matches the threshold — the stream whose advance "will drop the score
+// threshold the most" (§4.1) — or nil.
+func (e *CQEntry) PreferredSource() *NodeExec {
+	e.refresh()
+	return e.thSource
+}
+
+// refresh recomputes the memoised threshold when any frontier moved.
+func (e *CQEntry) refresh() {
+	if e.thFrontiers == nil {
+		e.thFrontiers = make([]float64, len(e.Groups))
+		for i := range e.thFrontiers {
+			e.thFrontiers[i] = math.NaN()
+		}
+	}
+	dirty := !e.thValid
+	for i, g := range e.Groups {
+		f := g.Source.Frontier()
+		if f != e.thFrontiers[i] {
+			e.thFrontiers[i] = f
+			dirty = true
+		}
+	}
+	if !dirty {
+		return
+	}
+	best := math.Inf(-1)
+	var src *NodeExec
+	for i, g := range e.Groups {
+		if e.thFrontiers[i] == 0 && g.Source.Exhausted() {
+			continue
+		}
+		b := e.CQ.Model.BoundSingleGroup(e.maxima, g.Atoms, e.thFrontiers[i])
+		if b > best {
+			best, src = b, g.Source
+		}
+	}
+	e.thCache, e.thSource, e.thValid = best, src, true
+}
+
+// BufferLen returns the number of buffered candidates (memory accounting).
+func (e *CQEntry) BufferLen() int { return len(e.buffer) }
+
+// Duplicates returns how many duplicate rows the entry rejected (tests
+// assert this stays zero — Algorithm 2's epoch partitioning must prevent
+// re-derivation).
+func (e *CQEntry) Duplicates() int { return e.dups }
+
+// offer inserts a candidate result.
+func (e *CQEntry) offer(row *tuple.Row, score float64) {
+	id := row.Identity()
+	if e.seen[id] {
+		e.dups++
+		return
+	}
+	e.seen[id] = true
+	heap.Push(&e.buffer, candidate{row: row, score: score, id: id})
+}
+
+// EndpointSink adapts a terminal node's output into a CQ entry: rows arrive
+// in node atom order and are re-oriented into CQ atom order before scoring.
+type EndpointSink struct {
+	Entry *CQEntry
+	// AtomMap maps node expression atom positions to CQ atom indexes.
+	AtomMap []int
+	scores  []float64 // scratch
+}
+
+// NewEndpointSink wires an entry to a terminal node.
+func NewEndpointSink(entry *CQEntry, atomMap []int) *EndpointSink {
+	return &EndpointSink{Entry: entry, AtomMap: atomMap, scores: make([]float64, len(atomMap))}
+}
+
+// Offer scores and buffers one output row.
+func (s *EndpointSink) Offer(env *Env, r *tuple.Row) {
+	parts := make([]*tuple.Tuple, len(s.AtomMap))
+	for ni, ci := range s.AtomMap {
+		parts[ci] = r.Part(ni)
+	}
+	row := tuple.NewRow(parts...)
+	for i, p := range parts {
+		s.scores[i] = p.Score()
+	}
+	s.Entry.offer(row, s.Entry.CQ.Model.Score(s.scores))
+}
+
+// candidate is a buffered potential answer.
+type candidate struct {
+	row   *tuple.Row
+	score float64
+	id    string
+}
+
+// candidateHeap is a max-heap by score (identity ascending on ties, for
+// deterministic output).
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].id < h[j].id
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// StepKind classifies what a rank-merge did in one scheduling step.
+type StepKind int
+
+const (
+	// StepEmitted: one answer was emitted.
+	StepEmitted StepKind = iota
+	// StepRead: the operator wants one tuple read from Step.Source.
+	StepRead
+	// StepActivated: a pending CQ was activated (and may now need inputs).
+	StepActivated
+	// StepDone: the user query is finished.
+	StepDone
+)
+
+// Step reports one scheduling decision.
+type Step struct {
+	Kind   StepKind
+	Source *NodeExec
+	Result *Result
+	// PrunedCQs lists CQ ids deactivated by this step (§6.3 unlinking).
+	PrunedCQs []string
+}
+
+// RankMerge merges the output streams of a user query's conjunctive queries
+// into its top-k answers, maintaining per-CQ thresholds per the Threshold
+// Algorithm / No-Random-Access Algorithm of [7] (§4.1, Figure 6).
+type RankMerge struct {
+	UQ      *cq.UQ
+	K       int
+	Entries []*CQEntry
+
+	emitted   []Result
+	activated int
+	done      bool
+}
+
+// NewRankMerge builds the operator; entries must be in nonincreasing U order.
+func NewRankMerge(uq *cq.UQ, entries []*CQEntry) *RankMerge {
+	return &RankMerge{UQ: uq, K: uq.K, Entries: entries}
+}
+
+// Done reports completion.
+func (rm *RankMerge) Done() bool { return rm.done }
+
+// Results returns the emitted answers (in emission = rank order).
+func (rm *RankMerge) Results() []Result { return rm.emitted }
+
+// ExecutedCQs returns how many conjunctive queries were activated — the
+// quantity Table 4 reports.
+func (rm *RankMerge) ExecutedCQs() int { return rm.activated }
+
+// Entry returns the entry for a CQ id, or nil.
+func (rm *RankMerge) Entry(cqID string) *CQEntry {
+	for _, e := range rm.Entries {
+		if e.CQ.ID == cqID {
+			return e
+		}
+	}
+	return nil
+}
+
+// AddEntry grafts another conjunctive query into the operator (§6.2), kept
+// sorted by nonincreasing U.
+func (rm *RankMerge) AddEntry(e *CQEntry) {
+	rm.Entries = append(rm.Entries, e)
+	for i := len(rm.Entries) - 1; i > 0 && rm.Entries[i-1].U < rm.Entries[i].U; i-- {
+		rm.Entries[i-1], rm.Entries[i] = rm.Entries[i], rm.Entries[i-1]
+	}
+	rm.done = false
+}
+
+// Advance performs one scheduling step:
+//
+//  1. if k answers are out (or nothing can produce more), finish;
+//  2. if the best buffered candidate beats the gate — the max over active
+//     thresholds and pending upper bounds — emit it and prune entries whose
+//     threshold fell below the kth remaining candidate;
+//  3. else if the gate is a pending CQ's upper bound, activate that CQ;
+//  4. else request a read from the gate entry's preferred stream.
+func (rm *RankMerge) Advance(env *Env) Step {
+	for {
+		if rm.done {
+			return Step{Kind: StepDone}
+		}
+		if len(rm.emitted) >= rm.K {
+			rm.finish()
+			return Step{Kind: StepDone}
+		}
+		// Mark active entries with nothing left as complete.
+		for _, e := range rm.Entries {
+			if e.State == Active && math.IsInf(e.Threshold(), -1) && len(e.buffer) == 0 {
+				e.State = Complete
+			}
+		}
+		// Best buffered candidate across entries.
+		var bestEntry *CQEntry
+		bestScore := math.Inf(-1)
+		for _, e := range rm.Entries {
+			if len(e.buffer) == 0 {
+				continue
+			}
+			top := e.buffer[0]
+			if top.score > bestScore || (top.score == bestScore && bestEntry != nil && top.id < bestEntry.buffer[0].id) {
+				bestScore, bestEntry = top.score, e
+			}
+		}
+		// The emission gate.
+		gate := math.Inf(-1)
+		var gateEntry *CQEntry
+		gatePending := false
+		for _, e := range rm.Entries {
+			switch e.State {
+			case Active:
+				if t := e.Threshold(); t > gate {
+					gate, gateEntry, gatePending = t, e, false
+				}
+			case Pending:
+				if e.U > gate {
+					gate, gateEntry, gatePending = e.U, e, true
+				}
+			}
+		}
+		if bestEntry != nil && bestScore >= gate {
+			res := rm.emit(env, bestEntry)
+			pruned := rm.prune()
+			return Step{Kind: StepEmitted, Result: res, PrunedCQs: pruned}
+		}
+		if gateEntry == nil {
+			// No candidates and nothing active or pending: finished early
+			// (fewer than k results exist).
+			if bestEntry != nil {
+				res := rm.emit(env, bestEntry)
+				return Step{Kind: StepEmitted, Result: res}
+			}
+			rm.finish()
+			return Step{Kind: StepDone}
+		}
+		if gatePending {
+			gateEntry.State = Active
+			rm.activated++
+			return Step{Kind: StepActivated}
+		}
+		src := gateEntry.PreferredSource()
+		if src == nil {
+			// Threshold came from a group that exhausted concurrently;
+			// loop to reclassify.
+			continue
+		}
+		return Step{Kind: StepRead, Source: src}
+	}
+}
+
+func (rm *RankMerge) emit(env *Env, e *CQEntry) *Result {
+	c := heap.Pop(&e.buffer).(candidate)
+	res := Result{UQID: rm.UQ.ID, CQID: e.CQ.ID, Score: c.score, Row: c.row, At: env.Clock.Now()}
+	rm.emitted = append(rm.emitted, res)
+	env.Metrics.AddResult()
+	return &res
+}
+
+// prune deactivates active entries whose threshold can no longer reach the
+// remaining top-k slots: if (k-emitted) candidates are already buffered with
+// scores above an entry's threshold, its future results cannot matter (§6.3).
+func (rm *RankMerge) prune() []string {
+	need := rm.K - len(rm.emitted)
+	if need <= 0 {
+		return nil
+	}
+	// Collect buffered scores to find the need'th highest.
+	var scores []float64
+	for _, e := range rm.Entries {
+		for _, c := range e.buffer {
+			scores = append(scores, c.score)
+		}
+	}
+	if len(scores) < need {
+		return nil
+	}
+	kth := quickSelectDesc(scores, need)
+	var prunedIDs []string
+	for _, e := range rm.Entries {
+		if e.State != Active {
+			continue
+		}
+		if t := e.Threshold(); t < kth {
+			e.State = Pruned
+			prunedIDs = append(prunedIDs, e.CQ.ID)
+		}
+	}
+	return prunedIDs
+}
+
+func (rm *RankMerge) finish() {
+	rm.done = true
+	for _, e := range rm.Entries {
+		if e.State == Active || e.State == Pending {
+			e.State = Complete
+		}
+	}
+}
+
+// quickSelectDesc returns the n'th largest value (1-based) of xs.
+func quickSelectDesc(xs []float64, n int) float64 {
+	if n < 1 || n > len(xs) {
+		panic(fmt.Sprintf("operator: quickSelect n=%d of %d", n, len(xs)))
+	}
+	lo, hi := 0, len(xs)-1
+	k := n - 1
+	for lo < hi {
+		p := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] > p {
+				i++
+			}
+			for xs[j] < p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}

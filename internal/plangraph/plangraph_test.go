@@ -1,0 +1,217 @@
+package plangraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/scoring"
+)
+
+func expr(t *testing.T, rels ...string) *cq.Expr {
+	t.Helper()
+	atoms := make([]*cq.Atom, len(rels))
+	for i, r := range rels {
+		atoms[i] = &cq.Atom{Rel: r, DB: "db", Args: []cq.Term{cq.V(i), cq.V(i + 1)}}
+	}
+	w := make([]float64, len(rels))
+	for i := range w {
+		w[i] = 1
+	}
+	q := &cq.CQ{ID: "q", Atoms: atoms, Model: scoring.QSystem(0, w)}
+	idx := make([]int, len(rels))
+	for i := range idx {
+		idx[i] = i
+	}
+	e, _ := q.SubExpr(idx)
+	return e
+}
+
+func TestNodeKeyEncodesKindAndScope(t *testing.T) {
+	g := New("")
+	e := expr(t, "A")
+	ks := g.NodeKey(SourceStream, e.Key())
+	kp := g.NodeKey(SourceProbe, e.Key())
+	kj := g.NodeKey(Join, e.Key())
+	if ks == kp || ks == kj || kp == kj {
+		t.Error("kinds must produce distinct keys")
+	}
+	scoped := New("CQ7")
+	if scoped.NodeKey(SourceStream, e.Key()) == ks {
+		t.Error("scope must namespace keys")
+	}
+}
+
+func TestEnsureNodeDedup(t *testing.T) {
+	g := New("")
+	e := expr(t, "A")
+	n1 := g.EnsureNode(SourceStream, e, "db")
+	n2 := g.EnsureNode(SourceStream, e, "db")
+	if n1 != n2 {
+		t.Error("same kind+expr must dedup")
+	}
+	n3 := g.EnsureNode(SourceProbe, e, "db")
+	if n3 == n1 {
+		t.Error("different kinds must not dedup")
+	}
+	if len(g.Nodes()) != 2 {
+		t.Errorf("nodes = %d", len(g.Nodes()))
+	}
+}
+
+// buildJoinGraph wires A ⋈ B into a join node with endpoint.
+func buildJoinGraph(t *testing.T) (*Graph, *Node, *cq.CQ) {
+	t.Helper()
+	g := New("")
+	q := &cq.CQ{ID: "CQ1", UQID: "UQ1", Atoms: []*cq.Atom{
+		{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1)}},
+		{Rel: "B", DB: "db", Args: []cq.Term{cq.V(1), cq.V(2)}},
+	}, Model: scoring.Discover(2)}
+	full, mapping := q.SubExpr([]int{0, 1})
+	ea, ma := q.SubExpr([]int{0})
+	eb, mb := q.SubExpr([]int{1})
+	na := g.EnsureNode(SourceStream, ea, "db")
+	nb := g.EnsureNode(SourceStream, eb, "db")
+	nj := g.EnsureNode(Join, full, "")
+	// AtomMap: source atom 0 -> position of its CQ atom in full's mapping.
+	inv := map[int]int{}
+	for p, ai := range mapping {
+		inv[ai] = p
+	}
+	g.Connect(na, nj, []int{inv[ma[0]]}, false)
+	g.Connect(nb, nj, []int{inv[mb[0]]}, false)
+	g.SetEndpoint(q, nj, mapping)
+	return g, nj, q
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	g, _, _ := buildJoinGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("well-formed graph rejected: %v", err)
+	}
+	st := g.Stats()
+	if st.Sources != 2 || st.Joins != 1 || st.Endpoints != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(g.Dump(), "endpoint CQ1") {
+		t.Error("dump missing endpoint")
+	}
+}
+
+func TestValidateRejectsSingleInputJoin(t *testing.T) {
+	g := New("")
+	e := expr(t, "A", "B")
+	na := g.EnsureNode(SourceStream, expr(t, "A"), "db")
+	nj := g.EnsureNode(Join, e, "")
+	g.Connect(na, nj, []int{0}, false)
+	if err := g.Validate(); err == nil {
+		t.Error("join with one input accepted")
+	}
+}
+
+func TestValidateRejectsDoubleCoverage(t *testing.T) {
+	g := New("")
+	e := expr(t, "A", "A2")
+	e.Atoms[1].Rel = "A" // force same relation at both positions
+	na := g.EnsureNode(SourceStream, expr(t, "A"), "db")
+	nj := g.EnsureNode(Join, e, "")
+	g.Connect(na, nj, []int{0}, false)
+	g.Connect(na, nj, []int{0}, false) // both map to atom 0
+	if err := g.Validate(); err == nil {
+		t.Error("double atom coverage accepted")
+	}
+}
+
+func TestValidateRejectsAllProbeJoin(t *testing.T) {
+	g := New("")
+	e := expr(t, "A", "B")
+	na := g.EnsureNode(SourceProbe, expr(t, "A"), "db")
+	nb := g.EnsureNode(SourceProbe, expr(t, "B"), "db")
+	nj := g.EnsureNode(Join, e, "")
+	g.Connect(na, nj, []int{0}, true)
+	g.Connect(nb, nj, []int{1}, true)
+	if err := g.Validate(); err == nil {
+		t.Error("probe-only join accepted")
+	}
+}
+
+func TestSplitDetection(t *testing.T) {
+	g, _, _ := buildJoinGraph(t)
+	// Add a second consumer of A's source.
+	var na *Node
+	for _, n := range g.Nodes() {
+		if n.Kind == SourceStream && strings.Contains(n.Key, "A@db") {
+			na = n
+		}
+	}
+	e2 := expr(t, "A", "C")
+	nj2 := g.EnsureNode(Join, e2, "")
+	nc := g.EnsureNode(SourceStream, expr(t, "C"), "db")
+	g.Connect(na, nj2, []int{0}, false)
+	g.Connect(nc, nj2, []int{1}, false)
+	if !na.IsSplit() {
+		t.Error("node with two consumers should be a split")
+	}
+	if g.Stats().Splits != 1 {
+		t.Errorf("splits = %d", g.Stats().Splits)
+	}
+}
+
+func TestEndpointManagement(t *testing.T) {
+	g, nj, q := buildJoinGraph(t)
+	if g.Endpoint(q.ID) == nil || !g.HasEndpointOn(nj) {
+		t.Error("endpoint lookup failed")
+	}
+	g.RemoveEndpoint(q.ID)
+	if g.Endpoint(q.ID) != nil || g.HasEndpointOn(nj) {
+		t.Error("endpoint removal failed")
+	}
+}
+
+func TestDetachAndRemove(t *testing.T) {
+	g, nj, q := buildJoinGraph(t)
+	g.RemoveEndpoint(q.ID)
+	g.Detach(nj)
+	for _, n := range g.Nodes() {
+		if n == nj {
+			t.Error("node still present after Detach")
+		}
+		if len(n.Consumers) != 0 {
+			t.Error("parent retains edge to removed node")
+		}
+	}
+}
+
+func TestPruneOrphansRespectsEligibility(t *testing.T) {
+	g, nj, q := buildJoinGraph(t)
+	g.RemoveEndpoint(q.ID)
+	// Not eligible: survives.
+	g.PruneOrphans(map[*Node]bool{})
+	if g.Node(nj.Key) == nil {
+		t.Fatal("ineligible orphan pruned")
+	}
+	// Eligible: removed, and sources keep no consumers.
+	g.PruneOrphans(map[*Node]bool{nj: true})
+	if g.Node(nj.Key) != nil {
+		t.Fatal("eligible orphan not pruned")
+	}
+	for _, n := range g.Nodes() {
+		if len(n.Consumers) != 0 {
+			t.Error("dangling consumer after prune")
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("")
+	e1 := expr(t, "A", "B")
+	e2 := expr(t, "B", "C")
+	n1 := g.EnsureNode(Join, e1, "")
+	n2 := g.EnsureNode(Join, e2, "")
+	g.Connect(n1, n2, []int{0, 1}, false)
+	// Force a cycle by manual edge surgery.
+	g.Connect(n2, n1, []int{0, 1}, false)
+	if err := g.checkAcyclic(); err == nil {
+		t.Error("cycle not detected")
+	}
+}

@@ -1,0 +1,334 @@
+// Package qsm implements the query state manager (§3, §6): it admits batches
+// of user queries into a (possibly already running) plan graph by optimizing
+// them against reusable in-memory state, grafting the resulting plan into the
+// graph (§6.2), recovering historical results for late-arriving queries
+// (Algorithm 2, executed in bulk per node via the ATC's Revive), registering
+// rank-merge operators, feeding observed statistics back to the catalog
+// (§6.1 "updated cost estimates"), and evicting state under memory pressure
+// with LRU-by-size tie-break (§6.3).
+package qsm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/atc"
+	"repro/internal/batcher"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/factorize"
+	"repro/internal/mqo"
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+)
+
+// ShareMode selects how much sharing the optimizer may exploit — the four
+// experimental configurations of §7.1 map onto these modes plus the grouping
+// of user queries into plan graphs.
+type ShareMode int
+
+const (
+	// ShareNone isolates every conjunctive query (ATC-CQ): each CQ is
+	// optimized alone and its plan nodes are namespaced so nothing is shared,
+	// not even base streams.
+	ShareNone ShareMode = iota
+	// ShareWithinUQ shares subexpressions among one user query's CQs but not
+	// across user queries (ATC-UQ).
+	ShareWithinUQ
+	// ShareAll shares across every query in the graph (ATC-FULL, and within
+	// each cluster of ATC-CL).
+	ShareAll
+)
+
+// String names the mode.
+func (m ShareMode) String() string {
+	switch m {
+	case ShareNone:
+		return "atc-cq"
+	case ShareWithinUQ:
+		return "atc-uq"
+	default:
+		return "atc-full"
+	}
+}
+
+// Manager owns one plan graph's state lifecycle.
+type Manager struct {
+	Graph *plangraph.Graph
+	ATC   *atc.ATC
+	Cat   *catalog.Catalog
+	CM    *costmodel.Model
+	Mode  ShareMode
+	// MemoryBudget bounds resident state in rows (0 = unbounded). §6.3.
+	MemoryBudget int
+	// ChargeOptimizer adds measured optimization wall time to the virtual
+	// clock (the paper's response times include optimization, §7.4). Off by
+	// default so tests stay bit-deterministic.
+	ChargeOptimizer bool
+
+	lastUse map[*plangraph.Node]int // node -> last epoch referenced
+	// inputNodes remembers, per CQ id, its streaming-input bindings for
+	// threshold groups.
+	evictions int
+}
+
+// New creates a manager.
+func New(g *plangraph.Graph, a *atc.ATC, cat *catalog.Catalog, cm *costmodel.Model, mode ShareMode) *Manager {
+	return &Manager{Graph: g, ATC: a, Cat: cat, CM: cm, Mode: mode, lastUse: map[*plangraph.Node]int{}}
+}
+
+// Evictions returns how many state objects were evicted (§6.3).
+func (m *Manager) Evictions() int { return m.evictions }
+
+// AdmitReport summarises one admission.
+type AdmitReport struct {
+	Epoch int
+	// OptimizeWall is the real time spent in multi-query optimization; it is
+	// also charged to the graph's virtual clock (the paper's timings include
+	// optimization, §7.4).
+	OptimizeWall time.Duration
+	// CandidatesPerGroup records Figure 11's x-axis per optimization group.
+	CandidatesPerGroup []int
+	// SearchNodes sums BestPlan invocations.
+	SearchNodes int
+	// Recovered counts historical rows recovered for the new queries.
+	Recovered int64
+}
+
+// optGroup is one unit of optimization: a set of CQs sharing a scope.
+type optGroup struct {
+	scope string
+	qs    []*cq.CQ
+}
+
+// Admit optimizes and grafts a batch of user queries, registering their
+// rank-merge operators with the ATC. Arrival times follow each submission.
+func (m *Manager) Admit(subs []batcher.Submission, cfg mqo.Config) (*AdmitReport, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("qsm: empty batch")
+	}
+	epoch := m.ATC.BumpEpoch()
+	report := &AdmitReport{Epoch: epoch}
+
+	groups := m.groups(subs)
+	type cqInput struct {
+		node *plangraph.Node
+		mode costmodel.Mode
+		occ  *cq.ExprOccurrence
+	}
+	inputsByCQ := map[string][]cqInput{}
+
+	for _, g := range groups {
+		start := time.Now()
+		res, err := mqo.Optimize(g.qs, m.CM, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("qsm: optimize %q: %w", g.scope, err)
+		}
+		report.OptimizeWall += time.Since(start)
+		report.CandidatesPerGroup = append(report.CandidatesPerGroup, res.CandidateCount)
+		report.SearchNodes += res.SearchNodes
+		if err := mqo.Validate(g.qs, res.Inputs); err != nil {
+			return nil, fmt.Errorf("qsm: invalid assignment for %q: %w", g.scope, err)
+		}
+		prevScope := m.Graph.Scope
+		m.Graph.Scope = g.scope
+		err = factorize.Build(m.Graph, g.qs, res.Inputs, m.Cat)
+		if err != nil {
+			m.Graph.Scope = prevScope
+			return nil, fmt.Errorf("qsm: factorize %q: %w", g.scope, err)
+		}
+		// Capture per-CQ streaming inputs while the scope is in effect.
+		for _, in := range res.Inputs {
+			kind := plangraph.SourceStream
+			if in.Mode == costmodel.Probe {
+				kind = plangraph.SourceProbe
+			}
+			node := m.Graph.Node(m.Graph.NodeKey(kind, in.Expr.Key()))
+			if node == nil {
+				m.Graph.Scope = prevScope
+				return nil, fmt.Errorf("qsm: input node %s vanished", in.Expr.Key())
+			}
+			for cqID, occ := range in.Uses {
+				inputsByCQ[cqID] = append(inputsByCQ[cqID], cqInput{node: node, mode: in.Mode, occ: occ})
+			}
+		}
+		m.Graph.Scope = prevScope
+	}
+	// The paper includes optimization time in measured response times.
+	if m.ChargeOptimizer {
+		m.ATC.Env.Clock.Advance(report.OptimizeWall)
+	}
+
+	// Graft each user query: revive terminal nodes (recovering history),
+	// build entries with threshold groups, seed buffers from pre-epoch logs,
+	// and register rank-merges.
+	replayBefore := m.ATC.Env.Metrics.Snapshot().ReplayTuples
+	for _, sub := range subs {
+		uq := sub.UQ
+		var entries []*operator.CQEntry
+		for _, q := range uq.CQs {
+			ep := m.Graph.Endpoint(q.ID)
+			if ep == nil {
+				return nil, fmt.Errorf("qsm: no endpoint for %s", q.ID)
+			}
+			x, err := m.ATC.Revive(ep.Node, epoch)
+			if err != nil {
+				return nil, err
+			}
+			m.touch(ep.Node, epoch)
+			maxima := make([]float64, len(q.Atoms))
+			for i, a := range q.Atoms {
+				maxima[i] = m.Cat.MaxScoreOf(a.Rel)
+			}
+			entry := operator.NewCQEntry(q, q.Model.MaxScore(maxima), maxima)
+			for _, in := range inputsByCQ[q.ID] {
+				m.touch(in.node, epoch)
+				if in.mode != costmodel.Stream {
+					continue
+				}
+				sx, err := m.ATC.Exec(in.node)
+				if err != nil {
+					return nil, err
+				}
+				entry.Groups = append(entry.Groups, &operator.ThresholdGroup{
+					Atoms:  append([]int(nil), in.occ.AtomOf...),
+					Source: sx,
+				})
+			}
+			if len(entry.Groups) == 0 {
+				return nil, fmt.Errorf("qsm: %s has no streaming groups", q.ID)
+			}
+			sink := operator.NewEndpointSink(entry, ep.AtomMap)
+			// Seed the entry with results the graph computed before this
+			// epoch (pure reuse; no source reads are charged).
+			for _, row := range x.Log.BeforeSorted(epoch) {
+				sink.Offer(m.ATC.Env, row)
+			}
+			m.ATC.AttachCQ(q.ID, x, sink)
+			entries = append(entries, entry)
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].U > entries[j].U })
+		rm := operator.NewRankMerge(uq, entries)
+		m.ATC.AddMerge(rm, sub.At)
+	}
+	report.Recovered = m.ATC.Env.Metrics.Snapshot().ReplayTuples - replayBefore
+	m.EnforceBudget(epoch)
+	return report, nil
+}
+
+// groups splits the batch into optimization units per the sharing mode.
+func (m *Manager) groups(subs []batcher.Submission) []optGroup {
+	switch m.Mode {
+	case ShareNone:
+		var out []optGroup
+		for _, s := range subs {
+			for _, q := range s.UQ.CQs {
+				out = append(out, optGroup{scope: q.ID, qs: []*cq.CQ{q}})
+			}
+		}
+		return out
+	case ShareWithinUQ:
+		var out []optGroup
+		for _, s := range subs {
+			out = append(out, optGroup{scope: s.UQ.ID, qs: s.UQ.CQs})
+		}
+		return out
+	default:
+		var qs []*cq.CQ
+		for _, s := range subs {
+			qs = append(qs, s.UQ.CQs...)
+		}
+		return []optGroup{{scope: "", qs: qs}}
+	}
+}
+
+func (m *Manager) touch(n *plangraph.Node, epoch int) { m.lastUse[n] = epoch }
+
+// SyncCatalog feeds observed execution state back into the catalog so the
+// next optimization round costs reuse correctly (§6.1).
+func (m *Manager) SyncCatalog() {
+	for _, n := range m.Graph.Nodes() {
+		x, ok := m.ATC.HasExec(n)
+		if !ok {
+			continue
+		}
+		switch n.Kind {
+		case plangraph.SourceStream:
+			if x.Stream != nil {
+				key := n.Expr.Key()
+				m.Cat.RecordStreamed(key, x.Stream.Pos())
+				if x.Stream.Exhausted() {
+					m.Cat.RecordExprCard(key, float64(x.Stream.Len()))
+				}
+			}
+		case plangraph.Join:
+			// Completed joins whose inputs are exhausted have exact counts;
+			// partial counts would mislead the estimator, so skip them.
+		}
+	}
+}
+
+// StateSize reports total resident state in rows.
+func (m *Manager) StateSize() int {
+	total := 0
+	for _, n := range m.Graph.Nodes() {
+		if x, ok := m.ATC.HasExec(n); ok {
+			total += x.StateSize()
+		}
+	}
+	return total
+}
+
+// EnforceBudget evicts least-recently-used, currently idle state until the
+// graph fits the memory budget (§6.3: LRU with size as tie-breaker).
+func (m *Manager) EnforceBudget(epoch int) {
+	if m.MemoryBudget <= 0 {
+		return
+	}
+	for m.StateSize() > m.MemoryBudget {
+		victim := m.pickVictim()
+		if victim == nil {
+			return // everything live or pinned; nothing evictable
+		}
+		m.evict(victim)
+	}
+}
+
+// pickVictim chooses the evictable node with the oldest last use, breaking
+// ties toward larger state.
+func (m *Manager) pickVictim() *plangraph.Node {
+	var best *plangraph.Node
+	bestUse, bestSize := 0, 0
+	for _, n := range m.Graph.Nodes() {
+		x, ok := m.ATC.HasExec(n)
+		if !ok || x.HasWork() || len(n.Consumers) > 0 {
+			continue // live, or structurally feeding cached state upstream
+		}
+		if m.Graph.HasEndpointOn(n) {
+			continue
+		}
+		size := x.StateSize()
+		if size == 0 {
+			continue
+		}
+		use := m.lastUse[n]
+		if best == nil || use < bestUse || (use == bestUse && size > bestSize) {
+			best, bestUse, bestSize = n, use, size
+		}
+	}
+	return best
+}
+
+// evict removes a node's runtime state and detaches it from the graph; a
+// future query needing the expression re-creates (and re-pays for) it.
+func (m *Manager) evict(n *plangraph.Node) {
+	m.ATC.DropExec(n)
+	if n.Kind == plangraph.SourceStream {
+		m.Cat.ForgetStreamed(n.Expr.Key())
+	}
+	m.Graph.Detach(n)
+	delete(m.lastUse, n)
+	m.evictions++
+}

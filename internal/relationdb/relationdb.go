@@ -1,0 +1,186 @@
+// Package relationdb is the storage substrate for the simulated remote
+// databases: in-memory relations kept in nonincreasing score order (the
+// paper's streaming-source contract, §3) with lazily-built hash indexes over
+// join columns (the probe path of random-access sources).
+package relationdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Relation stores the rows of one relation sorted by nonincreasing score
+// (ties broken by primary key for determinism) and serves two access paths:
+// positional scan in score order, and hash lookup by column value.
+type Relation struct {
+	schema *tuple.Schema
+	rows   []*tuple.Tuple
+
+	mu      sync.Mutex
+	indexes map[int]map[string][]*tuple.Tuple // column -> value key -> rows
+}
+
+// NewRelation builds a relation from rows; the slice is re-sorted into
+// nonincreasing score order and sequence numbers are assigned.
+func NewRelation(schema *tuple.Schema, rows []*tuple.Tuple) *Relation {
+	sorted := append([]*tuple.Tuple(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Score(), sorted[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i].Identity() < sorted[j].Identity()
+	})
+	for i, t := range sorted {
+		t.WithSeq(int64(i))
+	}
+	return &Relation{schema: schema, rows: sorted, indexes: map[int]map[string][]*tuple.Tuple{}}
+}
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *tuple.Schema { return r.schema }
+
+// Cardinality returns the number of rows.
+func (r *Relation) Cardinality() int { return len(r.rows) }
+
+// Row returns the i'th row in score order.
+func (r *Relation) Row(i int) *tuple.Tuple { return r.rows[i] }
+
+// Rows returns the backing slice (callers must not mutate).
+func (r *Relation) Rows() []*tuple.Tuple { return r.rows }
+
+// MaxScore returns the highest score (the first row's), or
+// tuple.NeutralScore when the relation is empty or score-less.
+func (r *Relation) MaxScore() float64 {
+	if len(r.rows) == 0 || !r.schema.HasScore() {
+		return tuple.NeutralScore
+	}
+	return r.rows[0].Score()
+}
+
+// Lookup returns the rows whose col equals v, via a lazily-built hash index.
+func (r *Relation) Lookup(col int, v tuple.Value) []*tuple.Tuple {
+	r.mu.Lock()
+	idx, ok := r.indexes[col]
+	if !ok {
+		idx = make(map[string][]*tuple.Tuple)
+		for _, t := range r.rows {
+			k := t.Val(col).Key()
+			idx[k] = append(idx[k], t)
+		}
+		r.indexes[col] = idx
+	}
+	r.mu.Unlock()
+	return idx[v.Key()]
+}
+
+// DistinctCount returns the number of distinct values in col (computed on
+// demand through the same index the probes use).
+func (r *Relation) DistinctCount(col int) int {
+	r.mu.Lock()
+	idx, ok := r.indexes[col]
+	r.mu.Unlock()
+	if !ok {
+		if len(r.rows) == 0 {
+			return 0
+		}
+		r.Lookup(col, r.rows[0].Val(col)) // force index build
+		r.mu.Lock()
+		idx = r.indexes[col]
+		r.mu.Unlock()
+	}
+	return len(idx)
+}
+
+// Store is a named collection of relations: one simulated database instance.
+type Store struct {
+	name string
+
+	mu        sync.Mutex
+	relations map[string]*Relation
+	loaders   map[string]func() *Relation
+}
+
+// NewStore creates an empty database instance with the given name.
+func NewStore(name string) *Store {
+	return &Store{name: name, relations: map[string]*Relation{}, loaders: map[string]func() *Relation{}}
+}
+
+// Name returns the database instance name.
+func (s *Store) Name() string { return s.name }
+
+// Put registers a materialised relation.
+func (s *Store) Put(rel *Relation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.relations[rel.Schema().Name()] = rel
+}
+
+// PutLazy registers a loader invoked on first access — the GUS workload
+// declares 358 relations but only materialises those a run touches.
+func (s *Store) PutLazy(name string, load func() *Relation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loaders[name] = load
+}
+
+// Relation returns the named relation, materialising it if lazy.
+func (s *Store) Relation(name string) (*Relation, error) {
+	s.mu.Lock()
+	if rel, ok := s.relations[name]; ok {
+		s.mu.Unlock()
+		return rel, nil
+	}
+	load, ok := s.loaders[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("relationdb: %s has no relation %q", s.name, name)
+	}
+	rel := load()
+	s.mu.Lock()
+	s.relations[rel.Schema().Name()] = rel
+	s.mu.Unlock()
+	return rel, nil
+}
+
+// MustRelation is Relation for trusted callers.
+func (s *Store) MustRelation(name string) *Relation {
+	rel, err := s.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// Has reports whether the store knows the relation (materialised or lazy).
+func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.relations[name]; ok {
+		return true
+	}
+	_, ok := s.loaders[name]
+	return ok
+}
+
+// Names returns all relation names (materialised and lazy), sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for n := range s.relations {
+		set[n] = true
+	}
+	for n := range s.loaders {
+		set[n] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,41 @@
+package remotedb
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+func benchExpr() *cq.Expr {
+	q := &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), cq.V(4), cq.V(5)}},
+		{Rel: "B", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(6)}},
+		{Rel: "C", DB: "db", Args: []cq.Term{cq.V(1), cq.V(7)}},
+	}, Model: scoring.Discover(3)}
+	e, _ := q.SubExpr([]int{0, 1, 2})
+	return e
+}
+
+func BenchmarkEvaluatePushdown(b *testing.B) {
+	e := benchExpr()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := fixture(uint64(i)+1, 200, 600, 150)
+		if _, err := db.Evaluate(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	db := fixture(3, 400, 1200, 300)
+	atom := &cq.Atom{Rel: "B", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(2)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Probe(atom, 0, tuple.Int(int64(i%400))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package remotedb simulates the remote SQL DBMSs the Q System middleware
+// runs over (§3). Each DB wraps one database instance and offers exactly the
+// two capabilities the paper requires of sources:
+//
+//   - streaming: evaluate a pushed-down select-project-join expression and
+//     return its full result sorted in nonincreasing score order (the
+//     canonical row score is the product of part scores — see DESIGN.md);
+//   - random access: probe a base relation by column value, applying the
+//     atom's selection constants (the "two-way semijoin" path, §7.1).
+//
+// Pushed-down results are materialised once per expression and cached, like
+// a DBMS answering the same streamed subquery for the middleware; the
+// middleware's virtual clock charges per-tuple stream delays and per-call
+// probe delays at the call sites, so evaluation here is cost-free by design.
+package remotedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/relationdb"
+	"repro/internal/tuple"
+)
+
+// DB serves one database instance.
+type DB struct {
+	store *relationdb.Store
+
+	mu    sync.Mutex
+	views map[string][]*tuple.Row // materialised pushdown results by expr key
+}
+
+// New wraps a relation store as a remote database.
+func New(store *relationdb.Store) *DB {
+	return &DB{store: store, views: map[string][]*tuple.Row{}}
+}
+
+// Name returns the database instance name.
+func (db *DB) Name() string { return db.store.Name() }
+
+// Store exposes the underlying relation store (used by workload loaders).
+func (db *DB) Store() *relationdb.Store { return db.store }
+
+// Evaluate computes the pushed-down expression and returns its rows sorted by
+// nonincreasing score product (ties broken by row identity for determinism).
+// Row parts align with e.Atoms. Results are cached per canonical key.
+func (db *DB) Evaluate(e *cq.Expr) ([]*tuple.Row, error) {
+	db.mu.Lock()
+	if rows, ok := db.views[e.Key()]; ok {
+		db.mu.Unlock()
+		return rows, nil
+	}
+	db.mu.Unlock()
+
+	rows, err := db.evaluate(e)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.views[e.Key()] = rows
+	db.mu.Unlock()
+	return rows, nil
+}
+
+func (db *DB) evaluate(e *cq.Expr) ([]*tuple.Row, error) {
+	n := len(e.Atoms)
+	preds := e.JoinPreds()
+	// Choose a join order: most-constrained atom first (selection constants),
+	// then atoms connected to what is already bound.
+	order, err := db.joinOrder(e, preds)
+	if err != nil {
+		return nil, err
+	}
+	// partials maps each enumeration state to bound parts (indexed by atom).
+	type partial struct{ parts []*tuple.Tuple }
+	first := order[0]
+	base, err := db.scanFiltered(e.Atoms[first])
+	if err != nil {
+		return nil, err
+	}
+	partials := make([]partial, 0, len(base))
+	for _, t := range base {
+		parts := make([]*tuple.Tuple, n)
+		parts[first] = t
+		partials = append(partials, partial{parts})
+	}
+	bound := map[int]bool{first: true}
+	for _, next := range order[1:] {
+		rel, err := db.store.Relation(e.Atoms[next].Rel)
+		if err != nil {
+			return nil, err
+		}
+		// Split preds touching `next`: one lookup pred + verification preds,
+		// each oriented as (bound atom, bound col) -> (next, next col).
+		var lookup *cq.JoinPred
+		var verify []cq.JoinPred
+		for _, p0 := range preds {
+			var p cq.JoinPred
+			switch {
+			case p0.AtomB == next && bound[p0.AtomA]:
+				p = p0
+			case p0.AtomA == next && bound[p0.AtomB]:
+				p = cq.JoinPred{AtomA: p0.AtomB, ColA: p0.ColB, AtomB: p0.AtomA, ColB: p0.ColA}
+			default:
+				continue
+			}
+			if lookup == nil {
+				lp := p
+				lookup = &lp
+			} else {
+				verify = append(verify, p)
+			}
+		}
+		var out []partial
+		for _, pt := range partials {
+			var matches []*tuple.Tuple
+			if lookup != nil {
+				v := pt.parts[lookup.AtomA].Val(lookup.ColA)
+				matches = rel.Lookup(lookup.ColB, v)
+			} else {
+				matches = rel.Rows() // cross join (disconnected; rare)
+			}
+			for _, m := range matches {
+				if !atomAccepts(e.Atoms[next], m) {
+					continue
+				}
+				ok := true
+				for _, vp := range verify {
+					if !pt.parts[vp.AtomA].Val(vp.ColA).Equal(m.Val(vp.ColB)) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				parts := append([]*tuple.Tuple(nil), pt.parts...)
+				parts[next] = m
+				out = append(out, partial{parts})
+			}
+		}
+		partials = out
+		bound[next] = true
+	}
+	rows := make([]*tuple.Row, len(partials))
+	for i, pt := range partials {
+		rows[i] = tuple.NewRow(pt.parts...)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		si, sj := rows[i].ScoreProduct(), rows[j].ScoreProduct()
+		if si != sj {
+			return si > sj
+		}
+		return rows[i].Identity() < rows[j].Identity()
+	})
+	return rows, nil
+}
+
+// joinOrder picks an evaluation order: the atom with the most selection
+// constants (then smallest relation) first, then connected atoms.
+func (db *DB) joinOrder(e *cq.Expr, preds []cq.JoinPred) ([]int, error) {
+	n := len(e.Atoms)
+	consts := func(a *cq.Atom) int {
+		c := 0
+		for _, t := range a.Args {
+			if t.IsConst() {
+				c++
+			}
+		}
+		return c
+	}
+	card := func(a *cq.Atom) int {
+		rel, err := db.store.Relation(a.Rel)
+		if err != nil {
+			return 1 << 30
+		}
+		return rel.Cardinality()
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		ci, cb := consts(e.Atoms[i]), consts(e.Atoms[best])
+		if ci > cb || (ci == cb && card(e.Atoms[i]) < card(e.Atoms[best])) {
+			best = i
+		}
+	}
+	order := []int{best}
+	bound := map[int]bool{best: true}
+	for len(order) < n {
+		next := -1
+		for i := range preds {
+			var cand int
+			switch {
+			case bound[preds[i].AtomA] && !bound[preds[i].AtomB]:
+				cand = preds[i].AtomB
+			case bound[preds[i].AtomB] && !bound[preds[i].AtomA]:
+				cand = preds[i].AtomA
+			default:
+				continue
+			}
+			if next < 0 || card(e.Atoms[cand]) < card(e.Atoms[next]) {
+				next = cand
+			}
+		}
+		if next < 0 {
+			for i := 0; i < n; i++ { // disconnected remainder
+				if !bound[i] {
+					next = i
+					break
+				}
+			}
+		}
+		order = append(order, next)
+		bound[next] = true
+	}
+	return order, nil
+}
+
+// scanFiltered returns the atom's relation rows satisfying its selection
+// constants, in relation (score) order.
+func (db *DB) scanFiltered(a *cq.Atom) ([]*tuple.Tuple, error) {
+	rel, err := db.store.Relation(a.Rel)
+	if err != nil {
+		return nil, err
+	}
+	// Use an index when a constant column exists.
+	for ci, t := range a.Args {
+		if t.IsConst() {
+			matches := rel.Lookup(ci, t.Const)
+			var out []*tuple.Tuple
+			for _, m := range matches {
+				if atomAccepts(a, m) {
+					out = append(out, m)
+				}
+			}
+			sort.SliceStable(out, func(i, j int) bool { return out[i].Seq() < out[j].Seq() })
+			return out, nil
+		}
+	}
+	return rel.Rows(), nil
+}
+
+// atomAccepts checks every selection constant of the atom against the tuple.
+func atomAccepts(a *cq.Atom, t *tuple.Tuple) bool {
+	for ci, term := range a.Args {
+		if term.IsConst() && !t.Val(ci).Equal(term.Const) {
+			return false
+		}
+	}
+	return true
+}
+
+// Probe performs a random access: rows of the single-atom expression whose
+// column col equals v (selection constants applied). The caller charges the
+// remote-probe delay.
+func (db *DB) Probe(a *cq.Atom, col int, v tuple.Value) ([]*tuple.Row, error) {
+	rel, err := db.store.Relation(a.Rel)
+	if err != nil {
+		return nil, err
+	}
+	var out []*tuple.Row
+	for _, m := range rel.Lookup(col, v) {
+		if atomAccepts(a, m) {
+			out = append(out, tuple.NewRow(m))
+		}
+	}
+	return out, nil
+}
+
+// Fleet is the set of database instances visible to the middleware, keyed by
+// instance name.
+type Fleet struct {
+	mu  sync.RWMutex
+	dbs map[string]*DB
+}
+
+// NewFleet builds a fleet over the given databases.
+func NewFleet(dbs ...*DB) *Fleet {
+	f := &Fleet{dbs: map[string]*DB{}}
+	for _, db := range dbs {
+		f.dbs[db.Name()] = db
+	}
+	return f
+}
+
+// Add registers another database.
+func (f *Fleet) Add(db *DB) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dbs[db.Name()] = db
+}
+
+// MustDB is DB for trusted callers.
+func (f *Fleet) MustDB(name string) *DB {
+	db, err := f.DB(name)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// DB returns the named database.
+func (f *Fleet) DB(name string) (*DB, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	db, ok := f.dbs[name]
+	if !ok {
+		return nil, fmt.Errorf("remotedb: unknown database %q", name)
+	}
+	return db, nil
+}

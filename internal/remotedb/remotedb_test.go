@@ -1,0 +1,210 @@
+package remotedb
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/relationdb"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+// fixture: A(id*, term, score), B(aid, cid, sim), C(id*, score).
+func fixture(seed uint64, nA, nB, nC int) *DB {
+	rng := dist.New(seed)
+	store := relationdb.NewStore("db")
+	sa := tuple.NewSchema("A",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "term", Type: tuple.KindString},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	terms := []string{"x", "y", "z"}
+	var rows []*tuple.Tuple
+	for i := 0; i < nA; i++ {
+		rows = append(rows, tuple.New(sa, tuple.Int(int64(i)), tuple.String(terms[rng.Intn(3)]), tuple.Float(rng.Float64())))
+	}
+	store.Put(relationdb.NewRelation(sa, rows))
+
+	sb := tuple.NewSchema("B",
+		tuple.Column{Name: "aid", Type: tuple.KindInt},
+		tuple.Column{Name: "cid", Type: tuple.KindInt},
+		tuple.Column{Name: "sim", Type: tuple.KindFloat, Score: true},
+	)
+	rows = nil
+	for i := 0; i < nB; i++ {
+		rows = append(rows, tuple.New(sb, tuple.Int(int64(rng.Intn(nA))), tuple.Int(int64(rng.Intn(nC))), tuple.Float(rng.Float64())))
+	}
+	store.Put(relationdb.NewRelation(sb, rows))
+
+	sc := tuple.NewSchema("C",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	rows = nil
+	for i := 0; i < nC; i++ {
+		rows = append(rows, tuple.New(sc, tuple.Int(int64(i)), tuple.Float(rng.Float64())))
+	}
+	store.Put(relationdb.NewRelation(sc, rows))
+	return New(store)
+}
+
+func chainExpr(t *testing.T, withSel bool) *cq.Expr {
+	t.Helper()
+	selTerm := cq.V(4)
+	if withSel {
+		selTerm = cq.C(tuple.String("x"))
+	}
+	q := &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), selTerm, cq.V(5)}},
+		{Rel: "B", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(6)}},
+		{Rel: "C", DB: "db", Args: []cq.Term{cq.V(1), cq.V(7)}},
+	}, Model: scoring.Discover(3)}
+	e, _ := q.SubExpr([]int{0, 1, 2})
+	return e
+}
+
+// bruteForce computes the expected join results directly.
+func bruteForce(db *DB, withSel bool) map[string]bool {
+	a := db.Store().MustRelation("A")
+	b := db.Store().MustRelation("B")
+	c := db.Store().MustRelation("C")
+	out := map[string]bool{}
+	for _, ra := range a.Rows() {
+		if withSel && ra.Val(1).AsString() != "x" {
+			continue
+		}
+		for _, rb := range b.Rows() {
+			if !rb.Val(0).Equal(ra.Val(0)) {
+				continue
+			}
+			for _, rc := range c.Rows() {
+				if !rc.Val(0).Equal(rb.Val(1)) {
+					continue
+				}
+				out[tuple.NewRow(ra, rb, rc).Identity()] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestEvaluateMatchesBruteForce(t *testing.T) {
+	for _, withSel := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			db := fixture(seed, 40, 120, 30)
+			rows, err := db.Evaluate(chainExpr(t, withSel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForce(db, withSel)
+			got := map[string]bool{}
+			for _, r := range rows {
+				if got[r.Identity()] {
+					t.Fatalf("duplicate result %s", r.Identity())
+				}
+				got[r.Identity()] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d sel=%v: %d results, want %d", seed, withSel, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("missing result %s", id)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateSortedByProduct(t *testing.T) {
+	db := fixture(7, 40, 120, 30)
+	rows, err := db.Evaluate(chainExpr(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(rows, func(i, j int) bool {
+		return rows[i].ScoreProduct() > rows[j].ScoreProduct()
+	}) {
+		// Equal products may interleave; verify nonincreasing order only.
+		for i := 1; i < len(rows); i++ {
+			if rows[i].ScoreProduct() > rows[i-1].ScoreProduct()+1e-12 {
+				t.Fatalf("results out of score order at %d", i)
+			}
+		}
+	}
+}
+
+func TestEvaluateCached(t *testing.T) {
+	db := fixture(9, 30, 60, 20)
+	e := chainExpr(t, true)
+	r1, err := db.Evaluate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Evaluate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Error("cached evaluation differs")
+	}
+	if len(r1) > 0 && &r1[0] != &r2[0] {
+		// Same backing slice expected (materialised view cache).
+		if r1[0] != r2[0] {
+			t.Error("cache returned different rows")
+		}
+	}
+}
+
+func TestProbe(t *testing.T) {
+	db := fixture(11, 40, 100, 30)
+	atom := &cq.Atom{Rel: "B", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(2)}}
+	rows, err := db.Probe(atom, 0, tuple.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(db.Store().MustRelation("B").Lookup(0, tuple.Int(5)))
+	if len(rows) != want {
+		t.Errorf("probe returned %d rows, want %d", len(rows), want)
+	}
+	// Probe with a selection constant filters.
+	selAtom := &cq.Atom{Rel: "A", DB: "db", Args: []cq.Term{cq.V(0), cq.C(tuple.String("x")), cq.V(1)}}
+	rows, err = db.Probe(selAtom, 0, tuple.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Part(0).Val(1).AsString() != "x" {
+			t.Error("probe ignored selection constant")
+		}
+	}
+}
+
+func TestFleet(t *testing.T) {
+	db1 := fixture(1, 5, 5, 5)
+	f := NewFleet(db1)
+	if got, err := f.DB("db"); err != nil || got != db1 {
+		t.Error("fleet lookup failed")
+	}
+	if _, err := f.DB("nope"); err == nil {
+		t.Error("unknown db should error")
+	}
+	store2 := relationdb.NewStore("other")
+	f.Add(New(store2))
+	if _, err := f.DB("other"); err != nil {
+		t.Error("added db not found")
+	}
+}
+
+func TestEvaluateUnknownRelation(t *testing.T) {
+	db := New(relationdb.NewStore("empty"))
+	q := &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "Nope", DB: "empty", Args: []cq.Term{cq.V(0)}},
+	}, Model: scoring.Discover(1)}
+	e, _ := q.SubExpr([]int{0})
+	if _, err := db.Evaluate(e); err == nil {
+		t.Error("unknown relation should error")
+	}
+}

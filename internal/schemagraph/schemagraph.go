@@ -1,0 +1,184 @@
+// Package schemagraph models the known schema graph of Figure 1: relations
+// from (possibly many) database instances as nodes, with edges for foreign
+// keys, hyperlinks and record-linking join relationships, each annotated with
+// a cost (the Q System's learned edge costs, §2.1). It also hosts the keyword
+// index that matches search terms to relations — either by name/metadata or
+// through an inverted index over content — producing the scored matches that
+// seed candidate-network generation.
+package schemagraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Node is one relation in the schema graph.
+type Node struct {
+	// Rel is the relation name (unique across the graph).
+	Rel string
+	// DB names the owning database instance.
+	DB string
+	// Schema is the relation schema.
+	Schema *tuple.Schema
+	// Authority is the Q System node cost: lower is more authoritative.
+	Authority float64
+	// LinkTable marks record-linking relations (orange squares in Fig. 1).
+	LinkTable bool
+}
+
+// Edge is a potential join relationship between two relations.
+type Edge struct {
+	// From/To are relation names; edges are undirected for search purposes.
+	From, To string
+	// FromCol/ToCol are the joinable column indexes.
+	FromCol, ToCol int
+	// Cost is the learned edge cost (§2.1, Q System model): the static score
+	// component accumulates these.
+	Cost float64
+}
+
+// Graph is the schema graph plus the keyword index.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	adj   map[string][]*Edge
+
+	// inverted maps lower-cased keyword -> matches.
+	inverted map[string][]Match
+}
+
+// Match is one keyword-to-relation match with its IR-style similarity score
+// (Figure 1: a keyword may match a table by name or by content).
+type Match struct {
+	// Rel is the matched relation.
+	Rel string
+	// Col is the column the keyword matched (-1 for a metadata/name match).
+	Col int
+	// Term is the stored term that matched.
+	Term string
+	// Score is the match similarity in (0, 1].
+	Score float64
+	// Exact marks name/metadata matches, which require no selection constant;
+	// content matches add the selection Rel.Col = Term to generated queries.
+	Exact bool
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:    map[string]*Node{},
+		adj:      map[string][]*Edge{},
+		inverted: map[string][]Match{},
+	}
+}
+
+// AddNode registers a relation node; relation names must be globally unique.
+func (g *Graph) AddNode(n *Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.nodes[n.Rel]; dup {
+		panic(fmt.Sprintf("schemagraph: duplicate node %q", n.Rel))
+	}
+	g.nodes[n.Rel] = n
+}
+
+// AddEdge registers a join relationship; both endpoints must exist.
+func (g *Graph) AddEdge(e *Edge) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.nodes[e.From] == nil || g.nodes[e.To] == nil {
+		panic(fmt.Sprintf("schemagraph: edge %s-%s references unknown node", e.From, e.To))
+	}
+	g.adj[e.From] = append(g.adj[e.From], e)
+	rev := &Edge{From: e.To, To: e.From, FromCol: e.ToCol, ToCol: e.FromCol, Cost: e.Cost}
+	g.adj[e.To] = append(g.adj[e.To], rev)
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(rel string) *Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodes[rel]
+}
+
+// Nodes returns all relation names, sorted.
+func (g *Graph) Nodes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EdgesFrom returns the outgoing edges of rel (deterministically ordered).
+func (g *Graph) EdgesFrom(rel string) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	edges := append([]*Edge(nil), g.adj[rel]...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		if edges[i].FromCol != edges[j].FromCol {
+			return edges[i].FromCol < edges[j].FromCol
+		}
+		return edges[i].ToCol < edges[j].ToCol
+	})
+	return edges
+}
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// IndexTerm registers a keyword match in the inverted index.
+func (g *Graph) IndexTerm(term string, m Match) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m.Term = term
+	g.inverted[strings.ToLower(term)] = append(g.inverted[strings.ToLower(term)], m)
+}
+
+// Lookup returns the matches for a keyword, best score first.
+func (g *Graph) Lookup(keyword string) []Match {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ms := append([]Match(nil), g.inverted[strings.ToLower(keyword)]...)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		if ms[i].Rel != ms[j].Rel {
+			return ms[i].Rel < ms[j].Rel
+		}
+		return ms[i].Col < ms[j].Col
+	})
+	return ms
+}
+
+// Terms returns all indexed keywords, sorted (used by workload generators to
+// pick query keywords).
+func (g *Graph) Terms() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ts := make([]string, 0, len(g.inverted))
+	for t := range g.inverted {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}

@@ -1,0 +1,101 @@
+package schemagraph
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func buildGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mk := func(name string) *tuple.Schema {
+		return tuple.NewSchema(name,
+			tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+			tuple.Column{Name: "txt", Type: tuple.KindString},
+		)
+	}
+	g.AddNode(&Node{Rel: "A", DB: "d1", Schema: mk("A"), Authority: 0.1})
+	g.AddNode(&Node{Rel: "B", DB: "d1", Schema: mk("B"), LinkTable: true})
+	g.AddNode(&Node{Rel: "C", DB: "d2", Schema: mk("C")})
+	g.AddEdge(&Edge{From: "A", To: "B", FromCol: 0, ToCol: 0, Cost: 0.5})
+	g.AddEdge(&Edge{From: "B", To: "C", FromCol: 1, ToCol: 0, Cost: 0.7})
+	return g
+}
+
+func TestNodesAndEdges(t *testing.T) {
+	g := buildGraph(t)
+	if len(g.Nodes()) != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", len(g.Nodes()), g.NumEdges())
+	}
+	if g.Node("A") == nil || g.Node("A").DB != "d1" {
+		t.Error("node lookup")
+	}
+	if g.Node("missing") != nil {
+		t.Error("missing node should be nil")
+	}
+	// Edges are bidirectional.
+	fromB := g.EdgesFrom("B")
+	if len(fromB) != 2 {
+		t.Fatalf("B has %d edges, want 2", len(fromB))
+	}
+	for _, e := range fromB {
+		if e.From != "B" {
+			t.Error("reverse edge not normalised")
+		}
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	g := buildGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node should panic")
+		}
+	}()
+	g.AddNode(&Node{Rel: "A", DB: "d1"})
+}
+
+func TestEdgeUnknownEndpointPanics(t *testing.T) {
+	g := buildGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("edge to unknown node should panic")
+		}
+	}()
+	g.AddEdge(&Edge{From: "A", To: "ZZZ"})
+}
+
+func TestKeywordIndex(t *testing.T) {
+	g := buildGraph(t)
+	g.IndexTerm("Protein", Match{Rel: "A", Col: 1, Score: 0.7})
+	g.IndexTerm("protein", Match{Rel: "C", Col: 1, Score: 0.9})
+	ms := g.Lookup("PROTEIN") // case-insensitive
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	if ms[0].Score < ms[1].Score {
+		t.Error("matches not sorted by score")
+	}
+	if ms[0].Rel != "C" {
+		t.Errorf("best match = %s", ms[0].Rel)
+	}
+	if len(g.Lookup("nothing")) != 0 {
+		t.Error("unknown keyword should match nothing")
+	}
+	terms := g.Terms()
+	if len(terms) != 1 || terms[0] != "protein" {
+		t.Errorf("terms = %v", terms)
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := buildGraph(t)
+	e1 := g.EdgesFrom("B")
+	e2 := g.EdgesFrom("B")
+	for i := range e1 {
+		if e1[i].To != e2[i].To {
+			t.Fatal("edge order nondeterministic")
+		}
+	}
+}

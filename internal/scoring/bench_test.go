@@ -1,0 +1,22 @@
+package scoring
+
+import "testing"
+
+func BenchmarkScoreProduct(b *testing.B) {
+	m := QSystem(0.5, []float64{1, 1, 0.9, 0.8, 1})
+	s := []float64{0.9, 0.4, 0.7, 0.2, 0.8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Score(s)
+	}
+}
+
+func BenchmarkBoundSingleGroup(b *testing.B) {
+	m := Discover(5)
+	caps := []float64{1, 0.9, 0.8, 1, 0.7}
+	atoms := []int{1, 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.BoundSingleGroup(caps, atoms, 0.35)
+	}
+}

@@ -1,0 +1,268 @@
+// Package scoring implements the paper's three representative scoring models
+// (§2.1) — DISCOVER, the Q System, and BANKS/BLINKS-style — under one
+// monotone algebra, together with the upper-bound machinery U(C) that the
+// rank-merge operator and the ATC use to maintain thresholds (§4.1–4.2).
+//
+// Every model maps a result tuple t of a conjunctive query CQ to
+//
+//	C(t) = static ⊙ w₁·s₁ ⊙ w₂·s₂ ⊙ … ⊙ wₙ·sₙ
+//
+// where sᵢ is the score-attribute value of the base tuple bound to CQ's i'th
+// atom, wᵢ a per-atom weight, static a per-query constant, and ⊙ either + or
+// ×. All three published models instantiate this algebra:
+//
+//   - DISCOVER [12,13]: C(t) = Σᵢ score(tᵢ)/size(CQ) → Sum, wᵢ = 1/size.
+//   - Q System [32,33]: C(t) = 2^(−c), c = Σ_e c_e + Σᵢ cost(tᵢ). With
+//     cost(tᵢ) = −log₂ sᵢ this is 2^(−Σ c_e) · Πᵢ sᵢ → Product with
+//     static = 2^(−Σ edge costs).
+//   - BANKS/BLINKS [2,11]: monotone combination of node scores and edge
+//     weights → Sum with per-node weights and an edge-derived static term.
+//
+// Because ⊙ is monotone nondecreasing in every sᵢ, an upper bound on C over
+// all *unseen* results follows from upper bounds on the unseen sᵢ. Inputs
+// that stream multi-atom pushed-down expressions bound the *product* of their
+// atoms' scores (their streams are sorted by score product); Bound solves the
+// induced relaxation exactly for both aggregations.
+package scoring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Agg selects the monotone aggregation combining per-atom contributions.
+type Agg uint8
+
+const (
+	// Sum combines contributions additively (DISCOVER, BANKS).
+	Sum Agg = iota
+	// Product combines contributions multiplicatively (Q System).
+	Product
+)
+
+// String returns "sum" or "product".
+func (a Agg) String() string {
+	if a == Product {
+		return "product"
+	}
+	return "sum"
+}
+
+// Model is a concrete monotone scoring function for one conjunctive query.
+// Atom order matches the CQ's atom order. The zero Model is not valid; use a
+// constructor.
+type Model struct {
+	// AggKind is the aggregation combining atom contributions.
+	AggKind Agg
+	// Static is the query's static score component: additive for Sum,
+	// multiplicative for Product (§2.1 "static component").
+	Static float64
+	// Weights holds one multiplicative weight per atom.
+	Weights []float64
+	// Label names the model for diagnostics ("discover", "qsystem", "banks").
+	Label string
+}
+
+// Discover returns the DISCOVER model for a query with n atoms:
+// C(t) = Σ score(tᵢ)/n.
+func Discover(n int) *Model {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return &Model{AggKind: Sum, Static: 0, Weights: w, Label: "discover"}
+}
+
+// QSystem returns the Q System model: C(t) = 2^(−Σ edgeCosts) · Π sᵢ^(wᵢ=1),
+// with per-atom authority weights multiplying each tuple score (the paper's
+// node costs; weight 1 = fully authoritative).
+func QSystem(edgeCostSum float64, atomWeights []float64) *Model {
+	w := append([]float64(nil), atomWeights...)
+	return &Model{AggKind: Product, Static: math.Exp2(-edgeCostSum), Weights: w, Label: "qsystem"}
+}
+
+// BANKS returns a BANKS/BLINKS-style model: C(t) = λ·Σ wᵢ·sᵢ + (1−λ)·E where
+// E is the (static) edge-weight term of the result tree.
+func BANKS(lambda float64, atomWeights []float64, edgeTerm float64) *Model {
+	w := make([]float64, len(atomWeights))
+	for i, aw := range atomWeights {
+		w[i] = lambda * aw
+	}
+	return &Model{AggKind: Sum, Static: (1 - lambda) * edgeTerm, Weights: w, Label: "banks"}
+}
+
+// Arity returns the number of atoms the model scores.
+func (m *Model) Arity() int { return len(m.Weights) }
+
+// Score evaluates C on per-atom scores (len must equal Arity).
+func (m *Model) Score(atomScores []float64) float64 {
+	if len(atomScores) != len(m.Weights) {
+		panic(fmt.Sprintf("scoring: %s arity mismatch: got %d want %d", m.Label, len(atomScores), len(m.Weights)))
+	}
+	if m.AggKind == Product {
+		v := m.Static
+		for i, s := range atomScores {
+			v *= m.Weights[i] * s
+		}
+		return v
+	}
+	v := m.Static
+	for i, s := range atomScores {
+		v += m.Weights[i] * s
+	}
+	return v
+}
+
+// Group constrains a set of atoms whose joint score product is bounded by an
+// input stream's frontier (§4.1): the unseen rows of that input have
+// Π_{a∈Atoms} s_a ≤ ProductCap, with each s_a additionally ≤ caps[a].
+type Group struct {
+	// Atoms indexes the model's atoms covered by the input.
+	Atoms []int
+	// ProductCap bounds the product of those atoms' scores.
+	ProductCap float64
+}
+
+// Bound returns the maximum of Score over atom-score vectors s with
+// 0 ≤ s_a ≤ caps[a] for every atom and Π_{a∈g.Atoms} s_a ≤ g.ProductCap for
+// every group g. Groups must not overlap. Atoms in no group are free up to
+// caps[a]. This is U(C) specialised to the current frontier state.
+//
+// For Product aggregation each group contributes min(cap_g, Π caps) exactly.
+// For Sum aggregation the maximum over a product-constrained box is attained
+// at a vertex where all atoms but one sit at their caps; Bound takes the max
+// over the choice of the one reduced atom (see DESIGN.md).
+func (m *Model) Bound(caps []float64, groups []Group) float64 {
+	if len(caps) != len(m.Weights) {
+		panic(fmt.Sprintf("scoring: %s bound arity mismatch: got %d want %d", m.Label, len(caps), len(m.Weights)))
+	}
+	if m.AggKind == Product {
+		v := m.Static
+		grouped := make([]bool, len(caps))
+		for _, g := range groups {
+			prodCaps := 1.0
+			wProd := 1.0
+			for _, a := range g.Atoms {
+				grouped[a] = true
+				prodCaps *= caps[a]
+				wProd *= m.Weights[a]
+			}
+			v *= wProd * math.Min(prodCaps, g.ProductCap)
+		}
+		for a, c := range caps {
+			if !grouped[a] {
+				v *= m.Weights[a] * c
+			}
+		}
+		return v
+	}
+	// Sum aggregation.
+	v := m.Static
+	grouped := make([]bool, len(caps))
+	for _, g := range groups {
+		for _, a := range g.Atoms {
+			grouped[a] = true
+		}
+		v += m.sumGroupBound(caps, g)
+	}
+	for a, c := range caps {
+		if !grouped[a] {
+			v += m.Weights[a] * c
+		}
+	}
+	return v
+}
+
+// sumGroupBound maximises Σ_{a∈g} w_a·s_a subject to s_a ≤ caps[a] and
+// Π s_a ≤ g.ProductCap.
+func (m *Model) sumGroupBound(caps []float64, g Group) float64 {
+	prodAll := 1.0
+	for _, a := range g.Atoms {
+		prodAll *= caps[a]
+	}
+	if prodAll <= g.ProductCap || len(g.Atoms) == 1 {
+		// Constraint inactive (or single atom: s ≤ min(cap, productCap)).
+		if len(g.Atoms) == 1 {
+			a := g.Atoms[0]
+			return m.Weights[a] * math.Min(caps[a], g.ProductCap)
+		}
+		total := 0.0
+		for _, a := range g.Atoms {
+			total += m.Weights[a] * caps[a]
+		}
+		return total
+	}
+	// Vertex search: all atoms at caps except one, which absorbs the
+	// product constraint.
+	best := math.Inf(-1)
+	for _, reduced := range g.Atoms {
+		othersProd := 1.0
+		othersSum := 0.0
+		for _, a := range g.Atoms {
+			if a == reduced {
+				continue
+			}
+			othersProd *= caps[a]
+			othersSum += m.Weights[a] * caps[a]
+		}
+		var sr float64
+		if othersProd <= 0 {
+			sr = caps[reduced]
+		} else {
+			sr = math.Min(caps[reduced], g.ProductCap/othersProd)
+		}
+		if sr < 0 {
+			sr = 0
+		}
+		if v := othersSum + m.Weights[reduced]*sr; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxScore returns U(C) with every atom at the given per-atom maxima — the
+// query's overall score upper bound used to order CQ activation (§3).
+func (m *Model) MaxScore(maxima []float64) float64 {
+	return m.Score(maxima)
+}
+
+// BoundSingleGroup is the allocation-free fast path of Bound for exactly one
+// group — the shape the rank-merge threshold evaluates on every scheduling
+// step (§4.1). It equals Bound(caps, []Group{{Atoms: atoms, ProductCap:
+// productCap}}).
+func (m *Model) BoundSingleGroup(caps []float64, atoms []int, productCap float64) float64 {
+	inGroup := func(a int) bool {
+		for _, g := range atoms {
+			if g == a {
+				return true
+			}
+		}
+		return false
+	}
+	if m.AggKind == Product {
+		v := m.Static
+		groupCaps := 1.0
+		for a, c := range caps {
+			if inGroup(a) {
+				groupCaps *= c
+				v *= m.Weights[a]
+			} else {
+				v *= m.Weights[a] * c
+			}
+		}
+		return v * math.Min(groupCaps, productCap)
+	}
+	v := m.Static
+	for a, c := range caps {
+		if !inGroup(a) {
+			v += m.Weights[a] * c
+		}
+	}
+	return v + m.sumGroupBound(caps, Group{Atoms: atoms, ProductCap: productCap})
+}
+
+// String describes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s(%s, static=%.4g, %d atoms)", m.Label, m.AggKind, m.Static, len(m.Weights))
+}

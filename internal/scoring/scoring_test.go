@@ -1,0 +1,195 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestDiscoverModel(t *testing.T) {
+	m := Discover(4)
+	if m.AggKind != Sum || m.Arity() != 4 {
+		t.Fatalf("model: %v", m)
+	}
+	// C(t) = Σ score/size.
+	got := m.Score([]float64{1, 1, 1, 1})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("all-ones score = %v, want 1", got)
+	}
+	got = m.Score([]float64{0.4, 0.8, 0, 0})
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("score = %v, want 0.3", got)
+	}
+}
+
+func TestQSystemModel(t *testing.T) {
+	// C(t) = 2^{-Σ edge costs} · Π wᵢ·sᵢ.
+	m := QSystem(2, []float64{1, 1, 1})
+	got := m.Score([]float64{1, 1, 1})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("static component wrong: %v, want 2^-2", got)
+	}
+	got = m.Score([]float64{0.5, 0.5, 1})
+	if math.Abs(got-0.0625) > 1e-12 {
+		t.Errorf("score = %v", got)
+	}
+}
+
+func TestBANKSModel(t *testing.T) {
+	m := BANKS(0.8, []float64{1, 2}, 0.5)
+	got := m.Score([]float64{1, 1})
+	want := 0.8*(1+2) + 0.2*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	Discover(2).Score([]float64{1})
+}
+
+// monotone: raising any atom score must not lower the total.
+func TestScoreMonotone(t *testing.T) {
+	models := []*Model{
+		Discover(3),
+		QSystem(1.5, []float64{0.9, 1, 0.7}),
+		BANKS(0.6, []float64{1, 0.5, 2}, 0.3),
+	}
+	f := func(a, b, c uint8, idx uint8) bool {
+		s := []float64{float64(a) / 255, float64(b) / 255, float64(c) / 255}
+		i := int(idx) % 3
+		for _, m := range models {
+			before := m.Score(s)
+			bumped := append([]float64(nil), s...)
+			bumped[i] = math.Min(1, bumped[i]+0.1)
+			if m.Score(bumped) < before-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bound must upper-bound Score for every atom-score vector satisfying the
+// group constraints — verified against random feasible points.
+func TestBoundDominatesFeasibleScores(t *testing.T) {
+	rng := dist.New(77)
+	models := []*Model{
+		Discover(4),
+		QSystem(1, []float64{1, 0.8, 1, 0.9}),
+		BANKS(0.7, []float64{1, 1, 0.5, 2}, 0.4),
+	}
+	for trial := 0; trial < 300; trial++ {
+		caps := make([]float64, 4)
+		for i := range caps {
+			caps[i] = 0.05 + 0.95*rng.Float64()
+		}
+		group := Group{Atoms: []int{0, 1}, ProductCap: 0.02 + rng.Float64()*caps[0]*caps[1]}
+		for _, m := range models {
+			bound := m.Bound(caps, []Group{group})
+			// Sample feasible score vectors and check none exceeds bound.
+			for s := 0; s < 40; s++ {
+				v := make([]float64, 4)
+				for i := range v {
+					v[i] = caps[i] * rng.Float64()
+				}
+				// Enforce the product constraint by scaling if violated.
+				if p := v[0] * v[1]; p > group.ProductCap {
+					f := math.Sqrt(group.ProductCap / p)
+					v[0] *= f
+					v[1] *= f
+				}
+				if got := m.Score(v); got > bound+1e-9 {
+					t.Fatalf("%s: score %v exceeds bound %v (caps=%v cap=%v v=%v)",
+						m.Label, got, bound, caps, group.ProductCap, v)
+				}
+			}
+		}
+	}
+}
+
+// The bound must be *tight* when the constraint binds trivially (single-atom
+// group): Bound == Score at the capped corner.
+func TestBoundTightSingleAtomGroup(t *testing.T) {
+	m := QSystem(0, []float64{1, 1, 1})
+	caps := []float64{1, 1, 1}
+	b := m.Bound(caps, []Group{{Atoms: []int{0}, ProductCap: 0.3}})
+	if math.Abs(b-0.3) > 1e-12 {
+		t.Errorf("bound = %v, want 0.3", b)
+	}
+	d := Discover(3)
+	b = d.Bound(caps, []Group{{Atoms: []int{0}, ProductCap: 0.3}})
+	want := (0.3 + 1 + 1) / 3
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("bound = %v, want %v", b, want)
+	}
+}
+
+func TestBoundInactiveConstraint(t *testing.T) {
+	m := Discover(3)
+	caps := []float64{0.2, 0.3, 0.4}
+	// Product cap above Π caps: constraint inactive, bound = Score(caps).
+	b := m.Bound(caps, []Group{{Atoms: []int{0, 1}, ProductCap: 1}})
+	if math.Abs(b-m.Score(caps)) > 1e-12 {
+		t.Errorf("inactive bound = %v, want %v", b, m.Score(caps))
+	}
+}
+
+func TestBoundSingleGroupMatchesBound(t *testing.T) {
+	rng := dist.New(5)
+	models := []*Model{
+		Discover(5),
+		QSystem(0.5, []float64{1, 1, 0.9, 1, 0.8}),
+		BANKS(0.8, []float64{1, 2, 1, 0.5, 1}, 0.2),
+	}
+	for trial := 0; trial < 500; trial++ {
+		caps := make([]float64, 5)
+		for i := range caps {
+			caps[i] = 0.1 + 0.9*rng.Float64()
+		}
+		atoms := []int{1, 3}
+		if trial%3 == 0 {
+			atoms = []int{0, 2, 4}
+		}
+		cap := rng.Float64()
+		for _, m := range models {
+			a := m.Bound(caps, []Group{{Atoms: atoms, ProductCap: cap}})
+			b := m.BoundSingleGroup(caps, atoms, cap)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%s: Bound=%v BoundSingleGroup=%v", m.Label, a, b)
+			}
+		}
+	}
+}
+
+func TestBoundExhaustedGroupProduct(t *testing.T) {
+	m := QSystem(0, []float64{1, 1})
+	b := m.Bound([]float64{1, 1}, []Group{{Atoms: []int{0}, ProductCap: 0}})
+	if b != 0 {
+		t.Errorf("exhausted product bound = %v, want 0", b)
+	}
+}
+
+func TestMaxScoreEqualsUnconstrainedBound(t *testing.T) {
+	m := QSystem(1, []float64{1, 0.5})
+	maxima := []float64{0.9, 0.8}
+	if m.MaxScore(maxima) != m.Score(maxima) {
+		t.Error("MaxScore should equal Score at maxima")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Discover(2).String() == "" || Agg(Sum).String() != "sum" || Agg(Product).String() != "product" {
+		t.Error("string rendering broken")
+	}
+}

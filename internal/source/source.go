@@ -1,0 +1,146 @@
+// Package source wraps remote-database access paths as the two source kinds
+// of §3: streaming sources, which deliver a (possibly pushed-down)
+// expression's rows one at a time in nonincreasing score order and expose the
+// frontier bound the rank-merge thresholds depend on; and random-access
+// sources, which answer key probes and memoise them in a middleware-side
+// probe cache (§7.1: "we cache tuples from random probes").
+package source
+
+import (
+	"repro/internal/cq"
+	"repro/internal/remotedb"
+	"repro/internal/tuple"
+)
+
+// Stream delivers a pushed-down expression's rows in nonincreasing
+// score-product order. It is single-consumer: in a plan graph one split
+// operator fans a stream's rows out to all interested operators.
+type Stream struct {
+	key   string
+	expr  *cq.Expr
+	rows  []*tuple.Row
+	pos   int
+	maxPr float64
+}
+
+// OpenStream materialises the expression at its remote database and returns
+// a stream over the result. (The per-tuple stream delay is charged by the
+// caller on every Next, as the middleware only pays when it reads.)
+func OpenStream(db *remotedb.DB, e *cq.Expr) (*Stream, error) {
+	rows, err := db.Evaluate(e)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{key: e.Key(), expr: e, rows: rows, maxPr: 1}
+	if len(rows) > 0 {
+		s.maxPr = rows[0].ScoreProduct()
+	}
+	return s, nil
+}
+
+// Key returns the stream's canonical expression key.
+func (s *Stream) Key() string { return s.key }
+
+// Expr returns the streamed expression.
+func (s *Stream) Expr() *cq.Expr { return s.expr }
+
+// Next returns the next row, or nil when exhausted.
+func (s *Stream) Next() *tuple.Row {
+	if s.pos >= len(s.rows) {
+		return nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r
+}
+
+// Skip advances past the first n rows without delivering them — used when a
+// reused plan already holds those rows in middleware state (§6.1).
+func (s *Stream) Skip(n int) {
+	if n > len(s.rows) {
+		n = len(s.rows)
+	}
+	s.pos = n
+}
+
+// Exhausted reports whether the stream has no more rows.
+func (s *Stream) Exhausted() bool { return s.pos >= len(s.rows) }
+
+// Pos returns how many rows have been delivered (or skipped).
+func (s *Stream) Pos() int { return s.pos }
+
+// Len returns the total result cardinality.
+func (s *Stream) Len() int { return len(s.rows) }
+
+// Frontier returns the score-product upper bound on undelivered rows: the
+// score product the next row cannot exceed. It is the stream's maximum before
+// any read, the last-delivered row's product afterwards, and 0 at exhaustion.
+func (s *Stream) Frontier() float64 {
+	if s.pos >= len(s.rows) {
+		return 0
+	}
+	if s.pos == 0 {
+		return s.maxPr
+	}
+	return s.rows[s.pos-1].ScoreProduct()
+}
+
+// MaxProduct returns the stream's maximum row score product.
+func (s *Stream) MaxProduct() float64 { return s.maxPr }
+
+// RandomAccess probes a single-atom expression by column value, with a
+// middleware-side cache so repeated probes with the same key are free of
+// remote delay.
+type RandomAccess struct {
+	key  string
+	db   *remotedb.DB
+	atom *cq.Atom
+
+	cache map[probeKey][]*tuple.Row
+}
+
+type probeKey struct {
+	col int
+	val string
+}
+
+// OpenRandomAccess wraps the expression (which must be single-atom) as a
+// probeable source.
+func OpenRandomAccess(db *remotedb.DB, e *cq.Expr) *RandomAccess {
+	if !e.SingleAtom() {
+		panic("source: random access requires a single-atom expression")
+	}
+	return &RandomAccess{key: e.Key(), db: db, atom: e.Atoms[0], cache: map[probeKey][]*tuple.Row{}}
+}
+
+// Key returns the source's canonical expression key.
+func (r *RandomAccess) Key() string { return r.key }
+
+// Probe returns the rows matching col = v. cached reports whether the result
+// came from the middleware cache (no remote round trip).
+func (r *RandomAccess) Probe(col int, v tuple.Value) (rows []*tuple.Row, cached bool, err error) {
+	pk := probeKey{col, v.Key()}
+	if rows, ok := r.cache[pk]; ok {
+		return rows, true, nil
+	}
+	rows, err = r.db.Probe(r.atom, col, v)
+	if err != nil {
+		return nil, false, err
+	}
+	r.cache[pk] = rows
+	return rows, false, nil
+}
+
+// CacheSize returns the number of cached probe results (for memory
+// accounting by the query state manager).
+func (r *RandomAccess) CacheSize() int {
+	n := 0
+	for _, rows := range r.cache {
+		n += len(rows)
+		n++ // the key itself
+	}
+	return n
+}
+
+// DropCache clears the probe cache (eviction path, §6.3).
+func (r *RandomAccess) DropCache() { r.cache = map[probeKey][]*tuple.Row{} }

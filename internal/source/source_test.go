@@ -1,0 +1,129 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/scoring"
+	"repro/internal/tuple"
+)
+
+func fixtureDB() *remotedb.DB {
+	s := tuple.NewSchema("R",
+		tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "fk", Type: tuple.KindInt},
+		tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+	)
+	var rows []*tuple.Tuple
+	for i := 0; i < 20; i++ {
+		rows = append(rows, tuple.New(s, tuple.Int(int64(i)), tuple.Int(int64(i%4)), tuple.Float(1/float64(i+1))))
+	}
+	store := relationdb.NewStore("db")
+	store.Put(relationdb.NewRelation(s, rows))
+	return remotedb.New(store)
+}
+
+func baseExpr() *cq.Expr {
+	q := &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "R", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(2)}},
+	}, Model: scoring.Discover(1)}
+	e, _ := q.SubExpr([]int{0})
+	return e
+}
+
+func TestStreamOrderAndFrontier(t *testing.T) {
+	st, err := OpenStream(fixtureDB(), baseExpr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 20 || st.Pos() != 0 || st.Exhausted() {
+		t.Fatalf("fresh stream state wrong: len=%d pos=%d", st.Len(), st.Pos())
+	}
+	if st.Frontier() != st.MaxProduct() {
+		t.Error("initial frontier must equal max product")
+	}
+	prev := 2.0
+	for i := 0; ; i++ {
+		before := st.Frontier()
+		r := st.Next()
+		if r == nil {
+			break
+		}
+		p := r.ScoreProduct()
+		if p > before+1e-12 {
+			t.Fatalf("row %d product %v exceeds prior frontier %v", i, p, before)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("rows out of order at %d", i)
+		}
+		prev = p
+		if !st.Exhausted() && st.Frontier() != p {
+			t.Fatalf("frontier after read should equal last product")
+		}
+	}
+	if !st.Exhausted() || st.Frontier() != 0 {
+		t.Error("exhausted stream should have zero frontier")
+	}
+}
+
+func TestStreamSkip(t *testing.T) {
+	st, _ := OpenStream(fixtureDB(), baseExpr())
+	st.Skip(5)
+	if st.Pos() != 5 {
+		t.Fatalf("pos after skip = %d", st.Pos())
+	}
+	r := st.Next()
+	if r == nil || r.Part(0).Val(0).AsInt() != 5 {
+		t.Errorf("skip landed wrong: %v", r)
+	}
+	st.Skip(1000) // beyond end clamps
+	if !st.Exhausted() {
+		t.Error("over-skip should exhaust")
+	}
+}
+
+func TestRandomAccessCaching(t *testing.T) {
+	ra := OpenRandomAccess(fixtureDB(), baseExpr())
+	rows, cached, err := ra.Probe(1, tuple.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first probe should not be cached")
+	}
+	if len(rows) != 5 {
+		t.Errorf("probe returned %d rows, want 5", len(rows))
+	}
+	_, cached, _ = ra.Probe(1, tuple.Int(2))
+	if !cached {
+		t.Error("second identical probe should be cached")
+	}
+	_, cached, _ = ra.Probe(1, tuple.Int(3))
+	if cached {
+		t.Error("different key should not be cached")
+	}
+	if ra.CacheSize() == 0 {
+		t.Error("cache size should be positive")
+	}
+	ra.DropCache()
+	_, cached, _ = ra.Probe(1, tuple.Int(2))
+	if cached {
+		t.Error("probe after DropCache should re-fetch")
+	}
+}
+
+func TestRandomAccessRequiresSingleAtom(t *testing.T) {
+	q := &cq.CQ{ID: "q", Atoms: []*cq.Atom{
+		{Rel: "R", DB: "db", Args: []cq.Term{cq.V(0), cq.V(1), cq.V(2)}},
+		{Rel: "R2", DB: "db", Args: []cq.Term{cq.V(0), cq.V(3)}},
+	}, Model: scoring.Discover(2)}
+	e, _ := q.SubExpr([]int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("multi-atom random access should panic")
+		}
+	}()
+	OpenRandomAccess(fixtureDB(), e)
+}

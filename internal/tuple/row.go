@@ -1,0 +1,89 @@
+package tuple
+
+import (
+	"sort"
+	"strings"
+)
+
+// Row is a (partial or complete) join result: an ordered list of base tuples,
+// one per atom of the expression that produced it. Rows flow along plan-graph
+// edges; because a shared subexpression may feed conjunctive queries owned by
+// different users with different scoring functions (§2.2), a Row does NOT
+// carry a final score — each consumer applies its own scoring model to the
+// Row's part scores.
+type Row struct {
+	parts []*Tuple
+}
+
+// NewRow builds a row over the given parts. The slice is owned by the row.
+func NewRow(parts ...*Tuple) *Row { return &Row{parts: parts} }
+
+// Arity returns the number of base tuples in the row.
+func (r *Row) Arity() int { return len(r.parts) }
+
+// Part returns the i'th base tuple.
+func (r *Row) Part(i int) *Tuple { return r.parts[i] }
+
+// Parts returns the backing slice; callers must not mutate it.
+func (r *Row) Parts() []*Tuple { return r.parts }
+
+// Concat returns a new row with o's parts appended after r's. Neither input
+// is mutated, so rows buffered in hash tables stay valid (§6 state reuse).
+func (r *Row) Concat(o *Row) *Row {
+	parts := make([]*Tuple, 0, len(r.parts)+len(o.parts))
+	parts = append(parts, r.parts...)
+	parts = append(parts, o.parts...)
+	return &Row{parts: parts}
+}
+
+// Project returns a new row keeping only the parts at the given positions,
+// in the given order. It is used to re-order a component's output into a
+// consumer CQ's atom order.
+func (r *Row) Project(positions []int) *Row {
+	parts := make([]*Tuple, len(positions))
+	for i, p := range positions {
+		parts[i] = r.parts[p]
+	}
+	return &Row{parts: parts}
+}
+
+// PartScores returns the per-part scores in part order, appending into dst.
+func (r *Row) PartScores(dst []float64) []float64 {
+	for _, p := range r.parts {
+		dst = append(dst, p.Score())
+	}
+	return dst
+}
+
+// ScoreProduct returns the product of part scores: the canonical row score
+// used to order pushed-down streams (see DESIGN.md §1 note on sharing across
+// scoring-model families).
+func (r *Row) ScoreProduct() float64 {
+	prod := 1.0
+	for _, p := range r.parts {
+		prod *= p.Score()
+	}
+	return prod
+}
+
+// Identity returns a canonical identity for duplicate elimination: the sorted
+// identities of the row's parts, qualified by relation name. Two rows built
+// from the same base tuples (possibly in different part orders by different
+// plan shapes) share an Identity.
+func (r *Row) Identity() string {
+	keys := make([]string, len(r.parts))
+	for i, p := range r.parts {
+		keys[i] = p.Schema().Name() + ":" + p.Identity()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// String renders the row as part strings joined by " ⋈ ".
+func (r *Row) String() string {
+	ss := make([]string, len(r.parts))
+	for i, p := range r.parts {
+		ss[i] = p.String()
+	}
+	return strings.Join(ss, " & ")
+}

@@ -1,0 +1,110 @@
+package tuple
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Tuple is one row of a base relation. Tuples carry their schema, their
+// column values, and a cached score (the value of the schema's scoring
+// attribute, or the neutral score for score-less relations).
+//
+// Tuples are immutable after construction and shared by pointer throughout
+// the middleware: hash-table partitions, join results and ranking queues all
+// alias the same backing tuples, which is what makes state reuse (§6) cheap.
+type Tuple struct {
+	schema *Schema
+	vals   []Value
+	score  float64
+	// seq is the position of the tuple in its source's score order; it gives
+	// operators a total order for deterministic tie-breaking.
+	seq int64
+}
+
+// NeutralScore is the score assumed for tuples of relations without a scoring
+// attribute: they contribute equally to every result (§5.1.1), so the value
+// itself only needs to be the multiplicative/additive identity expected by
+// the scoring models, which all treat 1.0 as "full relevance".
+const NeutralScore = 1.0
+
+// New constructs a tuple over schema s. vals must have exactly
+// s.NumCols() entries; the scoring attribute, if any, supplies the score.
+func New(s *Schema, vals ...Value) *Tuple {
+	if len(vals) != s.NumCols() {
+		panic("tuple: arity mismatch for " + s.Name())
+	}
+	t := &Tuple{schema: s, vals: vals, score: NeutralScore}
+	if sc := s.ScoreCol(); sc >= 0 {
+		t.score = vals[sc].AsFloat()
+	}
+	return t
+}
+
+// WithSeq returns the tuple after recording its sequence number in source
+// score order. The relation store assigns these at load time.
+func (t *Tuple) WithSeq(seq int64) *Tuple { t.seq = seq; return t }
+
+// Seq returns the tuple's position in its source's nonincreasing score order.
+func (t *Tuple) Seq() int64 { return t.seq }
+
+// Schema returns the tuple's schema.
+func (t *Tuple) Schema() *Schema { return t.schema }
+
+// Val returns the i'th column value.
+func (t *Tuple) Val(i int) Value { return t.vals[i] }
+
+// ValByName returns the named column value; ok is false if no such column.
+func (t *Tuple) ValByName(name string) (Value, bool) {
+	i, ok := t.schema.Index(name)
+	if !ok {
+		return Value{}, false
+	}
+	return t.vals[i], true
+}
+
+// Score returns the tuple's scoring-attribute value (NeutralScore when the
+// relation has no scoring attribute).
+func (t *Tuple) Score() float64 { return t.score }
+
+// Key returns the primary-key value, or null if the schema declares no key.
+func (t *Tuple) Key() Value {
+	if k := t.schema.KeyCol(); k >= 0 {
+		return t.vals[k]
+	}
+	return Null()
+}
+
+// Identity returns a string that uniquely identifies the tuple within its
+// relation: the primary key when present, otherwise the tuple's position in
+// its relation's score order (keyless link tables are bags — two rows with
+// identical values are distinct tuples and distinct join derivations). It is
+// used for duplicate elimination when recovered state is merged with live
+// streams (§6.2).
+func (t *Tuple) Identity() string {
+	if k := t.schema.KeyCol(); k >= 0 {
+		return t.vals[k].Key()
+	}
+	var b strings.Builder
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatInt(t.seq, 36))
+	for _, v := range t.vals {
+		b.WriteByte('|')
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// String renders the tuple as Rel(v1, v2, ...).
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteString(t.schema.Name())
+	b.WriteByte('(')
+	for i, v := range t.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Text())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

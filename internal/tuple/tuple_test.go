@@ -1,0 +1,205 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKindsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		text string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(1.5), KindFloat, "1.5"},
+		{String("abc"), KindString, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.Text() != c.text {
+			t.Errorf("%v text = %q, want %q", c.v, c.v.Text(), c.text)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat should convert ints")
+	}
+	if Float(2.5).AsFloat() != 2.5 || String("x").AsString() != "x" || Int(9).AsInt() != 9 {
+		t.Error("accessor payloads wrong")
+	}
+}
+
+func TestValueEqualAndLess(t *testing.T) {
+	if Int(1).Equal(Float(1)) {
+		t.Error("cross-kind values must not be equal")
+	}
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("int equality wrong")
+	}
+	if !String("a").Less(String("b")) || String("b").Less(String("a")) {
+		t.Error("string order wrong")
+	}
+	if !Null().Less(Int(0)) {
+		t.Error("null should order before int")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	// Distinct values must produce distinct hash keys; notably Int(1) vs
+	// Float(1) vs String("1").
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Float(0), Float(1), Float(-1),
+		Float(math.Inf(1)), String(""), String("1"), String("i1"),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision: %v and %v -> %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueKeyEqualIffEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		return (Int(a).Key() == Int(b).Key()) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return (String(a).Key() == String(b).Key()) == (a == b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return NewSchema("R",
+		Column{Name: "id", Type: KindInt, Key: true},
+		Column{Name: "name", Type: KindString},
+		Column{Name: "score", Type: KindFloat, Score: true},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Name() != "R" || s.NumCols() != 3 {
+		t.Fatalf("schema basics wrong: %v", s)
+	}
+	if i, ok := s.Index("name"); !ok || i != 1 {
+		t.Errorf("Index(name) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) should fail")
+	}
+	if s.ScoreCol() != 2 || s.KeyCol() != 0 || !s.HasScore() {
+		t.Errorf("score/key cols wrong: %d %d", s.ScoreCol(), s.KeyCol())
+	}
+	plain := NewSchema("P", Column{Name: "a", Type: KindInt})
+	if plain.HasScore() || plain.ScoreCol() != -1 || plain.KeyCol() != -1 {
+		t.Error("plain schema misreports score/key")
+	}
+}
+
+func TestSchemaDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate column should panic")
+		}
+	}()
+	NewSchema("X", Column{Name: "a"}, Column{Name: "a"})
+}
+
+func TestTupleScoreAndIdentity(t *testing.T) {
+	s := testSchema(t)
+	tp := New(s, Int(7), String("x"), Float(0.25))
+	if tp.Score() != 0.25 {
+		t.Errorf("score = %v", tp.Score())
+	}
+	if !tp.Key().Equal(Int(7)) {
+		t.Errorf("key = %v", tp.Key())
+	}
+	if tp.Identity() != Int(7).Key() {
+		t.Errorf("identity should be the primary key, got %q", tp.Identity())
+	}
+	plain := NewSchema("P", Column{Name: "a", Type: KindInt}, Column{Name: "b", Type: KindString})
+	p1 := New(plain, Int(1), String("u"))
+	p2 := New(plain, Int(1), String("v"))
+	if p1.Score() != NeutralScore {
+		t.Errorf("score-less tuple score = %v, want neutral", p1.Score())
+	}
+	if p1.Identity() == p2.Identity() {
+		t.Error("keyless identities must cover all columns")
+	}
+}
+
+func TestTupleArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	New(testSchema(t), Int(1))
+}
+
+func TestRowConcatProjectScores(t *testing.T) {
+	s := testSchema(t)
+	a := New(s, Int(1), String("a"), Float(0.5))
+	b := New(s, Int(2), String("b"), Float(0.25))
+	r := NewRow(a).Concat(NewRow(b))
+	if r.Arity() != 2 || r.Part(0) != a || r.Part(1) != b {
+		t.Fatalf("concat wrong: %v", r)
+	}
+	if got := r.ScoreProduct(); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("score product = %v", got)
+	}
+	proj := r.Project([]int{1, 0})
+	if proj.Part(0) != b || proj.Part(1) != a {
+		t.Error("project must reorder parts")
+	}
+	scores := r.PartScores(nil)
+	if len(scores) != 2 || scores[0] != 0.5 || scores[1] != 0.25 {
+		t.Errorf("part scores = %v", scores)
+	}
+}
+
+func TestRowIdentityOrderInvariant(t *testing.T) {
+	s := testSchema(t)
+	a := New(s, Int(1), String("a"), Float(0.5))
+	s2 := NewSchema("S", Column{Name: "id", Type: KindInt, Key: true})
+	b := New(s2, Int(2))
+	r1 := NewRow(a, b)
+	r2 := NewRow(b, a)
+	if r1.Identity() != r2.Identity() {
+		t.Error("row identity must be part-order invariant")
+	}
+	r3 := NewRow(a, New(s2, Int(3)))
+	if r1.Identity() == r3.Identity() {
+		t.Error("different rows must differ in identity")
+	}
+}
+
+func TestRowConcatDoesNotAliasInputs(t *testing.T) {
+	s := testSchema(t)
+	a := New(s, Int(1), String("a"), Float(0.5))
+	b := New(s, Int(2), String("b"), Float(0.5))
+	c := New(s, Int(3), String("c"), Float(0.5))
+	base := NewRow(a)
+	r1 := base.Concat(NewRow(b))
+	r2 := base.Concat(NewRow(c))
+	if r1.Part(1) != b || r2.Part(1) != c {
+		t.Error("concat results alias each other")
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/candidates"
+	"repro/internal/catalog"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/schemagraph"
+	"repro/internal/tuple"
+)
+
+// Bio builds the Figure 1 bioinformatics-portal scenario: UniProt and
+// InterPro protein databases, GeneOntology terms with synonyms, NCBI Entrez
+// gene info, bridged by record-linking tables — and the running example's
+// three keyword queries:
+//
+//	KQ1 (user 1): "protein" "plasma membrane" "gene"
+//	KQ2 (user 2): "protein" "metabolism"         (concurrent with KQ1)
+//	KQ3 (user 1): "membrane" "gene"              (a later refinement of KQ1)
+//
+// The schema is small enough to inspect by hand yet exercises every code
+// path: multi-database pushdown restrictions, score-less probe sources (the
+// Entry table), synonym detours (TS), and cross-time overlap (KQ3's CQs are
+// subexpressions of KQ1's, Table 3).
+func Bio() (*Workload, error) {
+	const seed = 0xB10
+	rng := dist.New(seed)
+
+	goNames := []string{
+		"plasma membrane", "metabolism", "membrane", "nucleus", "transport",
+		"kinase activity", "signal transduction", "apoptosis", "binding", "catalysis",
+	}
+	kinds := []string{"protein", "enzyme", "receptor", "antibody", "carrier"}
+	geneKinds := []string{"gene", "pseudogene", "ncrna", "snorna"}
+
+	type relSpec struct {
+		db     string
+		schema *tuple.Schema
+		card   int
+		gen    func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple
+	}
+	intC := func(n string) tuple.Column { return tuple.Column{Name: n, Type: tuple.KindInt} }
+	keyC := func(n string) tuple.Column { return tuple.Column{Name: n, Type: tuple.KindInt, Key: true} }
+	strC := func(n string) tuple.Column { return tuple.Column{Name: n, Type: tuple.KindString} }
+	scoC := func(n string) tuple.Column { return tuple.Column{Name: n, Type: tuple.KindFloat, Score: true} }
+
+	zKind := dist.NewZipf(rng, len(kinds), 0.8)
+	zGo := dist.NewZipf(rng, len(goNames), 0.7)
+	zGene := dist.NewZipf(rng, len(geneKinds), 0.8)
+
+	specs := []relSpec{
+		{"uniprot", tuple.NewSchema("UP", keyC("ac"), strC("nam"), strC("kind"), scoC("score")), 3000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(i)), tuple.String(fmt.Sprintf("uniprot_%d", i)),
+					tuple.String(kinds[zKind.Next()]), tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"uniprot", tuple.NewSchema("RL", intC("ac"), intC("ent"), scoC("sim")), 3500,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(r.Intn(3000))), tuple.Int(int64(r.Intn(2000))),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"interpro", tuple.NewSchema("TP", keyC("id"), strC("prot"), strC("kind"), scoC("score")), 3000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(i)), tuple.String(fmt.Sprintf("tblprot_%d", i)),
+					tuple.String(kinds[zKind.Next()]), tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"interpro", tuple.NewSchema("E", keyC("ent"), strC("ename")), 2000, // score-less: probe-only
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(i)), tuple.String(fmt.Sprintf("entry_%d", i)))
+			}},
+		{"interpro", tuple.NewSchema("E2M", intC("ent"), intC("id"), scoC("sim")), 4000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(r.Intn(2000))), tuple.Int(int64(r.Intn(3000))),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"interpro", tuple.NewSchema("I2G", intC("ent"), intC("gid"), scoC("sim")), 4000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(r.Intn(2000))), tuple.Int(int64(r.Intn(1500))),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"go", tuple.NewSchema("T", keyC("gid"), strC("name"), scoC("score")), 1500,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(i)), tuple.String(goNames[zGo.Next()]),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"go", tuple.NewSchema("TS", intC("gid"), intC("gid2"), scoC("conf")), 2000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(r.Intn(1500))), tuple.Int(int64(r.Intn(1500))),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"go", tuple.NewSchema("G2G", intC("gid"), intC("giId"), scoC("sim")), 5000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(r.Intn(1500))), tuple.Int(int64(r.Intn(4000))),
+					tuple.Float(dist.ZipfScore(i, card)))
+			}},
+		{"entrez", tuple.NewSchema("GI", keyC("giId"), strC("gene"), strC("gkind"), scoC("score")), 4000,
+			func(r *dist.RNG, i, card int, s *tuple.Schema) *tuple.Tuple {
+				return tuple.New(s, tuple.Int(int64(i)), tuple.String(fmt.Sprintf("gene_%d", i)),
+					tuple.String(geneKinds[zGene.Next()]), tuple.Float(dist.ZipfScore(i, card)))
+			}},
+	}
+
+	stores := map[string]*relationdb.Store{}
+	cat := catalog.New()
+	sg := schemagraph.New()
+	for _, sp := range specs {
+		if stores[sp.db] == nil {
+			stores[sp.db] = relationdb.NewStore(sp.db)
+		}
+		dataRNG := dist.New(seed*131 + uint64(len(sp.schema.Name()))*977 + uint64(sp.card))
+		rows := make([]*tuple.Tuple, 0, sp.card)
+		for i := 0; i < sp.card; i++ {
+			rows = append(rows, sp.gen(dataRNG, i, sp.card, sp.schema))
+		}
+		rel := relationdb.NewRelation(sp.schema, rows)
+		stores[sp.db].Put(rel)
+		cat.AddRelation(sp.db, rel)
+		sg.AddNode(&schemagraph.Node{
+			Rel: sp.schema.Name(), DB: sp.db, Schema: sp.schema,
+			Authority: 0.2 * rng.Float64(), LinkTable: sp.schema.KeyCol() < 0,
+		})
+	}
+	type e struct {
+		f  string
+		fc int
+		t  string
+		tc int
+		c  float64
+	}
+	for _, ed := range []e{
+		{"RL", 0, "UP", 0, 0.4}, {"RL", 1, "E", 0, 0.5},
+		{"E2M", 1, "TP", 0, 0.4}, {"E2M", 0, "E", 0, 0.5},
+		{"I2G", 0, "E", 0, 0.4}, {"I2G", 1, "T", 0, 0.3},
+		{"TS", 0, "T", 0, 0.6}, {"TS", 1, "T", 0, 0.7},
+		{"G2G", 0, "T", 0, 0.3}, {"G2G", 1, "GI", 0, 0.3},
+		{"RL", 1, "I2G", 0, 0.6}, {"E2M", 0, "I2G", 0, 0.6},
+	} {
+		sg.AddEdge(&schemagraph.Edge{From: ed.f, To: ed.t, FromCol: ed.fc, ToCol: ed.tc, Cost: ed.c})
+	}
+	sg.IndexTerm("protein", schemagraph.Match{Rel: "TP", Col: 2, Score: 0.9})
+	sg.IndexTerm("protein", schemagraph.Match{Rel: "UP", Col: 2, Score: 0.85})
+	sg.IndexTerm("plasma membrane", schemagraph.Match{Rel: "T", Col: 1, Score: 0.95})
+	sg.IndexTerm("membrane", schemagraph.Match{Rel: "T", Col: 1, Score: 0.9})
+	sg.IndexTerm("metabolism", schemagraph.Match{Rel: "T", Col: 1, Score: 0.95})
+	sg.IndexTerm("gene", schemagraph.Match{Rel: "GI", Col: 2, Score: 0.9})
+
+	var dbs []*remotedb.DB
+	for _, name := range []string{"uniprot", "interpro", "go", "entrez"} {
+		dbs = append(dbs, remotedb.New(stores[name]))
+	}
+	w := &Workload{Name: "bio", Fleet: remotedb.NewFleet(dbs...), Catalog: cat, Schema: sg}
+
+	cfg := candidates.Config{
+		Graph:             sg,
+		Catalog:           cat,
+		MatchesPerKeyword: 2,
+		MaxAtoms:          7,
+		MaxPathLen:        4,
+		PathVariants:      2,
+		MaxCQs:            8,
+		Family:            candidates.FamilyQSystem,
+	}
+	kqs := []struct {
+		id       string
+		keywords []string
+		at       time.Duration
+		user     uint64
+	}{
+		{"UQ1", []string{"protein", "plasma membrane", "gene"}, 0, 1},
+		{"UQ2", []string{"protein", "metabolism"}, 1 * time.Second, 2},
+		{"UQ3", []string{"membrane", "gene"}, 20 * time.Second, 1},
+	}
+	for _, kq := range kqs {
+		uq, err := candidates.Generate(cfg, kq.id, kq.keywords, 50, dist.New(kq.user))
+		if err != nil {
+			return nil, fmt.Errorf("workload: bio %s: %w", kq.id, err)
+		}
+		w.Submissions = append(w.Submissions, batcher.Submission{At: kq.at, UQ: uq})
+	}
+	return w, nil
+}
+
+// BioUQ regenerates one of the scenario's user queries with a custom id and
+// k — used by examples that pose ad hoc variations.
+func BioUQ(w *Workload, id string, keywords []string, k int, userSeed uint64) (*cq.UQ, error) {
+	cfg := candidates.Config{
+		Graph:             w.Schema,
+		Catalog:           w.Catalog,
+		MatchesPerKeyword: 2,
+		MaxAtoms:          7,
+		MaxPathLen:        4,
+		PathVariants:      2,
+		MaxCQs:            8,
+		Family:            candidates.FamilyQSystem,
+	}
+	return candidates.Generate(cfg, id, keywords, k, dist.New(userSeed))
+}

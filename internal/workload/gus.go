@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/candidates"
+	"repro/internal/catalog"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/schemagraph"
+	"repro/internal/tuple"
+)
+
+// GUSScale sizes a synthetic instance. The paper populated 20,000–100,000
+// tuples per relation on a dedicated server; the default here is scaled so
+// the full experiment suite runs in seconds while preserving every ratio that
+// drives the results (Zipf skew, fanouts, matchable fraction).
+type GUSScale struct {
+	// EntityMinRows/EntityMaxRows bound per-entity-table cardinalities.
+	EntityMinRows, EntityMaxRows int
+	// RelRowsFactor sizes relationship tables relative to their endpoints.
+	RelRowsFactor float64
+	// TermsPerEntity is how many vocabulary terms each matchable entity
+	// table's content draws from.
+	TermsPerEntity int
+}
+
+// GUSScaleDefault is the test/bench scale, sized so that per-query virtual
+// response times land in the paper's seconds range — comparable to the ≤6 s
+// inter-arrival gaps, which is the regime where cross-time state reuse and
+// shared-graph contention balance as in §7.1/§7.3.
+func GUSScaleDefault() GUSScale {
+	return GUSScale{EntityMinRows: 400, EntityMaxRows: 1000, RelRowsFactor: 0.8, TermsPerEntity: 3}
+}
+
+// GUSScalePaper matches §7's 20k–100k tuples per relation.
+func GUSScalePaper() GUSScale {
+	return GUSScale{EntityMinRows: 20000, EntityMaxRows: 100000, RelRowsFactor: 1.0, TermsPerEntity: 3}
+}
+
+// GUS schema shape: 358 relations as in the Genomics Unified Schema [21].
+const (
+	gusEntities  = 150
+	gusRelTables = 208      // 149 spanning-tree links + 59 extra links
+	gusTopoSeed  = 0x675553 // "GUS"
+)
+
+// gusTopology describes the deterministic schema (shared by all instances).
+type gusTopology struct {
+	matchable []bool
+	termsOf   [][]string
+	// links[j] = (a, b, costA, costB) connecting entity a and b via R_j.
+	links [][2]int
+	costs [][2]float64
+	auth  []float64
+}
+
+func buildGUSTopology(scale GUSScale) *gusTopology {
+	rng := dist.New(gusTopoSeed)
+	t := &gusTopology{
+		matchable: make([]bool, gusEntities),
+		termsOf:   make([][]string, gusEntities),
+		links:     make([][2]int, gusRelTables),
+		costs:     make([][2]float64, gusRelTables),
+		auth:      make([]float64, gusEntities),
+	}
+	termZipf := dist.NewZipf(rng, len(bioTerms), 1.0)
+	var matchIdx []int
+	for i := 0; i < gusEntities; i++ {
+		t.matchable[i] = i%5 < 2 // 40% of entity tables carry text + IR score
+		t.auth[i] = 0.5 * rng.Float64()
+		if t.matchable[i] {
+			matchIdx = append(matchIdx, i)
+			seen := map[string]bool{}
+			for len(t.termsOf[i]) < scale.TermsPerEntity {
+				term := bioTerms[termZipf.Next()]
+				if !seen[term] {
+					seen[term] = true
+					t.termsOf[i] = append(t.termsOf[i], term)
+				}
+			}
+		}
+	}
+	// Spanning tree first (connectivity), then extra links. Text-bearing
+	// (matchable) entities are never directly adjacent: like Figure 1's
+	// schema, where Term/GeneInfo/TblProtein link through Entry and
+	// record-link tables, every candidate network must traverse at least one
+	// score-less entity — the relations that become random-access sources
+	// (§5.1.1) and give Figure 8 its probe time.
+	var plainIdx []int
+	for i := 0; i < gusEntities; i++ {
+		if !t.matchable[i] {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+	hub := dist.NewZipf(rng, gusEntities, 0.7)
+	toPlainBelow := func(b, limit int) int {
+		for d := 0; d < gusEntities; d++ {
+			if b-d >= 0 && b-d < limit && !t.matchable[b-d] {
+				return b - d
+			}
+			if b+d < limit && !t.matchable[b+d] {
+				return b + d
+			}
+		}
+		return b
+	}
+	for j := 0; j < gusRelTables; j++ {
+		var a, b int
+		switch {
+		case j < gusEntities-1:
+			a = j + 1
+			b = hub.Next() % (j + 1)
+			if t.matchable[a] && t.matchable[b] {
+				b = toPlainBelow(b, j+1)
+			}
+		case rng.Float64() < 0.45:
+			// Parallel link: a second relationship table between an existing
+			// pair, like Figure 1's Term_Syn beside the direct Gene2GO⋈Term
+			// join. Candidate networks then differ by swapping one linking
+			// segment while sharing the rest identically (Tables 1 and 3) —
+			// the overlap structure all the sharing machinery exploits.
+			dup := t.links[rng.Intn(j)]
+			a, b = dup[0], dup[1]
+		default:
+			a = matchIdx[rng.Intn(len(matchIdx))]
+			b = plainIdx[rng.Intn(len(plainIdx))]
+		}
+		t.links[j] = [2]int{a, b}
+		t.costs[j] = [2]float64{0.2 + 1.3*rng.Float64(), 0.2 + 1.3*rng.Float64()}
+	}
+	return t
+}
+
+func gusEntityName(i int) string { return fmt.Sprintf("GUS_E%03d", i) }
+func gusRelName(j int) string    { return fmt.Sprintf("GUS_R%03d", j) }
+
+func gusEntitySchema(i int, matchable bool) *tuple.Schema {
+	if matchable {
+		return tuple.NewSchema(gusEntityName(i),
+			tuple.Column{Name: "eid", Type: tuple.KindInt, Key: true},
+			tuple.Column{Name: "name", Type: tuple.KindString},
+			tuple.Column{Name: "term", Type: tuple.KindString},
+			tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+		)
+	}
+	return tuple.NewSchema(gusEntityName(i),
+		tuple.Column{Name: "eid", Type: tuple.KindInt, Key: true},
+		tuple.Column{Name: "name", Type: tuple.KindString},
+		tuple.Column{Name: "attr", Type: tuple.KindInt},
+	)
+}
+
+func gusRelSchema(j int) *tuple.Schema {
+	return tuple.NewSchema(gusRelName(j),
+		tuple.Column{Name: "a_id", Type: tuple.KindInt},
+		tuple.Column{Name: "b_id", Type: tuple.KindInt},
+		tuple.Column{Name: "sim", Type: tuple.KindFloat, Score: true},
+	)
+}
+
+// entityCard derives an entity table's cardinality deterministically from
+// the instance seed, without materialising the table.
+func entityCard(instance, i int, scale GUSScale) int {
+	rng := dist.New(uint64(instance)*1_000_003 + uint64(i)*7 + 13)
+	return scale.EntityMinRows + rng.Intn(scale.EntityMaxRows-scale.EntityMinRows+1)
+}
+
+// GUS builds synthetic instance 1..4 (any positive integer works; the paper
+// used four).
+func GUS(instance int, scale GUSScale) (*Workload, error) {
+	topo := buildGUSTopology(scale)
+	store := relationdb.NewStore("gus")
+	cat := catalog.New()
+	sg := schemagraph.New()
+
+	// Declare entity tables: lazy data, upfront stats and graph nodes.
+	for i := 0; i < gusEntities; i++ {
+		i := i
+		schema := gusEntitySchema(i, topo.matchable[i])
+		card := entityCard(instance, i, scale)
+		store.PutLazy(schema.Name(), func() *relationdb.Relation {
+			return materialiseGUSEntity(instance, i, topo, scale, schema)
+		})
+		st := &catalog.RelStats{
+			Name: schema.Name(), DB: "gus", Card: float64(card),
+			Distinct: distinctsForEntity(schema, card, len(topo.termsOf[i])),
+			MaxScore: 1.0, HasScore: topo.matchable[i], Schema: schema,
+		}
+		cat.AddStats(st)
+		sg.AddNode(&schemagraph.Node{Rel: schema.Name(), DB: "gus", Schema: schema, Authority: topo.auth[i]})
+	}
+	// Relationship tables.
+	for j := 0; j < gusRelTables; j++ {
+		j := j
+		schema := gusRelSchema(j)
+		a, b := topo.links[j][0], topo.links[j][1]
+		cardA, cardB := entityCard(instance, a, scale), entityCard(instance, b, scale)
+		card := int(scale.RelRowsFactor * float64(cardA+cardB) / 2)
+		store.PutLazy(schema.Name(), func() *relationdb.Relation {
+			return materialiseGUSRel(instance, j, cardA, cardB, card, schema)
+		})
+		cat.AddStats(&catalog.RelStats{
+			Name: schema.Name(), DB: "gus", Card: float64(card),
+			Distinct: []float64{minf(card, cardA), minf(card, cardB), float64(card)},
+			MaxScore: 1.0, HasScore: true, Schema: schema,
+		})
+		sg.AddNode(&schemagraph.Node{Rel: schema.Name(), DB: "gus", Schema: schema, LinkTable: true})
+		sg.AddEdge(&schemagraph.Edge{From: schema.Name(), To: gusEntityName(a), FromCol: 0, ToCol: 0, Cost: topo.costs[j][0]})
+		sg.AddEdge(&schemagraph.Edge{From: schema.Name(), To: gusEntityName(b), FromCol: 1, ToCol: 0, Cost: topo.costs[j][1]})
+	}
+	// Keyword index over matchable entities' term content.
+	idxRNG := dist.New(gusTopoSeed + 7)
+	for i := 0; i < gusEntities; i++ {
+		if !topo.matchable[i] {
+			continue
+		}
+		for _, term := range topo.termsOf[i] {
+			sg.IndexTerm(term, schemagraph.Match{
+				Rel: gusEntityName(i), Col: 2,
+				Score: 0.6 + 0.4*idxRNG.Float64(),
+			})
+		}
+	}
+
+	fleet := remotedb.NewFleet(remotedb.New(store))
+	w := &Workload{
+		Name:    fmt.Sprintf("gus-%d", instance),
+		Fleet:   fleet,
+		Catalog: cat,
+		Schema:  sg,
+	}
+	if err := generateGUSQueries(w, instance); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func distinctsForEntity(s *tuple.Schema, card, terms int) []float64 {
+	d := make([]float64, s.NumCols())
+	for i := range d {
+		d[i] = float64(card)
+	}
+	if idx, ok := s.Index("term"); ok {
+		d[idx] = float64(maxi(terms, 1))
+	}
+	if idx, ok := s.Index("attr"); ok {
+		d[idx] = float64(maxi(card/10, 1))
+	}
+	return d
+}
+
+func minf(a, b int) float64 {
+	if a < b {
+		return float64(a)
+	}
+	return float64(b)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func materialiseGUSEntity(instance, i int, topo *gusTopology, scale GUSScale, schema *tuple.Schema) *relationdb.Relation {
+	card := entityCard(instance, i, scale)
+	rng := dist.New(uint64(instance)*2_000_003 + uint64(i)*31 + 7)
+	rows := make([]*tuple.Tuple, 0, card)
+	if topo.matchable[i] {
+		termZipf := dist.NewZipf(rng, len(topo.termsOf[i]), 0.9)
+		for r := 0; r < card; r++ {
+			rows = append(rows, tuple.New(schema,
+				tuple.Int(int64(r)),
+				tuple.String(fmt.Sprintf("E%d_%d", i, r)),
+				tuple.String(topo.termsOf[i][termZipf.Next()]),
+				tuple.Float(dist.ZipfScore(r, card)),
+			))
+		}
+	} else {
+		for r := 0; r < card; r++ {
+			rows = append(rows, tuple.New(schema,
+				tuple.Int(int64(r)),
+				tuple.String(fmt.Sprintf("E%d_%d", i, r)),
+				tuple.Int(int64(rng.Intn(maxi(card/10, 1)))),
+			))
+		}
+	}
+	return relationdb.NewRelation(schema, rows)
+}
+
+func materialiseGUSRel(instance, j, cardA, cardB, card int, schema *tuple.Schema) *relationdb.Relation {
+	rng := dist.New(uint64(instance)*3_000_017 + uint64(j)*97 + 3)
+	// Zipfian join keys (§7): popular entities link more often. The exponent
+	// is mild so most probe keys stay distinct — key/foreign-key joins over
+	// large key spaces are what make random-access time a major fraction of
+	// execution (Figure 8).
+	za := dist.NewZipf(rng, cardA, 0.2)
+	zb := dist.NewZipf(rng, cardB, 0.2)
+	rows := make([]*tuple.Tuple, 0, card)
+	for r := 0; r < card; r++ {
+		rows = append(rows, tuple.New(schema,
+			tuple.Int(int64(za.Next())),
+			tuple.Int(int64(zb.Next())),
+			tuple.Float(dist.ZipfScore(r, card)),
+		))
+	}
+	return relationdb.NewRelation(schema, rows)
+}
+
+// generateGUSQueries draws the 15 two-keyword user queries via Zipf over the
+// vocabulary (§7), expanding each into ≤20 conjunctive queries.
+func generateGUSQueries(w *Workload, instance int) error {
+	cfg := candidates.Config{
+		Graph:             w.Schema,
+		Catalog:           w.Catalog,
+		MatchesPerKeyword: 3,
+		MaxAtoms:          7,
+		MaxPathLen:        6,
+		PathVariants:      5,
+		MaxCQs:            20,
+		Family:            candidates.FamilyQSystem,
+	}
+	terms := w.Schema.Terms()
+	qrng := dist.New(gusTopoSeed + 99)
+	kwZipf := dist.NewZipf(qrng, len(terms), 1.25)
+	arrRNG := dist.New(uint64(instance)*17 + 5)
+	arrivals := arrivalTimes(15, 6*time.Second, arrRNG.Float64)
+
+	for i := 1; i <= 15; i++ {
+		var uq *cq.UQ
+		for attempt := 0; attempt < 60; attempt++ {
+			k1 := terms[kwZipf.Next()]
+			k2 := terms[kwZipf.Next()]
+			if k1 == k2 {
+				continue
+			}
+			userRNG := dist.New(uint64(instance)*1000 + uint64(i))
+			got, err := candidates.Generate(cfg, fmt.Sprintf("UQ%d", i), []string{k1, k2}, 50, userRNG)
+			if err == nil && len(got.CQs) >= 2 {
+				uq = got
+				break
+			}
+		}
+		if uq == nil {
+			return fmt.Errorf("workload: could not generate GUS user query %d", i)
+		}
+		w.Submissions = append(w.Submissions, batcher.Submission{At: arrivals[i-1], UQ: uq})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package workload
+
+// bioTerms is the "list of common biological terms" (§7) query keywords and
+// tuple content are drawn from; ordering matters, as Zipfian draws make the
+// earliest terms the most popular (like "protein" in the paper's anecdote).
+var bioTerms = []string{
+	"protein", "gene", "membrane", "kinase", "receptor",
+	"plasma", "metabolism", "transcription", "binding", "enzyme",
+	"transport", "signal", "nucleus", "mitochondria", "ribosome",
+	"pathway", "domain", "homolog", "ligand", "antibody",
+	"genome", "mutation", "expression", "regulation", "synthesis",
+	"apoptosis", "cytoplasm", "chromosome", "peptide", "hormone",
+	"catalysis", "oxidase", "reductase", "transferase", "hydrolase",
+	"isomerase", "polymerase", "helicase", "channel", "motif",
+}
+
+// speciesTerms seed the Pfam/InterPro proxy's sequence species column.
+var speciesTerms = []string{
+	"human", "mouse", "yeast", "zebrafish", "drosophila",
+	"arabidopsis", "celegans", "rat", "chicken", "xenopus",
+	"plasmodium", "ecoli", "bsubtilis", "danio", "bovine",
+}
