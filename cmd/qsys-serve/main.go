@@ -1,0 +1,179 @@
+// Command qsys-serve runs the Q System as a network service: an HTTP JSON
+// API over the concurrent admission-and-execution subsystem of
+// internal/service. Concurrently arriving searches are collected into
+// admission batches, multi-query-optimized together (§3) and executed over
+// shared plan graphs (§4–§6) — the paper's middleware as an online daemon.
+//
+// Usage:
+//
+//	qsys-serve [-addr :8080] [-workload bio|gus|pfam] [-instance 1]
+//	           [-window 25ms] [-batch 5] [-shards 1] [-k 50]
+//	           [-budget 0] [-realtime]
+//
+// Endpoints:
+//
+//	POST /search  {"user":"alice","keywords":["protein","gene"],"k":10}
+//	GET  /stats   service + per-shard execution counters
+//	GET  /healthz liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	wl := flag.String("workload", "bio", "workload: bio, gus, pfam")
+	instance := flag.Int("instance", 1, "GUS instance (1-4)")
+	window := flag.Duration("window", 25*time.Millisecond, "admission batch window (0 = admit immediately)")
+	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
+	shards := flag.Int("shards", 1, "independent engine shards")
+	k := flag.Int("k", 50, "default answers per search")
+	budget := flag.Int("budget", 0, "per-shard state budget in rows (0 = unbounded)")
+	realtime := flag.Bool("realtime", false, "sleep simulated delays for real (live demo pacing)")
+	flag.Parse()
+
+	w, err := workload.ByName(*wl, *instance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	svc := service.New(w, service.Config{
+		K:            *k,
+		BatchWindow:  *window,
+		BatchSize:    *batch,
+		Shards:       *shards,
+		MemoryBudget: *budget,
+		RealTime:     *realtime,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", func(rw http.ResponseWriter, req *http.Request) {
+		var in struct {
+			User     string   `json:"user"`
+			Keywords []string `json:"keywords"`
+			K        int      `json:"k"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+			httpError(rw, http.StatusBadRequest, err)
+			return
+		}
+		if in.User == "" {
+			in.User = "anonymous"
+		}
+		res, err := svc.Search(req.Context(), in.User, in.Keywords, in.K)
+		if err != nil {
+			switch {
+			case errors.Is(err, service.ErrClosed):
+				httpError(rw, http.StatusServiceUnavailable, err)
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				httpError(rw, http.StatusRequestTimeout, err)
+			default:
+				httpError(rw, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+		writeJSON(rw, searchView(res))
+	})
+	mux.HandleFunc("GET /stats", func(rw http.ResponseWriter, req *http.Request) {
+		writeJSON(rw, svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+
+	server := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d)",
+			w.Name, *addr, *window, *batch, *shards)
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("qsys-serve: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("qsys-serve: http shutdown: %v", err)
+	}
+	svc.Close()
+	log.Print("qsys-serve: bye")
+}
+
+// answerView flattens an answer for JSON without exposing internal tuple
+// structure.
+type answerView struct {
+	Rank   int      `json:"rank"`
+	Score  float64  `json:"score"`
+	Query  string   `json:"query"`
+	Tuples []string `json:"tuples"`
+}
+
+type resultView struct {
+	ID                string        `json:"id"`
+	Keywords          []string      `json:"keywords"`
+	Shard             int           `json:"shard"`
+	BatchSize         int           `json:"batchSize"`
+	CandidateNetworks int           `json:"candidateNetworks"`
+	ExecutedNetworks  int           `json:"executedNetworks"`
+	EngineLatency     time.Duration `json:"engineLatencyNS"`
+	WallLatency       time.Duration `json:"wallLatencyNS"`
+	Answers           []answerView  `json:"answers"`
+}
+
+func searchView(res *service.Result) resultView {
+	out := resultView{
+		ID:                res.ID,
+		Keywords:          res.Keywords,
+		Shard:             res.Shard,
+		BatchSize:         res.BatchSize,
+		CandidateNetworks: res.CandidateNetworks,
+		ExecutedNetworks:  res.ExecutedNetworks,
+		EngineLatency:     res.EngineLatency,
+		WallLatency:       res.WallLatency,
+	}
+	for _, a := range res.Answers {
+		v := answerView{Rank: a.Rank, Score: a.Score, Query: a.Query}
+		for _, t := range a.Tuples {
+			v.Tuples = append(v.Tuples, tupleString(t))
+		}
+		out.Answers = append(out.Answers, v)
+	}
+	return out
+}
+
+func tupleString(t *tuple.Tuple) string { return t.String() }
+
+func httpError(rw http.ResponseWriter, code int, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("qsys-serve: encode: %v", err)
+	}
+}

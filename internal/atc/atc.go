@@ -30,6 +30,9 @@ type MergeState struct {
 	// Finished is when the rank-merge completed; valid when Done.
 	Finished time.Duration
 	Done     bool
+	// Canceled marks a merge abandoned by its caller before completion; its
+	// partial results are not meaningful.
+	Canceled bool
 }
 
 // Latency returns the user query's response time.
@@ -51,7 +54,11 @@ type ATC struct {
 	execs  map[*plangraph.Node]*operator.NodeExec
 	ras    map[*plangraph.Node]*source.RandomAccess
 	merges []*MergeState
-	attach map[string]attachment // by CQ id
+	// active holds the unfinished merges; RunRound iterates it and compacts
+	// out completed entries so long-lived sessions don't rescan history.
+	active []*MergeState
+	byUQ   map[string]*MergeState // user-query id -> merge state
+	attach map[string]attachment  // by CQ id
 
 	// historyComplete marks nodes whose log reflects every row derivable
 	// from their inputs' logs; parking clears it.
@@ -67,6 +74,7 @@ func New(g *plangraph.Graph, env *operator.Env, fleet *remotedb.Fleet) *ATC {
 		epoch:           0,
 		execs:           map[*plangraph.Node]*operator.NodeExec{},
 		ras:             map[*plangraph.Node]*source.RandomAccess{},
+		byUQ:            map[string]*MergeState{},
 		attach:          map[string]attachment{},
 		historyComplete: map[*plangraph.Node]bool{},
 	}
@@ -84,11 +92,59 @@ func (a *ATC) BumpEpoch() int {
 // Merges returns the controller's rank-merge states in admission order.
 func (a *ATC) Merges() []*MergeState { return a.merges }
 
+// MergeByUQ returns the merge state for a user query id, or nil.
+func (a *ATC) MergeByUQ(uqID string) *MergeState { return a.byUQ[uqID] }
+
 // AddMerge registers a user query's rank-merge.
 func (a *ATC) AddMerge(rm *operator.RankMerge, arrival time.Duration) *MergeState {
 	m := &MergeState{RM: rm, Arrival: arrival}
 	a.merges = append(a.merges, m)
+	a.active = append(a.active, m)
+	a.byUQ[rm.UQ.ID] = m
 	return m
+}
+
+// CancelMerge abandons an unfinished user query: its rank-merge is marked
+// done, and every conjunctive query it was driving is unlinked so the plan
+// segments feeding only it are parked (state retained for reuse, §6.3).
+// Canceling a finished or unknown query is a no-op.
+func (a *ATC) CancelMerge(uqID string) {
+	m := a.byUQ[uqID]
+	if m == nil || m.Done {
+		return
+	}
+	m.Done = true
+	m.Canceled = true
+	m.Finished = a.Env.Clock.Now()
+	for _, e := range m.RM.Entries {
+		a.UnlinkCQ(e.CQ.ID)
+	}
+}
+
+// Forget drops a completed user query from the controller's bookkeeping so a
+// long-running session does not accumulate per-query history. The experiment
+// drivers never call this — they read Merges() afterwards; the serving layer
+// calls it once a result has been dispatched.
+func (a *ATC) Forget(uqID string) {
+	m := a.byUQ[uqID]
+	if m == nil || !m.Done {
+		return
+	}
+	delete(a.byUQ, uqID)
+	for i, mm := range a.merges {
+		if mm == m {
+			a.merges = append(a.merges[:i], a.merges[i+1:]...)
+			break
+		}
+	}
+	// Also drop it from the active list: compaction only happens inside
+	// RunRound, which an idle session may not reach again.
+	for i, mm := range a.active {
+		if mm == m {
+			a.active = append(a.active[:i], a.active[i+1:]...)
+			break
+		}
+	}
 }
 
 // Exec returns (creating on demand) the runtime state for a plan node,
@@ -239,17 +295,21 @@ func (a *ATC) park(x *operator.NodeExec) {
 // and prevents source starvation (§4.2). It reports whether any merge is
 // still unfinished.
 func (a *ATC) RunRound() bool {
-	anyActive := false
-	for _, m := range a.merges {
+	live := a.active[:0]
+	for _, m := range a.active {
 		if m.Done {
 			continue
 		}
 		a.driveMerge(m)
 		if !m.Done {
-			anyActive = true
+			live = append(live, m)
 		}
 	}
-	return anyActive
+	for i := len(live); i < len(a.active); i++ {
+		a.active[i] = nil
+	}
+	a.active = live
+	return len(a.active) > 0
 }
 
 // driveMerge advances one rank-merge until it reads a tuple or finishes.
@@ -283,7 +343,7 @@ func (a *ATC) driveMerge(m *MergeState) {
 
 // AllDone reports whether every admitted user query has finished.
 func (a *ATC) AllDone() bool {
-	for _, m := range a.merges {
+	for _, m := range a.active {
 		if !m.Done {
 			return false
 		}

@@ -352,3 +352,87 @@ func TestEpochRecoveryExactness(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeIndexAndForget: merges are findable by user-query id in O(1),
+// completed ones can be forgotten, and the compacting active list keeps
+// RunRound from rescanning history.
+func TestMergeIndexAndForget(t *testing.T) {
+	h := newHarness(t, 77, 40, 90, 30, false)
+	model := scoring.QSystem(0.5, []float64{1, 1, 0.9})
+	q := starCQ("CQidx", "x", model, false)
+	uq := &cq.UQ{ID: "U-CQidx", K: 5, CQs: []*cq.CQ{q}}
+
+	if h.ctrl.MergeByUQ(uq.ID) != nil {
+		t.Fatal("index populated before admission")
+	}
+	if _, err := h.mgr.Admit([]batcher.Submission{{At: 0, UQ: uq}}, mqo.Config{K: uq.K}); err != nil {
+		t.Fatal(err)
+	}
+	m := h.ctrl.MergeByUQ(uq.ID)
+	if m == nil || m.RM.UQ.ID != uq.ID {
+		t.Fatal("MergeByUQ did not find the admitted query")
+	}
+
+	// Forget refuses while unfinished.
+	h.ctrl.Forget(uq.ID)
+	if h.ctrl.MergeByUQ(uq.ID) == nil {
+		t.Fatal("Forget removed an unfinished merge")
+	}
+
+	for h.ctrl.RunRound() {
+	}
+	if !m.Done || m.Canceled {
+		t.Fatalf("merge state after run: done=%v canceled=%v", m.Done, m.Canceled)
+	}
+	if len(m.RM.Results()) == 0 {
+		t.Fatal("no results")
+	}
+	if !h.ctrl.AllDone() {
+		t.Fatal("AllDone false after completion")
+	}
+
+	h.ctrl.Forget(uq.ID)
+	if h.ctrl.MergeByUQ(uq.ID) != nil {
+		t.Fatal("Forget left the merge indexed")
+	}
+	if len(h.ctrl.Merges()) != 0 {
+		t.Fatalf("history retained %d merges after Forget", len(h.ctrl.Merges()))
+	}
+}
+
+// TestCancelMerge: canceling an unfinished query marks it done+canceled,
+// unlinks its conjunctive queries, and leaves the controller able to serve
+// an identical follow-up query (reusing the canceled query's state).
+func TestCancelMerge(t *testing.T) {
+	h := newHarness(t, 78, 40, 90, 30, false)
+	model := scoring.QSystem(0.5, []float64{1, 1, 0.9})
+	q := starCQ("CQcan", "x", model, false)
+	uq := &cq.UQ{ID: "U-CQcan", K: 5, CQs: []*cq.CQ{q}}
+	if _, err := h.mgr.Admit([]batcher.Submission{{At: 0, UQ: uq}}, mqo.Config{K: uq.K}); err != nil {
+		t.Fatal(err)
+	}
+	// A few rounds in, abandon it.
+	h.ctrl.RunRound()
+	h.ctrl.RunRound()
+	h.ctrl.CancelMerge(uq.ID)
+	m := h.ctrl.MergeByUQ(uq.ID)
+	if m == nil || !m.Done || !m.Canceled {
+		t.Fatalf("cancel did not settle the merge: %+v", m)
+	}
+	if h.ctrl.RunRound() {
+		t.Fatal("controller still active after sole query canceled")
+	}
+	h.ctrl.Forget(uq.ID)
+
+	// Canceling unknown or finished queries is a no-op.
+	h.ctrl.CancelMerge("nope")
+	h.ctrl.CancelMerge(uq.ID)
+
+	// The same search again must complete normally on the retained state.
+	q2 := starCQ("CQcan2", "x", model, false)
+	uq2 := &cq.UQ{ID: "U-CQcan2", K: 5, CQs: []*cq.CQ{q2}}
+	res := h.run(t, uq2)
+	if len(res) == 0 {
+		t.Fatal("follow-up query after cancellation returned nothing")
+	}
+}

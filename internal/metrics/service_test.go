@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty hist quantile != 0")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	st := h.Snapshot()
+	if st.Count != 1000 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.Max != 1000*time.Millisecond {
+		t.Errorf("max = %v", st.Max)
+	}
+	// Power-of-two buckets: estimates may overshoot by at most 2x.
+	if st.P50 < 500*time.Millisecond || st.P50 > time.Second {
+		t.Errorf("p50 = %v, want within [500ms, 1s]", st.P50)
+	}
+	if st.P99 < 990*time.Millisecond || st.P99 > 1000*time.Millisecond {
+		t.Errorf("p99 = %v", st.P99)
+	}
+	if st.Mean < 500*time.Millisecond || st.Mean > 501*time.Millisecond {
+		t.Errorf("mean = %v", st.Mean)
+	}
+}
+
+func TestLatencyHistNegativeClamped(t *testing.T) {
+	var h LatencyHist
+	h.Observe(-time.Second)
+	if st := h.Snapshot(); st.Count != 1 || st.Max != 0 {
+		t.Errorf("negative observation: %+v", st)
+	}
+}
+
+func TestSizeHist(t *testing.T) {
+	var h SizeHist
+	for _, n := range []int{1, 1, 5, 5, 5, 200} {
+		h.Observe(n)
+	}
+	st := h.Snapshot()
+	if st.Count != 6 || st.Max != 200 {
+		t.Fatalf("count=%d max=%d", st.Count, st.Max)
+	}
+	if st.Dist[1] != 2 || st.Dist[5] != 3 || st.Dist[sizeBuckets-1] != 1 {
+		t.Errorf("dist = %v", st.Dist)
+	}
+	if st.Mean < 36 || st.Mean > 37 {
+		t.Errorf("mean = %v", st.Mean)
+	}
+}
+
+func TestServiceCountersConcurrent(t *testing.T) {
+	var s Service
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Requests.Inc()
+				s.InFlight.Inc()
+				s.WallLatency.Observe(time.Millisecond)
+				s.BatchOccupancy.Observe(j % 10)
+				s.InFlight.Dec()
+				s.Completed.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Requests != 8000 || st.Completed != 8000 || st.InFlight != 0 {
+		t.Errorf("snapshot = %+v", st)
+	}
+	if st.WallLatency.Count != 8000 || st.BatchOccupancy.Count != 8000 {
+		t.Errorf("hist counts: %d %d", st.WallLatency.Count, st.BatchOccupancy.Count)
+	}
+}

@@ -54,6 +54,25 @@ func (m ShareMode) String() string {
 	}
 }
 
+// OptimizeUnit selects the granularity of the optimization groups within one
+// admitted batch (only meaningful under ShareAll).
+type OptimizeUnit int
+
+const (
+	// UnitBatch jointly optimizes every conjunctive query of the batch in a
+	// single group (§5.1's batched multi-query optimization). Search cost
+	// grows steeply with batch size (Figure 11), and under a bounded search
+	// budget large groups starve: most queries end up assigned raw base
+	// streams instead of selective pushdowns.
+	UnitBatch OptimizeUnit = iota
+	// UnitUQ optimizes each user query separately while still grafting every
+	// plan into the one shared graph: identical subexpressions collide on
+	// their node keys, so sharing arises structurally (§6.2) rather than
+	// from joint search, and optimization cost stays linear in batch size.
+	// This is what a serving layer under concurrent load uses.
+	UnitUQ
+)
+
 // Manager owns one plan graph's state lifecycle.
 type Manager struct {
 	Graph *plangraph.Graph
@@ -61,6 +80,8 @@ type Manager struct {
 	Cat   *catalog.Catalog
 	CM    *costmodel.Model
 	Mode  ShareMode
+	// Unit selects joint versus per-user-query optimization under ShareAll.
+	Unit OptimizeUnit
 	// MemoryBudget bounds resident state in rows (0 = unbounded). §6.3.
 	MemoryBudget int
 	// ChargeOptimizer adds measured optimization wall time to the virtual
@@ -236,6 +257,15 @@ func (m *Manager) groups(subs []batcher.Submission) []optGroup {
 		}
 		return out
 	default:
+		if m.Unit == UnitUQ {
+			// One group per user query, all in the shared (unscoped) graph:
+			// cross-query sharing is structural rather than searched.
+			var out []optGroup
+			for _, s := range subs {
+				out = append(out, optGroup{scope: "", qs: s.UQ.CQs})
+			}
+			return out
+		}
 		var qs []*cq.CQ
 		for _, s := range subs {
 			qs = append(qs, s.UQ.CQs...)

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/atc"
+	"repro/internal/batcher"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/mqo"
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+	"repro/internal/qsm"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// request is one enqueued search.
+type request struct {
+	uq        *cq.UQ
+	enqueued  time.Time
+	ctx       context.Context
+	resp      chan response
+	batchSize int // set at admission
+}
+
+type response struct {
+	res *Result
+	err error
+}
+
+// shard is one complete engine — plan graph, ATC, state manager, catalog
+// fork, clock — plus the single executor goroutine that owns it. Nothing
+// outside the executor goroutine ever touches the engine fields after
+// newShard returns.
+type shard struct {
+	id  int
+	cfg Config
+	svc *metrics.Service
+
+	env   *operator.Env
+	graph *plangraph.Graph
+	ctrl  *atc.ATC
+	mgr   *qsm.Manager
+	cat   *catalog.Catalog
+
+	submitCh chan *request
+	statsCh  chan chan ShardStats
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service) *shard {
+	rng := dist.New(cfg.Seed + uint64(id)*7919 + 1)
+	var clock simclock.Clock
+	if cfg.RealTime {
+		clock = simclock.NewReal()
+	} else {
+		clock = simclock.NewVirtual(0)
+	}
+	env := &operator.Env{Clock: clock, Delays: simclock.DefaultDelays(rng), Metrics: &metrics.Counters{}}
+	graph := plangraph.New("")
+	ctrl := atc.New(graph, env, w.Fleet)
+	cat := w.Catalog.Fork()
+	mgr := qsm.New(graph, ctrl, cat, costmodel.New(cat, costmodel.DefaultParams()), qsm.ShareAll)
+	mgr.MemoryBudget = cfg.MemoryBudget
+	if !cfg.JointOptimize {
+		mgr.Unit = qsm.UnitUQ
+	}
+	sh := &shard{
+		id:       id,
+		cfg:      cfg,
+		svc:      svc,
+		env:      env,
+		graph:    graph,
+		ctrl:     ctrl,
+		mgr:      mgr,
+		cat:      cat,
+		submitCh: make(chan *request, cfg.MaxQueue),
+		statsCh:  make(chan chan ShardStats),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go sh.run()
+	return sh
+}
+
+// run is the executor loop: collect an admission window, admit it into the
+// running plan graph, drive rank-merges one round at a time, and dispatch
+// completions — all while polling for new arrivals so late queries graft onto
+// the graph mid-execution (§6.2).
+func (sh *shard) run() {
+	defer close(sh.doneCh)
+	var pending []*request           // current admission window, arrival order
+	var windowStart time.Time        // wall arrival of pending[0]
+	waiters := map[string]*request{} // admitted, unfinished; by UQ id
+	stopping := false
+
+	for {
+		// Intake: block when idle, poll when busy.
+		switch {
+		case stopping:
+			sh.drainNonblocking(&pending, &windowStart)
+		case len(pending) == 0 && len(waiters) == 0:
+			select {
+			case r := <-sh.submitCh:
+				sh.accept(&pending, &windowStart, r)
+			case req := <-sh.statsCh:
+				req <- sh.snapshot()
+			case <-sh.stopCh:
+				stopping = true
+			}
+		case len(waiters) == 0 && sh.windowOpen(pending, windowStart):
+			// Nothing executing; sleep until the window closes or news.
+			timer := time.NewTimer(time.Until(windowStart.Add(sh.cfg.BatchWindow)))
+			select {
+			case r := <-sh.submitCh:
+				sh.accept(&pending, &windowStart, r)
+			case req := <-sh.statsCh:
+				req <- sh.snapshot()
+			case <-timer.C:
+			case <-sh.stopCh:
+				stopping = true
+			}
+			timer.Stop()
+		default:
+			sh.drainNonblocking(&pending, &windowStart)
+			select {
+			case <-sh.stopCh:
+				stopping = true
+			default:
+			}
+		}
+
+		// Drop pending requests whose caller has given up.
+		pending = sh.pruneCanceled(pending)
+
+		// Release the admission window when due (size, time, no-window, or
+		// shutdown flush), in chunks of at most BatchSize: optimization cost
+		// grows steeply with batch size (Figure 11), so a burst that drained
+		// in at once is still optimized in paper-sized groups. With no window
+		// configured every query is optimized alone — Figure 9's SINGLE-OPT
+		// baseline — even when arrivals queued up simultaneously.
+		if len(pending) > 0 && (stopping || !sh.windowOpen(pending, windowStart)) {
+			chunk := 1
+			if sh.cfg.BatchWindow > 0 {
+				chunk = sh.cfg.BatchSize
+				if chunk <= 0 {
+					chunk = len(pending)
+				}
+			}
+			for len(pending) > 0 {
+				n := len(pending)
+				if n > chunk {
+					n = chunk
+				}
+				sh.admit(pending[:n], waiters)
+				pending = pending[n:]
+			}
+			pending = nil
+		}
+
+		// Cancel admitted queries whose caller has given up: unlink their
+		// plan segments so no further work is spent on them.
+		for id, r := range waiters {
+			if r.ctx.Err() != nil {
+				sh.ctrl.CancelMerge(id)
+				sh.ctrl.Forget(id)
+				delete(waiters, id)
+				sh.respond(r, nil, r.ctx.Err())
+			}
+		}
+
+		// One scheduling round; dispatch whatever finished.
+		if len(waiters) > 0 {
+			sh.ctrl.RunRound()
+			finished := false
+			for id, r := range waiters {
+				m := sh.ctrl.MergeByUQ(id)
+				if m == nil || !m.Done {
+					continue
+				}
+				delete(waiters, id)
+				sh.respond(r, sh.result(r, m), nil)
+				sh.ctrl.Forget(id)
+				finished = true
+			}
+			if finished {
+				// Feed observed statistics back so the next admission costs
+				// reuse correctly (§6.1).
+				sh.mgr.SyncCatalog()
+			}
+		}
+
+		if stopping && len(pending) == 0 && len(waiters) == 0 && len(sh.submitCh) == 0 {
+			return
+		}
+	}
+}
+
+// windowOpen reports whether the admission window should keep collecting.
+func (sh *shard) windowOpen(pending []*request, windowStart time.Time) bool {
+	if len(pending) == 0 {
+		return false
+	}
+	if sh.cfg.BatchWindow <= 0 {
+		return false
+	}
+	if sh.cfg.BatchSize > 0 && len(pending) >= sh.cfg.BatchSize {
+		return false
+	}
+	return time.Now().Before(windowStart.Add(sh.cfg.BatchWindow))
+}
+
+func (sh *shard) accept(pending *[]*request, windowStart *time.Time, r *request) {
+	if len(*pending) == 0 {
+		*windowStart = time.Now()
+	}
+	*pending = append(*pending, r)
+	sh.svc.Queued.Inc()
+}
+
+func (sh *shard) drainNonblocking(pending *[]*request, windowStart *time.Time) {
+	for {
+		select {
+		case r := <-sh.submitCh:
+			sh.accept(pending, windowStart, r)
+		case req := <-sh.statsCh:
+			req <- sh.snapshot()
+		default:
+			return
+		}
+	}
+}
+
+func (sh *shard) pruneCanceled(pending []*request) []*request {
+	kept := pending[:0]
+	for _, r := range pending {
+		if r.ctx.Err() != nil {
+			sh.svc.Queued.Dec()
+			sh.respond(r, nil, r.ctx.Err())
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// admit grafts a released batch into the running plan graph and registers its
+// callers as waiters.
+func (sh *shard) admit(batch []*request, waiters map[string]*request) {
+	now := sh.env.Clock.Now()
+	subs := make([]batcher.Submission, len(batch))
+	maxK := 0
+	for i, r := range batch {
+		subs[i] = batcher.Submission{At: now, UQ: r.uq}
+		if r.uq.K > maxK {
+			maxK = r.uq.K
+		}
+		sh.svc.Queued.Dec()
+	}
+	sh.mgr.SyncCatalog()
+	sh.svc.Batches.Inc()
+	sh.svc.BatchOccupancy.Observe(len(batch))
+	if _, err := sh.mgr.Admit(subs, mqo.Config{K: maxK}); err != nil {
+		// Admit may have registered merges for earlier batch members before
+		// failing; cancel and drop them so no orphaned query keeps running.
+		for _, r := range batch {
+			sh.ctrl.CancelMerge(r.uq.ID)
+			sh.ctrl.Forget(r.uq.ID)
+			sh.respond(r, nil, fmt.Errorf("service: admit: %w", err))
+		}
+		return
+	}
+	for _, r := range batch {
+		if m := sh.ctrl.MergeByUQ(r.uq.ID); m == nil {
+			sh.respond(r, nil, fmt.Errorf("service: query %s not registered", r.uq.ID))
+			continue
+		}
+		r.batchSize = len(batch)
+		waiters[r.uq.ID] = r
+	}
+}
+
+// result assembles the caller-facing view of a finished merge.
+func (sh *shard) result(r *request, m *atc.MergeState) *Result {
+	res := &Result{
+		ID:                r.uq.ID,
+		Keywords:          r.uq.Keywords,
+		CandidateNetworks: len(r.uq.CQs),
+		ExecutedNetworks:  m.RM.ExecutedCQs(),
+		Shard:             sh.id,
+		BatchSize:         r.batchSize,
+		EngineLatency:     m.Latency(),
+		WallLatency:       time.Since(r.enqueued),
+	}
+	for i, rr := range m.RM.Results() {
+		res.Answers = append(res.Answers, Answer{
+			Rank:   i + 1,
+			Score:  rr.Score,
+			Query:  rr.CQID,
+			Tuples: rr.Row.Parts(),
+		})
+	}
+	return res
+}
+
+// respond settles a request exactly once (the response channel is buffered,
+// so an abandoned caller never blocks the executor) and maintains the
+// request-lifecycle metrics.
+func (sh *shard) respond(r *request, res *Result, err error) {
+	sh.svc.InFlight.Dec()
+	if err != nil {
+		if r.ctx.Err() != nil {
+			sh.svc.Canceled.Inc()
+		} else {
+			sh.svc.Rejected.Inc()
+		}
+	} else {
+		sh.svc.Completed.Inc()
+		sh.svc.WallLatency.Observe(res.WallLatency)
+		sh.svc.EngineLatency.Observe(res.EngineLatency)
+	}
+	r.resp <- response{res: res, err: err}
+}
+
+// snapshot reads the engine state; only ever called from the executor
+// goroutine (or after it has exited).
+func (sh *shard) snapshot() ShardStats {
+	return ShardStats{
+		Shard:     sh.id,
+		Work:      sh.env.Metrics.Snapshot(),
+		Graph:     sh.graph.Stats(),
+		StateRows: sh.mgr.StateSize(),
+		Evictions: sh.mgr.Evictions(),
+		Now:       sh.env.Clock.Now(),
+	}
+}
+
+// stats fetches a snapshot through the executor, or directly once it exited.
+func (sh *shard) stats() ShardStats {
+	req := make(chan ShardStats, 1)
+	select {
+	case sh.statsCh <- req:
+		return <-req
+	case <-sh.doneCh:
+		return sh.snapshot()
+	}
+}

@@ -1,0 +1,338 @@
+// Package service is the concurrent, multi-tenant serving layer of the Q
+// System reproduction: the subsystem that turns the paper's batch-oriented
+// engine into an online middleware handling simultaneously arriving keyword
+// queries — the setting the paper's batched multi-query optimization (§3) and
+// shared plan graph (§4–§6) are designed for.
+//
+// Architecture (one Service):
+//
+//	Search ──► keyword-hash router ──► shard 0: admission queue ─► executor goroutine
+//	                               └─► shard 1: admission queue ─► executor goroutine
+//	                               └─► …                              │
+//	           per-request response channel ◄─────────────────────────┘
+//
+// Each shard owns one complete engine — plan graph, ATC, query state manager,
+// catalog fork, clock and delay model — and a single executor goroutine that
+// is the only goroutine ever touching that engine, so the single-threaded
+// engine code needs no locks. Callers talk to shards exclusively through
+// channels: Search enqueues a request and blocks on a per-request response
+// channel (honouring context cancellation and deadlines); the executor
+// collects requests into a time/size-windowed admission batch (§3's batcher,
+// online form), admits released batches through qsm.Manager.Admit — grafting
+// them into the already-running plan graph exactly as §6.2 grafts late
+// arrivals — and drives atc.RunRound continuously, dispatching each completed
+// rank-merge back to its waiting caller.
+//
+// Queries are routed to shards by a hash of their keyword set, so identical
+// and overlapping searches land on the same plan graph and share work, while
+// disjoint topics execute in parallel — the serving-layer analogue of §6.1's
+// query clustering (ATC-CL).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/plangraph"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// ErrClosed is returned by Search once the service has begun shutting down.
+var ErrClosed = errors.New("service: closed")
+
+// Config tunes a Service.
+type Config struct {
+	// K is the default number of answers per search (the paper uses 50).
+	K int
+	// Seed drives the deterministic delay and scoring-coefficient draws.
+	Seed uint64
+	// MaxCQs overrides the workload's cap on candidate networks per search
+	// (0 keeps the workload's own setting; paper workloads use ≤20).
+	MaxCQs int
+	// MemoryBudget bounds retained middleware state per shard, in rows
+	// (0 = unbounded); exceeding it triggers LRU eviction (§6.3).
+	MemoryBudget int
+
+	// BatchSize releases an admission batch as soon as this many queries
+	// collect (§7.1 uses 5). 0 means the default of 5; negative disables the
+	// size trigger entirely.
+	BatchSize int
+	// BatchWindow releases an admission batch this long (wall time) after its
+	// first member arrives. 0 admits every arrival immediately — the
+	// SINGLE-OPT baseline of Figure 9.
+	BatchWindow time.Duration
+
+	// Shards is the number of independent engines (plan graph + executor
+	// goroutine). Queries are routed by keyword-set hash, so related searches
+	// share a graph while unrelated ones run in parallel. Default 1.
+	Shards int
+	// MaxQueue bounds each shard's submission queue; senders beyond it block
+	// (closed-loop backpressure) until the executor drains or their context
+	// expires. Default 1024.
+	MaxQueue int
+
+	// RealTime makes engine delays actually sleep (live serving); the default
+	// virtual clock simulates them, which is what the load generator and the
+	// tests use.
+	RealTime bool
+
+	// JointOptimize runs one multi-query optimization over each whole
+	// admission batch (§5.1's BATCH-OPT) instead of the default per-query
+	// optimization into the shared graph. Joint search cost grows steeply
+	// with batch size (Figure 11); under the bounded search budget large
+	// groups lose pushdown selectivity, so the default shares structurally
+	// via the plan graph (§6.2) and optimizes per query.
+	JointOptimize bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 50
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 5
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	return c
+}
+
+// Answer is one ranked search result.
+type Answer struct {
+	Rank  int
+	Score float64
+	// Query identifies the conjunctive query (candidate network) that
+	// produced the answer.
+	Query string
+	// Tuples are the joined base tuples in the candidate network's atom order.
+	Tuples []*tuple.Tuple
+}
+
+// Result is a completed search.
+type Result struct {
+	// ID is the user-query id assigned by the service (UQ1, UQ2, …).
+	ID string
+	// Keywords echo the search.
+	Keywords []string
+	// Answers are the top-k results in rank order.
+	Answers []Answer
+	// CandidateNetworks is how many conjunctive queries the search expanded
+	// into; ExecutedNetworks how many the ATC actually activated.
+	CandidateNetworks int
+	ExecutedNetworks  int
+	// Shard is the engine the query executed on; BatchSize how many queries
+	// rode in its admission batch.
+	Shard     int
+	BatchSize int
+	// EngineLatency is the engine clock's admission-to-finish time (the
+	// paper's response-time notion); WallLatency is enqueue-to-response wall
+	// time including the admission wait.
+	EngineLatency time.Duration
+	WallLatency   time.Duration
+}
+
+// Stats reports a service's accumulated serving and execution state.
+type Stats struct {
+	// Service holds the request-lifecycle counters, batch occupancy and
+	// latency distributions.
+	Service metrics.ServiceSnapshot
+	// Work sums execution counters across shards. Work.ReplayTuples over
+	// Work.TuplesConsumed+ReplayTuples is the shared-work fraction: rows that
+	// were served from retained state instead of being re-fetched.
+	Work metrics.Snapshot
+	// Shards holds per-engine detail.
+	Shards []ShardStats
+}
+
+// ShardStats describes one shard's engine.
+type ShardStats struct {
+	Shard     int
+	Work      metrics.Snapshot
+	Graph     plangraph.Stats
+	StateRows int
+	Evictions int
+	// Now is the shard's engine-clock time.
+	Now time.Duration
+}
+
+// SharedFraction is the portion of all rows the engines processed that came
+// from retained state rather than fresh source work.
+func (st Stats) SharedFraction() float64 {
+	total := st.Work.TuplesConsumed() + st.Work.ReplayTuples
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Work.ReplayTuples) / float64(total)
+}
+
+// Service is a concurrent keyword-search service over a workload's database
+// fleet. Create with New, serve with Search from any number of goroutines,
+// stop with Close.
+type Service struct {
+	cfg    Config
+	svc    *metrics.Service
+	genCfg candidates.Config
+	shards []*shard
+
+	mu     sync.Mutex
+	users  map[string]*dist.RNG
+	nextUQ int
+	closed bool
+}
+
+// New builds a service over a workload and starts its shard executors.
+func New(w *workload.Workload, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	// Expand ad hoc searches the way the workload's own query suite was
+	// built (path lengths, match fan-out, scoring family); Config.MaxCQs
+	// overrides the cap when set explicitly.
+	genCfg := w.Gen
+	genCfg.Graph = w.Schema
+	genCfg.Catalog = w.Catalog
+	if cfg.MaxCQs > 0 {
+		genCfg.MaxCQs = cfg.MaxCQs
+	}
+	s := &Service{
+		cfg:    cfg,
+		svc:    &metrics.Service{},
+		genCfg: genCfg,
+		users:  map[string]*dist.RNG{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, w, cfg, s.svc))
+	}
+	return s
+}
+
+// Search poses a keyword query for the given user and blocks until its top-k
+// answers are known, the context is done, or the service closes. It is safe
+// to call from many goroutines; concurrently arriving searches are batched
+// into shared admissions. Each distinct user keeps their own scoring-function
+// coefficients across calls (§2.1). k <= 0 uses the configured default.
+func (s *Service) Search(ctx context.Context, user string, keywords []string, k int) (*Result, error) {
+	if k <= 0 {
+		k = s.cfg.K
+	}
+	uq, err := s.expand(user, keywords, k)
+	if err != nil {
+		return nil, err
+	}
+	s.svc.Requests.Inc()
+	sh := s.shards[s.route(keywords)]
+	r := &request{uq: uq, enqueued: time.Now(), ctx: ctx, resp: make(chan response, 1)}
+	select {
+	case sh.submitCh <- r:
+		s.svc.InFlight.Inc()
+	case <-sh.stopCh:
+		s.svc.Rejected.Inc()
+		return nil, ErrClosed
+	case <-ctx.Done():
+		s.svc.Canceled.Inc()
+		return nil, ctx.Err()
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		// The executor notices the dead context, unlinks the query's plan
+		// segments and settles the (buffered) response channel.
+		return nil, ctx.Err()
+	case <-sh.doneCh:
+		// Shutdown race: the send can win its select against a concurrent
+		// Close after the executor already drained and exited, stranding the
+		// request in the buffer. The executor settles everything it saw
+		// before exiting, so check once more, then give up.
+		select {
+		case resp := <-r.resp:
+			return resp.res, resp.err
+		default:
+			s.svc.InFlight.Dec()
+			s.svc.Rejected.Inc()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// expand generates the user query (candidate networks + per-user scoring
+// coefficients) under the front-desk lock: the per-user RNG and UQ counter
+// are the only cross-shard mutable state.
+func (s *Service) expand(user string, keywords []string, k int) (*cq.UQ, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	rng, ok := s.users[user]
+	if !ok {
+		rng = dist.New(s.cfg.Seed + 1000 + uint64(len(s.users))*77)
+		s.users[user] = rng
+	}
+	s.nextUQ++
+	id := fmt.Sprintf("UQ%d", s.nextUQ)
+	return candidates.Generate(s.genCfg, id, keywords, k, rng)
+}
+
+// route picks the shard for a keyword set: a hash of the sorted, folded
+// keywords, so the same (and textually overlapping) searches always share one
+// plan graph.
+func (s *Service) route(keywords []string) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	folded := make([]string, len(keywords))
+	for i, kw := range keywords {
+		folded[i] = strings.ToLower(strings.TrimSpace(kw))
+	}
+	sort.Strings(folded)
+	h := fnv.New32a()
+	for _, kw := range folded {
+		h.Write([]byte(kw))
+		h.Write([]byte{0})
+	}
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Stats snapshots the service. Engine-side numbers are fetched through each
+// shard's executor so no lock is needed on the single-threaded engine state.
+func (s *Service) Stats() Stats {
+	st := Stats{Service: s.svc.Snapshot()}
+	for _, sh := range s.shards {
+		ss := sh.stats()
+		st.Shards = append(st.Shards, ss)
+		st.Work = st.Work.Add(ss.Work)
+	}
+	return st
+}
+
+// Close stops accepting new searches, lets every enqueued and in-flight query
+// run to completion, and shuts the shard executors down. It is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.stopCh)
+	}
+	for _, sh := range s.shards {
+		<-sh.doneCh
+	}
+}

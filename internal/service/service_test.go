@@ -1,0 +1,374 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// bioKeywords are searches every Bio() schema-graph term can answer.
+var bioKeywords = [][]string{
+	{"metabolism", "protein"},
+	{"metabolism", "gene"},
+	{"membrane", "protein"},
+	{"plasma membrane", "protein"},
+	{"metabolism", "protein"},
+	{"membrane", "gene"},
+}
+
+func newBioService(t *testing.T, cfg service.Config) *service.Service {
+	t.Helper()
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.New(w, cfg)
+}
+
+func TestSearchBasic(t *testing.T) {
+	s := newBioService(t, service.Config{K: 10})
+	defer s.Close()
+	res, err := s.Search(context.Background(), "alice", []string{"metabolism", "protein"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if res.CandidateNetworks == 0 || res.ExecutedNetworks == 0 {
+		t.Errorf("networks: candidates=%d executed=%d", res.CandidateNetworks, res.ExecutedNetworks)
+	}
+	for i, a := range res.Answers {
+		if a.Rank != i+1 {
+			t.Errorf("answer %d has rank %d", i, a.Rank)
+		}
+		if i > 0 && a.Score > res.Answers[i-1].Score+1e-9 {
+			t.Errorf("answers not in score order at %d", i)
+		}
+	}
+	if res.WallLatency <= 0 {
+		t.Error("no wall latency recorded")
+	}
+}
+
+func TestConcurrentSearchesShareBatches(t *testing.T) {
+	s := newBioService(t, service.Config{K: 10, BatchSize: 8, BatchWindow: 50 * time.Millisecond})
+	defer s.Close()
+
+	const users = 24
+	var wg sync.WaitGroup
+	errs := make([]error, users)
+	results := make([]*service.Result, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := bioKeywords[i%len(bioKeywords)]
+			results[i], errs[i] = s.Search(context.Background(), fmt.Sprintf("user%d", i), kw, 10)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("user %d: %v", i, err)
+		}
+		if len(results[i].Answers) == 0 {
+			t.Errorf("user %d got no answers", i)
+		}
+	}
+	st := s.Stats()
+	if st.Service.Completed != users {
+		t.Errorf("completed = %d, want %d", st.Service.Completed, users)
+	}
+	if st.Service.InFlight != 0 || st.Service.Queued != 0 {
+		t.Errorf("gauges not drained: inflight=%d queued=%d", st.Service.InFlight, st.Service.Queued)
+	}
+	if st.Service.Batches >= users {
+		t.Errorf("every query got its own batch (%d batches for %d queries); admission window never grouped",
+			st.Service.Batches, users)
+	}
+	if st.Service.BatchOccupancy.Max < 2 {
+		t.Errorf("max batch occupancy = %d, want >= 2", st.Service.BatchOccupancy.Max)
+	}
+}
+
+func TestZeroWindowAdmitsImmediately(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5, BatchWindow: 0})
+	defer s.Close()
+	start := time.Now()
+	if _, err := s.Search(context.Background(), "u", []string{"metabolism", "protein"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// No admission window: a lone query must not sit waiting for co-riders.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("zero-window search took %v", d)
+	}
+	if got := s.Stats().Service.Batches; got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+}
+
+func TestTimeoutTriggeredRelease(t *testing.T) {
+	// Size trigger far above arrivals: only the window timeout can release.
+	s := newBioService(t, service.Config{K: 5, BatchSize: 100, BatchWindow: 30 * time.Millisecond})
+	defer s.Close()
+	res, err := s.Search(context.Background(), "u", []string{"metabolism", "gene"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallLatency < 30*time.Millisecond {
+		t.Errorf("wall latency %v shorter than the 30ms admission window", res.WallLatency)
+	}
+	if res.BatchSize != 1 {
+		t.Errorf("batch size = %d, want 1 (empty window released by timeout)", res.BatchSize)
+	}
+}
+
+func TestSizeTriggeredRelease(t *testing.T) {
+	// Huge window: only the size trigger can release before the test times out.
+	s := newBioService(t, service.Config{K: 5, BatchSize: 3, BatchWindow: time.Hour})
+	defer s.Close()
+	var wg sync.WaitGroup
+	results := make([]*service.Result, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Search(context.Background(), fmt.Sprintf("u%d", i), bioKeywords[i], 5)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("search %d: %v", i, errs[i])
+		}
+		if results[i].BatchSize != 3 {
+			t.Errorf("search %d rode batch of %d, want 3", i, results[i].BatchSize)
+		}
+	}
+}
+
+func TestContextCancellationWhileQueued(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5, BatchSize: 100, BatchWindow: time.Hour})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := s.Search(ctx, "u", []string{"metabolism", "protein"}, 5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The executor must eventually settle the abandoned request.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats().Service
+		if st.Canceled >= 1 && st.InFlight == 0 && st.Queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned request never settled: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestContextCancellationMidFlight(t *testing.T) {
+	// RealTime makes execution slow enough (Poisson 2ms per remote op) that
+	// cancellation lands after admission, mid-execution.
+	s := newBioService(t, service.Config{K: 50, BatchWindow: 0, RealTime: true})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Search(ctx, "u", []string{"metabolism", "protein"}, 50)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled or success", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled search never returned")
+	}
+	// Executor must keep serving after a cancellation.
+	res, err := s.Search(context.Background(), "v", []string{"metabolism", "gene"}, 5)
+	if err != nil || len(res.Answers) == 0 {
+		t.Fatalf("post-cancel search: res=%v err=%v", res, err)
+	}
+}
+
+func TestSearchAfterCloseFails(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5})
+	s.Close()
+	if _, err := s.Search(context.Background(), "u", []string{"metabolism", "protein"}, 5); !errors.Is(err, service.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestCloseFlushesPendingWindow(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5, BatchSize: 100, BatchWindow: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Search(context.Background(), "u", []string{"metabolism", "protein"}, 5)
+		done <- err
+	}()
+	// Wait until the request is parked in the admission window, then close:
+	// shutdown must flush and answer it, not strand it for an hour.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Service.Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the admission window")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("flushed search failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close stranded the pending request")
+	}
+}
+
+func TestShardedRouting(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5, Shards: 3, BatchWindow: 10 * time.Millisecond})
+	defer s.Close()
+	var wg sync.WaitGroup
+	shardOf := map[string]int{}
+	var mu sync.Mutex
+	for i := 0; i < 18; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := bioKeywords[i%len(bioKeywords)]
+			res, err := s.Search(context.Background(), fmt.Sprintf("u%d", i), kw, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			key := fmt.Sprintf("%v", kw)
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, ok := shardOf[key]; ok && prev != res.Shard {
+				t.Errorf("keywords %v routed to shards %d and %d", kw, prev, res.Shard)
+			}
+			shardOf[key] = res.Shard
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if len(st.Shards) != 3 {
+		t.Fatalf("shard stats = %d entries", len(st.Shards))
+	}
+}
+
+func TestRepeatedSearchesReuseState(t *testing.T) {
+	s := newBioService(t, service.Config{K: 10, BatchWindow: 0})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Search(context.Background(), "u", []string{"metabolism", "protein"}, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Work.ReplayTuples == 0 {
+		t.Error("repeated identical searches replayed nothing — plan-state reuse broken")
+	}
+	if st.SharedFraction() <= 0 {
+		t.Errorf("shared fraction = %v", st.SharedFraction())
+	}
+}
+
+func TestStatsDuringLoad(t *testing.T) {
+	s := newBioService(t, service.Config{K: 5, BatchWindow: 5 * time.Millisecond})
+	defer s.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, err := s.Search(context.Background(), "u", bioKeywords[i%len(bioKeywords)], 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Stats must be answerable while the executor is mid-flight.
+	for i := 0; i < 20; i++ {
+		st := s.Stats()
+		if st.Service.Requests < st.Service.Completed {
+			t.Errorf("requests %d < completed %d", st.Service.Requests, st.Service.Completed)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWindowSharesSourceWork: at the same offered load over the GUS workload
+// with a bounded state budget — the production regime, where retained plan
+// state is evicted between admissions — a positive admission window turns
+// concurrent arrivals into shared stream reads (the co-admitted queries drive
+// the same live sources), so fewer source-stream tuples are read than with no
+// window, where every sequentially admitted query re-pays for state that was
+// already evicted. With an unbounded budget the persistent shared graph makes
+// total source work invariant to batching (see EXPERIMENTS.md on cross-time
+// reuse), which is why this test pins the memory-bounded case.
+func TestWindowSharesSourceWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run GUS load in -short mode")
+	}
+	run := func(window time.Duration) int64 {
+		w, err := workload.GUS(1, workload.GUSScaleDefault())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := service.New(w, service.Config{K: 20, Seed: 1, BatchWindow: window, BatchSize: 5, MemoryBudget: 500})
+		defer s.Close()
+		pool := w.Submissions
+		var wg sync.WaitGroup
+		for u := 0; u < 8; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				rng := dist.New(1 + uint64(u)*977 + 3)
+				zipf := dist.NewZipf(rng, len(pool), 0.8)
+				for i := 0; i < 8; i++ {
+					kw := pool[zipf.Next()].UQ.Keywords
+					if _, err := s.Search(context.Background(), fmt.Sprintf("u%d", u), kw, 20); err != nil {
+						t.Errorf("user %d: %v", u, err)
+						return
+					}
+				}
+			}(u)
+		}
+		wg.Wait()
+		return s.Stats().Work.StreamTuples
+	}
+	unbatched := run(0)
+	batched := run(25 * time.Millisecond)
+	t.Logf("stream tuples: window=0 %d, window=25ms %d", unbatched, batched)
+	if batched >= unbatched {
+		t.Errorf("admission window did not reduce source work: %d >= %d", batched, unbatched)
+	}
+}

@@ -166,6 +166,7 @@ func Bio() (*Workload, error) {
 		MaxCQs:            8,
 		Family:            candidates.FamilyQSystem,
 	}
+	w.Gen = cfg
 	kqs := []struct {
 		id       string
 		keywords []string

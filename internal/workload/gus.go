@@ -326,6 +326,7 @@ func generateGUSQueries(w *Workload, instance int) error {
 		MaxCQs:            20,
 		Family:            candidates.FamilyQSystem,
 	}
+	w.Gen = cfg
 	terms := w.Schema.Terms()
 	qrng := dist.New(gusTopoSeed + 99)
 	kwZipf := dist.NewZipf(qrng, len(terms), 1.25)

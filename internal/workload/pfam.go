@@ -196,6 +196,7 @@ func Pfam(scale PfamScale) (*Workload, error) {
 		MaxCQs:            4,
 		Family:            candidates.FamilyDiscover,
 	}
+	w.Gen = cfg
 	terms := sg.Terms()
 	qrng := dist.New(pfamSeed + 17)
 	kwZipf := dist.NewZipf(qrng, len(terms), 1.6)

@@ -19,9 +19,11 @@
 package workload
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/batcher"
+	"repro/internal/candidates"
 	"repro/internal/catalog"
 	"repro/internal/cq"
 	"repro/internal/remotedb"
@@ -40,6 +42,27 @@ type Workload struct {
 	Schema *schemagraph.Graph
 	// Submissions is the query suite with arrival times.
 	Submissions []batcher.Submission
+	// Gen is the candidate-generation configuration the bundled query suite
+	// was built with (path lengths, match fan-out, scoring family), so that
+	// sessions and services posing ad hoc searches over this workload expand
+	// them the same way. Zero for custom-built workloads; Graph and Catalog
+	// are (re)filled at the point of use.
+	Gen candidates.Config
+}
+
+// ByName loads a bundled workload by its command-line name: "bio", "gus"
+// (with its instance number) or "pfam", at the default scales.
+func ByName(name string, instance int) (*Workload, error) {
+	switch name {
+	case "bio":
+		return Bio()
+	case "gus":
+		return GUS(instance, GUSScaleDefault())
+	case "pfam":
+		return Pfam(PfamScaleDefault())
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want bio, gus or pfam)", name)
+	}
 }
 
 // UQs returns the user queries in arrival order.

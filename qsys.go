@@ -126,23 +126,24 @@ func NewSystem(w *Workload, cfg Config) *System {
 	manager.MemoryBudget = cfg.MemoryBudget
 	manager.ChargeOptimizer = cfg.ChargeOptimizer
 
-	family := candidates.FamilyQSystem
+	// Ad hoc searches expand the way the workload's bundled suite was built
+	// (w.Gen — path lengths, match fan-out); session config overrides the CQ
+	// cap and, for non-default choices, the scoring family.
+	genCfg := w.Gen
+	genCfg.Graph = w.Schema
+	genCfg.Catalog = w.Catalog
+	genCfg.MaxCQs = cfg.MaxCQs
 	switch cfg.Model {
 	case ModelDISCOVER:
-		family = candidates.FamilyDiscover
+		genCfg.Family = candidates.FamilyDiscover
 	case ModelBANKS:
-		family = candidates.FamilyBANKS
+		genCfg.Family = candidates.FamilyBANKS
 	}
 	return &System{
-		fleet:  w.Fleet,
-		cat:    cat,
-		schema: w.Schema,
-		genCfg: candidates.Config{
-			Graph:   w.Schema,
-			Catalog: w.Catalog,
-			MaxCQs:  cfg.MaxCQs,
-			Family:  family,
-		},
+		fleet:   w.Fleet,
+		cat:     cat,
+		schema:  w.Schema,
+		genCfg:  genCfg,
 		env:     env,
 		graph:   graph,
 		atc:     controller,
@@ -214,12 +215,7 @@ func (s *System) Submit(uq *cq.UQ) (*SearchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var merge *atc.MergeState
-	for _, m := range s.atc.Merges() {
-		if m.RM.UQ.ID == uq.ID {
-			merge = m
-		}
-	}
+	merge := s.atc.MergeByUQ(uq.ID)
 	if merge == nil {
 		return nil, fmt.Errorf("qsys: submitted query %s not registered", uq.ID)
 	}
