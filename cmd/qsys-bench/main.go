@@ -4,9 +4,17 @@
 // Usage:
 //
 //	qsys-bench [-full] [-only table4|fig7|fig8|fig9|fig10|fig11|fig12]
+//	qsys-bench -bench [-bench-out BENCH_PR2.json] [-bench-baseline prev.json]
+//	           [-bench-rounds N] [-bench-experiments=false]
 //
 // The default configuration preserves every reported shape at laptop scale;
 // -full mirrors the paper's methodology (4 synthetic instances × 3 runs).
+//
+// -bench switches to the perf-trajectory harness: it runs the fixed seeded
+// serving workload (internal/benchrun) plus the §7 drivers and writes a
+// machine-readable BENCH_*.json point (wall time, ns/row, allocs/row, tuple
+// counters, latency percentiles, output digests). Passing a previous point
+// via -bench-baseline embeds it and reports the delta; see DESIGN.md.
 package main
 
 import (
@@ -15,13 +23,28 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/benchrun"
 	"repro/internal/experiments"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run the paper's full methodology (4 instances × 3 runs; slower)")
 	only := flag.String("only", "", "run a single experiment: table4, fig7, fig8, fig9, fig10, fig11, fig12")
+	bench := flag.Bool("bench", false, "run the perf-trajectory harness instead of the paper tables")
+	benchOut := flag.String("bench-out", "", "where -bench writes its JSON point (default BENCH_<bench-pr>.json)")
+	benchBaseline := flag.String("bench-baseline", "", "previous -bench JSON to embed as baseline and diff against")
+	benchPR := flag.String("bench-pr", "PR2", "trajectory label recorded in the JSON")
+	benchRounds := flag.Int("bench-rounds", 0, "override the serving workload's round count (0 = default)")
+	benchExperiments := flag.Bool("bench-experiments", true, "include the §7 driver pass in -bench runs")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{}.Defaults()
 	if *full {
@@ -61,4 +84,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// runBench measures one trajectory point and writes it as JSON.
+func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool) error {
+	if outPath == "" {
+		// Derived from the label so a future PR's bare run cannot silently
+		// clobber an earlier checked-in trajectory point.
+		outPath = fmt.Sprintf("BENCH_%s.json", pr)
+	}
+	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments}.Defaults()
+
+	var baseline *benchrun.Point
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			return fmt.Errorf("open baseline: %w", err)
+		}
+		prev, err := benchrun.Decode(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("decode baseline: %w", err)
+		}
+		baseline = &prev.Current
+	}
+
+	start := time.Now()
+	point, err := benchrun.Run(cfg)
+	if err != nil {
+		return err
+	}
+	report := benchrun.NewReport(pr, baseline, *point)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := report.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+	fmt.Printf("(point measured in %v, written to %s)\n", time.Since(start).Round(time.Millisecond), outPath)
+	return nil
 }

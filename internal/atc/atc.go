@@ -266,7 +266,21 @@ func (a *ATC) UnlinkCQ(cqID string) {
 	delete(a.attach, cqID)
 	a.Graph.RemoveEndpoint(cqID)
 	at.node.RemoveSink(at.sink)
+	// The detached sink receives no further offers; release its entry's
+	// duplicate-elimination set (§6.3 — buffered candidates stay eligible).
+	at.sink.Entry.DropSeen()
 	a.park(at.node)
+}
+
+// SinkStateRows reports the resident state of all attached rank-merge
+// endpoints — buffered candidates plus duplicate-set entries — for the §6.3
+// memory accounting. Unlinked CQs have already released both.
+func (a *ATC) SinkStateRows() int {
+	n := 0
+	for _, at := range a.attach {
+		n += at.sink.Entry.BufferLen() + at.sink.Entry.SeenLen()
+	}
+	return n
 }
 
 // park removes execution bindings backwards from a workless node until a

@@ -1,0 +1,18 @@
+package benchrun
+
+import "testing"
+
+// BenchmarkServingWorkload runs the trajectory serving workload once per
+// iteration; it exists so the fixed workload can be profiled with the
+// standard pprof tooling (go test -bench ServingWorkload -cpuprofile ...).
+func BenchmarkServingWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := RunServing(Config{Rounds: 2}.Defaults())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("rows=%d ns/row=%.1f allocs/row=%.2f", s.Rows, s.NSPerRow, s.AllocsPerRow)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package mqo
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/andor"
@@ -80,8 +81,16 @@ type candidate struct {
 	// share it (memo keys intern on it instead of the expression string).
 	idx  int
 	expr *cq.Expr
+	// uses is the full occurrence map; only original candidates carry it.
+	// Restricted copies (Algorithm 1 line 14) carry the surviving consumer
+	// set purely as bits — the occurrence pointers are recovered from the
+	// original candidate at completion time.
 	uses map[string]*cq.ExprOccurrence
 	gain float64
+	// bits is the consuming-query set as a bitset over the searcher's
+	// lexicographic CQ ordering: the restriction step and the memo key both
+	// reduce to word operations instead of per-call map iteration.
+	bits []uint64
 }
 
 // Optimize runs multi-query optimization over the batch.
@@ -98,20 +107,50 @@ func Optimize(qs []*cq.CQ, cm *costmodel.Model, cfg Config) (*Result, error) {
 		memo.AddQuery(q, cfg.MaxCandidateAtoms)
 	}
 	cands := collectCandidates(qs, memo, cm, cfg)
+	// CQs are ordered lexicographically by id: the bit position doubles as
+	// the completion-time use order (the paper's deterministic tie-break).
+	cqIDs := make([]string, 0, len(qs))
+	for _, q := range qs {
+		cqIDs = append(cqIDs, q.ID)
+	}
+	sort.Strings(cqIDs)
+	cqOrd := make(map[string]int, len(cqIDs))
+	for i, id := range cqIDs {
+		cqOrd[id] = i
+	}
+	words := (len(cqIDs) + 63) / 64
+	origByIdx := make([]*candidate, len(cands))
 	for i, c := range cands {
 		c.idx = i
+		origByIdx[i] = c
+		c.bits = make([]uint64, words)
+		for id := range c.uses {
+			ord := cqOrd[id]
+			c.bits[ord/64] |= 1 << uint(ord%64)
+		}
 	}
-	cqOrd := map[string]int{}
-	for _, q := range qs {
-		cqOrd[q.ID] = len(cqOrd)
+	// Precompute the pairwise relation-overlap matrix (Algorithm 1 line 14's
+	// test), invariant under restriction.
+	overlap := make([][]bool, len(cands))
+	for i, a := range cands {
+		overlap[i] = make([]bool, len(cands))
+		for j, b := range cands {
+			if i != j {
+				overlap[i][j] = a.expr.SharesRelation(b.expr)
+			}
+		}
 	}
 	s := &searcher{
-		qs:     qs,
-		cm:     cm,
-		cfg:    cfg,
-		cqOrd:  cqOrd,
-		memo:   map[string]searchResult{},
-		budget: cfg.SearchNodeBudget,
+		qs:        qs,
+		cm:        cm,
+		cfg:       cfg,
+		cqIDs:     cqIDs,
+		cqOrd:     cqOrd,
+		words:     words,
+		origByIdx: origByIdx,
+		overlap:   overlap,
+		memo:      map[string]searchResult{},
+		budget:    cfg.SearchNodeBudget,
 	}
 	best := s.bestPlan(cands, nil)
 	if best.inputs == nil {
@@ -272,13 +311,27 @@ type searchResult struct {
 }
 
 type searcher struct {
-	qs     []*cq.CQ
-	cm     *costmodel.Model
-	cfg    Config
-	cqOrd  map[string]int
-	memo   map[string]searchResult
-	nodes  int
-	budget int
+	qs    []*cq.CQ
+	cm    *costmodel.Model
+	cfg   Config
+	cqIDs []string // lexicographic; bit position = index here
+	cqOrd map[string]int
+	// words is the bitset width in 64-bit words.
+	words int
+	// origByIdx recovers each candidate's full occurrence map from its
+	// ordinal (restricted copies carry only bits).
+	origByIdx []*candidate
+	// overlap[i][j] caches expr i SharesRelation expr j.
+	overlap [][]bool
+	memo    map[string]searchResult
+	nodes   int
+	budget  int
+
+	// keyBuf and idxScratch are reusable state-key scratch: keys are built in
+	// place and looked up via the compiler's map[string(buf)] optimization,
+	// so a memo hit allocates nothing.
+	keyBuf     []byte
+	idxScratch []int
 }
 
 // bestPlan implements Algorithm 1: it either completes the partial input
@@ -288,14 +341,15 @@ type searcher struct {
 func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchResult {
 	s.nodes++
 	key := s.stateKey(chosen)
-	if r, ok := s.memo[key]; ok {
+	if r, ok := s.memo[string(key)]; ok {
 		return r
 	}
 	if len(remaining) == 0 || s.nodes > s.budget {
 		r := s.complete(chosen)
-		s.memo[key] = r
+		s.memo[string(key)] = r
 		return r
 	}
+	stored := string(key) // materialise once; key's buffer is reused below
 	best := searchResult{cost: -1}
 	for i, j := range remaining {
 		// Line 12-17: restrict the other candidates against J.
@@ -304,18 +358,13 @@ func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchR
 			if k2 == i {
 				continue
 			}
-			if !j.expr.SharesRelation(j2.expr) {
+			if !s.overlap[j.idx][j2.idx] {
 				rest = append(rest, j2)
 				continue
 			}
-			diff := make(map[string]*cq.ExprOccurrence)
-			for id, occ := range j2.uses {
-				if _, served := j.uses[id]; !served {
-					diff[id] = occ
-				}
-			}
-			if len(diff) > 0 {
-				rest = append(rest, &candidate{idx: j2.idx, expr: j2.expr, uses: diff, gain: j2.gain})
+			diff := andNotBits(j2.bits, j.bits)
+			if diff != nil {
+				rest = append(rest, &candidate{idx: j2.idx, expr: j2.expr, gain: j2.gain, bits: diff})
 			}
 		}
 		r := s.bestPlan(rest, append(chosen, j))
@@ -326,44 +375,74 @@ func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchR
 	if best.inputs == nil {
 		best = s.complete(chosen)
 	}
-	s.memo[key] = best
+	s.memo[stored] = best
 	return best
 }
 
+// andNotBits returns a &^ b, or nil when the result is empty.
+func andNotBits(a, b []uint64) []uint64 {
+	var any uint64
+	for i := range a {
+		any |= a[i] &^ b[i]
+	}
+	if any == 0 {
+		return nil
+	}
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] &^ b[i]
+	}
+	return out
+}
+
 // stateKey interns the chosen set (Algorithm 1's memo on A) compactly: per
-// candidate, its ordinal plus a bitset of the consuming queries.
-func (s *searcher) stateKey(chosen []*candidate) string {
-	words := (len(s.cqOrd) + 63) / 64
-	entrySize := 2 + 8*words
-	buf := make([]byte, 0, entrySize*len(chosen))
-	entries := make([]string, len(chosen))
-	for i, c := range chosen {
-		e := make([]byte, entrySize)
-		e[0] = byte(c.idx >> 8)
-		e[1] = byte(c.idx)
-		for id := range c.uses {
-			ord := s.cqOrd[id]
-			pos := 2 + (ord/64)*8
-			bit := uint(ord % 64)
-			word := uint64(e[pos])<<56 | uint64(e[pos+1])<<48 | uint64(e[pos+2])<<40 | uint64(e[pos+3])<<32 |
-				uint64(e[pos+4])<<24 | uint64(e[pos+5])<<16 | uint64(e[pos+6])<<8 | uint64(e[pos+7])
-			word |= 1 << bit
-			e[pos] = byte(word >> 56)
-			e[pos+1] = byte(word >> 48)
-			e[pos+2] = byte(word >> 40)
-			e[pos+3] = byte(word >> 32)
-			e[pos+4] = byte(word >> 24)
-			e[pos+5] = byte(word >> 16)
-			e[pos+6] = byte(word >> 8)
-			e[pos+7] = byte(word)
+// candidate in ordinal order, its ordinal plus the consumer bitset. The
+// returned slice aliases the searcher's scratch buffer — valid until the
+// next call — which lets memo lookups run without allocating.
+func (s *searcher) stateKey(chosen []*candidate) []byte {
+	idxs := s.idxScratch[:0]
+	for _, c := range chosen {
+		idxs = append(idxs, c.idx)
+	}
+	sort.Ints(idxs)
+	s.idxScratch = idxs
+
+	entrySize := 2 + 8*s.words
+	if cap(s.keyBuf) < entrySize*len(chosen) {
+		s.keyBuf = make([]byte, entrySize*len(chosen))
+	}
+	buf := s.keyBuf[:0]
+	for _, idx := range idxs {
+		var c *candidate
+		for _, cc := range chosen {
+			if cc.idx == idx {
+				c = cc
+				break
+			}
 		}
-		entries[i] = string(e)
+		buf = append(buf, byte(idx>>8), byte(idx))
+		for _, w := range c.bits {
+			buf = append(buf,
+				byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+				byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		}
 	}
-	sort.Strings(entries)
-	for _, e := range entries {
-		buf = append(buf, e...)
+	s.keyBuf = buf[:0]
+	return buf
+}
+
+// eachUse calls fn for the candidate's surviving consumers in lexicographic
+// CQ-id order, recovering occurrence pointers from the original candidate.
+func (s *searcher) eachUse(c *candidate, fn func(id string, occ *cq.ExprOccurrence)) {
+	orig := s.origByIdx[c.idx]
+	for w, word := range c.bits {
+		for word != 0 {
+			ord := w*64 + bits.TrailingZeros64(word)
+			id := s.cqIDs[ord]
+			fn(id, orig.uses[id])
+			word &= word - 1
+		}
 	}
-	return string(buf)
 }
 
 // complete turns a set of chosen candidates into a valid input assignment:
@@ -395,10 +474,9 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 		return true
 	}
 	for _, c := range chosen {
-		ids := sortedIDs(c.uses)
-		for _, id := range ids {
-			addUse(c.expr, id, c.uses[id])
-		}
+		s.eachUse(c, func(id string, occ *cq.ExprOccurrence) {
+			addUse(c.expr, id, occ)
+		})
 	}
 	// Completion with single-atom inputs.
 	for _, q := range s.qs {
@@ -440,15 +518,6 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 	}
 	cost := s.cm.AssignmentCost(s.qs, list, s.cfg.K)
 	return searchResult{inputs: list, cost: cost}
-}
-
-func sortedIDs(m map[string]*cq.ExprOccurrence) []string {
-	ids := make([]string, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
 }
 
 // Validate checks Definition 1: every relation occurrence (atom) of every

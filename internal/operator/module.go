@@ -7,6 +7,60 @@ import (
 	"repro/internal/tuple"
 )
 
+// identSet is a duplicate-elimination set over row identities. Membership is
+// keyed by the row's cached 64-bit identity hash; the (rare) hash collision
+// is resolved by comparing the cached identity strings, so the set never
+// mis-identifies two distinct rows while keeping the common path free of
+// long-string hashing.
+type identSet struct {
+	buckets map[uint64][]string
+	n       int
+}
+
+func newIdentSet(capacity int) *identSet {
+	return &identSet{buckets: make(map[uint64][]string, capacity)}
+}
+
+// Has reports whether the row's identity is in the set.
+func (s *identSet) Has(r *tuple.Row) bool {
+	b := s.buckets[r.IdentityHash()]
+	if len(b) == 0 {
+		return false
+	}
+	id := r.Identity()
+	for _, x := range b {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts the row's identity, reporting whether it was newly added.
+func (s *identSet) Add(r *tuple.Row) bool {
+	h := r.IdentityHash()
+	b := s.buckets[h]
+	if len(b) > 0 {
+		id := r.Identity()
+		for _, x := range b {
+			if x == id {
+				return false
+			}
+		}
+	}
+	s.buckets[h] = append(b, r.Identity())
+	s.n++
+	return true
+}
+
+// Len returns the number of identities held (memory accounting, §6.3).
+func (s *identSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
 // Log records a node's delivered rows in arrival order, each tagged with the
 // epoch (§6.2's logical timestamp) current when it arrived. Logs are the
 // durable state the query state manager reuses across executions: they stand
@@ -15,12 +69,30 @@ import (
 type Log struct {
 	rows   []*tuple.Row
 	epochs []int
+
+	// epochsSorted tracks whether epochs are nondecreasing in append order
+	// (they are in normal operation: recovery appends e-1 before live rows
+	// append e). While it holds, EachBefore partitions by binary search
+	// instead of scanning every row.
+	epochsSorted bool
+	// idents, once materialised by IdentitySet, is maintained incrementally
+	// by Append so repeated recovery passes stop rebuilding it from scratch.
+	// It is resident state and is counted by IdentCount / cleared by Reset.
+	idents *identSet
 }
 
 // Append records a delivered row.
 func (l *Log) Append(r *tuple.Row, epoch int) {
+	if n := len(l.epochs); n > 0 && epoch < l.epochs[n-1] {
+		l.epochsSorted = false
+	} else if n == 0 {
+		l.epochsSorted = true
+	}
 	l.rows = append(l.rows, r)
 	l.epochs = append(l.epochs, epoch)
+	if l.idents != nil {
+		l.idents.Add(r)
+	}
 }
 
 // Len returns the number of logged rows.
@@ -29,15 +101,29 @@ func (l *Log) Len() int { return len(l.rows) }
 // Row returns the i'th logged row.
 func (l *Log) Row(i int) *tuple.Row { return l.rows[i] }
 
-// Before returns the rows logged with epoch < e, in arrival order — the
-// pre-epoch partition Algorithm 2 replays.
-func (l *Log) Before(e int) []*tuple.Row {
-	var out []*tuple.Row
+// EachBefore calls fn for every row logged with epoch < e, in arrival order —
+// the pre-epoch partition Algorithm 2 replays — without materialising a
+// slice. When epochs are nondecreasing (the normal case) the partition point
+// is found by binary search and the prefix is walked with no per-row check.
+func (l *Log) EachBefore(e int, fn func(*tuple.Row)) {
+	if l.epochsSorted || len(l.epochs) == 0 {
+		hi := sort.SearchInts(l.epochs, e)
+		for _, r := range l.rows[:hi] {
+			fn(r)
+		}
+		return
+	}
 	for i, r := range l.rows {
 		if l.epochs[i] < e {
-			out = append(out, r)
+			fn(r)
 		}
 	}
+}
+
+// Before returns the rows logged with epoch < e, in arrival order.
+func (l *Log) Before(e int) []*tuple.Row {
+	var out []*tuple.Row
+	l.EachBefore(e, func(r *tuple.Row) { out = append(out, r) })
 	return out
 }
 
@@ -65,8 +151,9 @@ func (l *Log) RowsFrom(i int) ([]*tuple.Row, []int) {
 	return l.rows[i:], l.epochs[i:]
 }
 
-// Identities returns the identity set of all logged rows (duplicate
-// suppression during state recovery).
+// Identities returns the identity set of all logged rows as a string map
+// (retained for tests and callers that want a snapshot; the recovery path
+// uses IdentitySet).
 func (l *Log) Identities() map[string]bool {
 	set := make(map[string]bool, len(l.rows))
 	for _, r := range l.rows {
@@ -75,8 +162,29 @@ func (l *Log) Identities() map[string]bool {
 	return set
 }
 
-// Reset discards the log (eviction, §6.3).
-func (l *Log) Reset() { l.rows, l.epochs = nil, nil }
+// IdentitySet returns the log's resident identity set, building it on first
+// use and maintaining it incrementally afterwards (duplicate suppression
+// during state recovery, §6.2).
+func (l *Log) IdentitySet() *identSet {
+	if l.idents == nil {
+		l.idents = newIdentSet(len(l.rows))
+		for _, r := range l.rows {
+			l.idents.Add(r)
+		}
+	}
+	return l.idents
+}
+
+// IdentCount reports the resident identity-set size in entries (0 when the
+// set was never materialised). It participates in §6.3 memory accounting.
+func (l *Log) IdentCount() int { return l.idents.Len() }
+
+// Reset discards the log and its identity set (eviction, §6.3).
+func (l *Log) Reset() {
+	l.rows, l.epochs = nil, nil
+	l.idents = nil
+	l.epochsSorted = false
+}
 
 // partialRow is a row translated into a join node's atom space: parts is
 // indexed by the node expression's atom positions, nil outside the
@@ -91,15 +199,17 @@ type partialRow struct {
 // and hash-indexed on demand by (atom position, column).
 type AccessModule struct {
 	rows []partialRow
-	// indexes maps (atom<<16|col) -> value key -> row positions.
-	indexes map[int]map[string][]int
+	// indexes maps (atom<<16|col) -> comparable value key -> row positions.
+	// Keys are tuple.IndexKey rather than formatted strings so inserts and
+	// probes do no per-call formatting or allocation.
+	indexes map[int]map[tuple.IndexKey][]int32
 	// coverage lists the node atom positions this input covers.
 	coverage []int
 }
 
 // NewAccessModule creates a module covering the given node atom positions.
 func NewAccessModule(coverage []int) *AccessModule {
-	return &AccessModule{indexes: map[int]map[string][]int{}, coverage: append([]int(nil), coverage...)}
+	return &AccessModule{indexes: map[int]map[tuple.IndexKey][]int32{}, coverage: append([]int(nil), coverage...)}
 }
 
 // Coverage returns the node atom positions this module covers.
@@ -111,52 +221,68 @@ func (m *AccessModule) Len() int { return len(m.rows) }
 // Insert stores a translated row with its epoch and maintains any built
 // indexes.
 func (m *AccessModule) Insert(parts []*tuple.Tuple, epoch int) {
-	pos := len(m.rows)
+	pos := int32(len(m.rows))
 	m.rows = append(m.rows, partialRow{parts: parts, epoch: epoch})
 	for ik, idx := range m.indexes {
 		atom, col := ik>>16, ik&0xffff
 		if t := parts[atom]; t != nil {
-			k := t.Val(col).Key()
+			k := t.Val(col).IndexKey()
 			idx[k] = append(idx[k], pos)
 		}
 	}
+}
+
+// index returns (building on demand) the hash index for (atom, col).
+func (m *AccessModule) index(atom, col int) map[tuple.IndexKey][]int32 {
+	ik := atom<<16 | col
+	idx, ok := m.indexes[ik]
+	if !ok {
+		idx = make(map[tuple.IndexKey][]int32, len(m.rows))
+		for pos, pr := range m.rows {
+			if t := pr.parts[atom]; t != nil {
+				k := t.Val(col).IndexKey()
+				idx[k] = append(idx[k], int32(pos))
+			}
+		}
+		m.indexes[ik] = idx
+	}
+	return idx
+}
+
+// AppendProbe appends to dst the stored rows whose (atom, col) value equals v
+// and whose epoch is strictly below maxEpoch, returning the extended slice.
+// With a warm index and sufficient dst capacity it performs no allocation —
+// the m-join hot path passes a per-node scratch buffer.
+func (m *AccessModule) AppendProbe(dst []partialRow, atom, col int, v tuple.Value, maxEpoch int) []partialRow {
+	for _, pos := range m.index(atom, col)[v.IndexKey()] {
+		if m.rows[pos].epoch < maxEpoch {
+			dst = append(dst, m.rows[pos])
+		}
+	}
+	return dst
 }
 
 // Probe returns the stored rows whose (atom, col) value equals v and whose
 // epoch is strictly below maxEpoch (pass math.MaxInt for live probes; state
 // recovery passes the graft epoch to see only pre-existing rows).
 func (m *AccessModule) Probe(atom, col int, v tuple.Value, maxEpoch int) []partialRow {
-	ik := atom<<16 | col
-	idx, ok := m.indexes[ik]
-	if !ok {
-		idx = map[string][]int{}
-		for pos, pr := range m.rows {
-			if t := pr.parts[atom]; t != nil {
-				k := t.Val(col).Key()
-				idx[k] = append(idx[k], pos)
-			}
-		}
-		m.indexes[ik] = idx
-	}
-	positions := idx[v.Key()]
-	out := make([]partialRow, 0, len(positions))
-	for _, pos := range positions {
-		if m.rows[pos].epoch < maxEpoch {
-			out = append(out, m.rows[pos])
-		}
-	}
-	return out
+	return m.AppendProbe(make([]partialRow, 0, 4), atom, col, v, maxEpoch)
 }
 
-// Scan returns stored rows with epoch < maxEpoch in insertion order (used by
-// state recovery when no index applies).
-func (m *AccessModule) Scan(maxEpoch int) []partialRow {
-	var out []partialRow
+// EachBefore calls fn for each stored row with epoch < maxEpoch in insertion
+// order (used by state recovery when no index applies), without allocating.
+func (m *AccessModule) EachBefore(maxEpoch int, fn func(partialRow)) {
 	for _, pr := range m.rows {
 		if pr.epoch < maxEpoch {
-			out = append(out, pr)
+			fn(pr)
 		}
 	}
+}
+
+// Scan returns stored rows with epoch < maxEpoch in insertion order.
+func (m *AccessModule) Scan(maxEpoch int) []partialRow {
+	var out []partialRow
+	m.EachBefore(maxEpoch, func(pr partialRow) { out = append(out, pr) })
 	return out
 }
 

@@ -123,7 +123,7 @@ func TestQuickSelectDesc(t *testing.T) {
 func TestCandidateHeapOrdering(t *testing.T) {
 	s := rowSchema()
 	// Exercise the heap through a minimal entry using offer.
-	entry := &CQEntry{seen: map[string]bool{}}
+	entry := &CQEntry{seen: newIdentSet(0)}
 	entry.offer(mkRow(s, 1, 0.5), 0.5)
 	entry.offer(mkRow(s, 2, 0.9), 0.9)
 	entry.offer(mkRow(s, 3, 0.7), 0.7)

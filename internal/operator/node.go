@@ -27,12 +27,26 @@ type NodeExec struct {
 	modules []*AccessModule
 	// preds are the node expression's join predicates in node atom space.
 	preds []cq.JoinPred
-	// probeOrders caches the adaptive probe sequence per driving input.
-	probeOrders map[int][]int
+	// cov[i][a] reports whether input i covers node atom a (precomputed from
+	// the edge atom maps; edges partition the node's atoms, §4.1).
+	cov [][]bool
+	// plans caches the compiled probe plan per driving input: the adaptive
+	// probe sequence with each step's oriented lookup predicate, verify list
+	// and probe-source base column resolved once instead of on every probe of
+	// every tuple. A nil entry is stale and recompiled on next use.
+	plans [][]probeStep
 	// stats tracks per (drive, probed) fanout for adaptation [24].
 	stats map[[2]int]*probeStat
 	// arrivals counts rows per input since the last adaptation.
-	arrivals map[int]int
+	arrivals []int
+
+	// scratchPartials / scratchNext are the reusable frontier buffers of
+	// joinFrom; probeBuf is the reusable candidate buffer of probeModule.
+	// They hold only transient per-arrival state — nothing downstream retains
+	// the containers, only the freshly allocated merged part vectors.
+	scratchPartials [][]*tuple.Tuple
+	scratchNext     [][]*tuple.Tuple
+	probeBuf        []partialRow
 
 	// Log is the node's output history.
 	Log *Log
@@ -58,6 +72,35 @@ type probeStat struct {
 	outputs float64
 }
 
+// probeStep is one compiled step of a probe plan: everything probeModule
+// needs that is invariant per (node, driving input, probed input) — the
+// paper's m-join re-derives this on every tuple; we pay it only when the
+// adaptive order itself is recomputed.
+type probeStep struct {
+	// j is the probed input.
+	j int
+	// edge is the probed input's plan edge.
+	edge *plangraph.Edge
+	// probe marks a remote random-access input.
+	probe bool
+	// lookup, when hasLookup, is the equality predicate used for the hash/key
+	// lookup, oriented as (bound atom, bound col) -> (j atom, j col).
+	lookup    cq.JoinPred
+	hasLookup bool
+	// verify holds the remaining predicates between bound atoms and j's
+	// coverage, same orientation.
+	verify []cq.JoinPred
+	// baseCol is the probe source's base-relation column behind lookup
+	// (probe inputs only).
+	baseCol int
+	// inv maps node atom -> producer part position for probe inputs (inverse
+	// of edge.AtomMap; -1 outside the input's coverage).
+	inv []int
+	// stat is the (drive, j) fanout accumulator, resolved at compile time so
+	// the per-arrival path does no map lookups.
+	stat *probeStat
+}
+
 // adaptEvery is how many arrivals pass between probe-order recomputations.
 const adaptEvery = 64
 
@@ -65,11 +108,9 @@ const adaptEvery = 64
 // the caller (the executor knows the database fleet).
 func NewNodeExec(n *plangraph.Node) *NodeExec {
 	x := &NodeExec{
-		Node:        n,
-		Log:         &Log{},
-		probeOrders: map[int][]int{},
-		stats:       map[[2]int]*probeStat{},
-		arrivals:    map[int]int{},
+		Node:  n,
+		Log:   &Log{},
+		stats: map[[2]int]*probeStat{},
 	}
 	if n.Kind == plangraph.Join {
 		x.preds = n.Expr.JoinPreds()
@@ -77,18 +118,42 @@ func NewNodeExec(n *plangraph.Node) *NodeExec {
 		for i, e := range n.Inputs {
 			x.modules[i] = NewAccessModule(e.AtomMap)
 		}
+		x.rebuildInputState()
 	}
 	return x
+}
+
+// rebuildInputState sizes the per-input coverage masks, plan cache and
+// arrival counters to the current input list.
+func (x *NodeExec) rebuildInputState() {
+	n := len(x.Node.Inputs)
+	nAtoms := len(x.Node.Expr.Atoms)
+	x.cov = make([][]bool, n)
+	for i, e := range x.Node.Inputs {
+		mask := make([]bool, nAtoms)
+		for _, a := range e.AtomMap {
+			mask[a] = true
+		}
+		x.cov[i] = mask
+	}
+	x.plans = make([][]probeStep, n)
+	arrivals := make([]int, n)
+	copy(arrivals, x.arrivals)
+	x.arrivals = arrivals
 }
 
 // SyncInputs appends access modules for join inputs added after construction
 // (grafting can extend an existing join node... it does not in the current
 // state manager, but keeping modules aligned with inputs is cheap insurance).
 func (x *NodeExec) SyncInputs() {
+	if len(x.modules) == len(x.Node.Inputs) {
+		return
+	}
 	for len(x.modules) < len(x.Node.Inputs) {
 		e := x.Node.Inputs[len(x.modules)]
 		x.modules = append(x.modules, NewAccessModule(e.AtomMap))
 	}
+	x.rebuildInputState()
 }
 
 // AddConsumer wires a downstream join node.
@@ -196,7 +261,7 @@ func (x *NodeExec) Arrive(env *Env, r *tuple.Row, edge *plangraph.Edge, epoch in
 	env.ChargeJoin()
 	x.arrivals[idx]++
 	if x.arrivals[idx]%adaptEvery == 1 {
-		x.probeOrders[idx] = nil // recompute lazily from fresh stats
+		x.plans[idx] = nil // recompile lazily from fresh stats
 	}
 	for _, out := range x.joinFrom(env, idx, parts, MaxEpochLive) {
 		x.Deliver(env, out, epoch)
@@ -206,75 +271,55 @@ func (x *NodeExec) Arrive(env *Env, r *tuple.Row, edge *plangraph.Edge, epoch in
 // joinFrom extends a newly arrived partial row across all other inputs,
 // returning the complete join results. maxEpoch restricts which stored rows
 // participate (MaxEpochLive for live arrivals; the graft epoch during state
-// recovery, §6.2).
+// recovery, §6.2). The intermediate frontier lives in per-node scratch
+// buffers; only the returned rows (and their part vectors) are allocated.
 func (x *NodeExec) joinFrom(env *Env, drive int, parts []*tuple.Tuple, maxEpoch int) []*tuple.Row {
-	partials := [][]*tuple.Tuple{parts}
-	for _, j := range x.probeOrder(drive) {
-		if len(partials) == 0 {
-			return nil
+	steps := x.probePlan(drive)
+	cur := append(x.scratchPartials[:0], parts)
+	next := x.scratchNext[:0]
+	for si := range steps {
+		if len(cur) == 0 {
+			break
 		}
-		var next [][]*tuple.Tuple
-		st := x.stat(drive, j)
-		for _, p := range partials {
-			merged := x.probeModule(env, j, p, maxEpoch)
-			st.probes++
-			st.outputs += float64(len(merged))
-			next = append(next, merged...)
+		st := &steps[si]
+		next = next[:0]
+		for _, p := range cur {
+			before := len(next)
+			next = x.probeModule(env, st, p, maxEpoch, next)
+			st.stat.probes++
+			st.stat.outputs += float64(len(next) - before)
 		}
-		partials = next
+		cur, next = next, cur
 	}
-	out := make([]*tuple.Row, len(partials))
-	for i, p := range partials {
+	// Hand the (possibly swapped, possibly grown) buffers back for reuse; the
+	// part vectors inside cur are transferred to the returned rows.
+	x.scratchPartials, x.scratchNext = cur[:0], next[:0]
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]*tuple.Row, len(cur))
+	for i, p := range cur {
 		out[i] = tuple.NewRow(p...)
 	}
 	return out
 }
 
-// probeModule finds the rows of input j joinable with the bound positions of
-// p, returning merged part vectors. Remote random-access inputs are probed
-// through their source (cached middleware-side); stored inputs are probed
-// through their hash index.
-func (x *NodeExec) probeModule(env *Env, j int, p []*tuple.Tuple, maxEpoch int) [][]*tuple.Tuple {
-	edge := x.Node.Inputs[j]
-	// Predicates between p's bound atoms and j's coverage, oriented as
-	// (bound atom, bound col) -> (j atom, j col).
-	var lookup *cq.JoinPred
-	var verify []cq.JoinPred
-	jCov := make(map[int]bool, len(edge.AtomMap))
-	for _, a := range edge.AtomMap {
-		jCov[a] = true
-	}
-	for _, p0 := range x.preds {
-		var pr cq.JoinPred
-		switch {
-		case jCov[p0.AtomB] && !jCov[p0.AtomA] && p[p0.AtomA] != nil:
-			pr = p0
-		case jCov[p0.AtomA] && !jCov[p0.AtomB] && p[p0.AtomB] != nil:
-			pr = cq.JoinPred{AtomA: p0.AtomB, ColA: p0.ColB, AtomB: p0.AtomA, ColB: p0.ColA}
-		default:
-			continue
-		}
-		if lookup == nil {
-			lp := pr
-			lookup = &lp
-		} else {
-			verify = append(verify, pr)
-		}
-	}
-
-	var candidates []partialRow
-	if edge.Probe {
+// probeModule finds the rows of the step's input joinable with the bound
+// positions of p, appending merged part vectors to dst. Remote random-access
+// inputs are probed through their source (cached middleware-side); stored
+// inputs are probed through their hash index.
+func (x *NodeExec) probeModule(env *Env, st *probeStep, p []*tuple.Tuple, maxEpoch int, dst [][]*tuple.Tuple) [][]*tuple.Tuple {
+	if st.probe {
 		// Remote random-access source.
-		if lookup == nil {
+		if !st.hasLookup {
 			// Not yet connected: cannot probe remotely without a key. The
 			// connectivity-aware probe order avoids this; treat as empty.
-			return nil
+			return dst
 		}
-		key := p[lookup.AtomA].Val(lookup.ColA)
-		baseCol := x.baseColFor(edge, lookup.AtomB, lookup.ColB)
-		rows, cached, err := x.RAOf(edge).Probe(baseCol, key)
+		key := p[st.lookup.AtomA].Val(st.lookup.ColA)
+		rows, cached, err := x.RAOf(st.edge).Probe(st.baseCol, key)
 		if err != nil {
-			panic(fmt.Sprintf("operator: probe %s: %v", edge.From.Key, err))
+			panic(fmt.Sprintf("operator: probe %s: %v", st.edge.From.Key, err))
 		}
 		if cached {
 			env.Metrics.AddProbeCacheHit()
@@ -283,22 +328,39 @@ func (x *NodeExec) probeModule(env *Env, j int, p []*tuple.Tuple, maxEpoch int) 
 			env.ChargeRemoteProbe(len(rows))
 		}
 		for _, r := range rows {
-			candidates = append(candidates, partialRow{parts: x.translate(r, edge.AtomMap)})
+			ok := true
+			for _, vp := range st.verify {
+				pv := p[vp.AtomA]
+				cv := r.Part(st.inv[vp.AtomB])
+				if pv == nil || cv == nil || !pv.Val(vp.ColA).Equal(cv.Val(vp.ColB)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			merged := make([]*tuple.Tuple, len(p))
+			copy(merged, p)
+			for fi, ti := range st.edge.AtomMap {
+				merged[ti] = r.Part(fi)
+			}
+			dst = append(dst, merged)
 		}
-	} else {
-		env.Metrics.AddJoinProbe()
-		env.ChargeJoin()
-		if lookup != nil {
-			candidates = x.modules[j].Probe(lookup.AtomB, lookup.ColB, p[lookup.AtomA].Val(lookup.ColA), maxEpoch)
-		} else {
-			candidates = x.modules[j].Scan(maxEpoch)
-		}
+		return dst
 	}
 
-	var out [][]*tuple.Tuple
-	for _, cand := range candidates {
+	env.Metrics.AddJoinProbe()
+	env.ChargeJoin()
+	x.probeBuf = x.probeBuf[:0]
+	if st.hasLookup {
+		x.probeBuf = x.modules[st.j].AppendProbe(x.probeBuf, st.lookup.AtomB, st.lookup.ColB, p[st.lookup.AtomA].Val(st.lookup.ColA), maxEpoch)
+	} else {
+		x.modules[st.j].EachBefore(maxEpoch, func(pr partialRow) { x.probeBuf = append(x.probeBuf, pr) })
+	}
+	for _, cand := range x.probeBuf {
 		ok := true
-		for _, vp := range verify {
+		for _, vp := range st.verify {
 			pv := p[vp.AtomA]
 			cv := cand.parts[vp.AtomB]
 			if pv == nil || cv == nil || !pv.Val(vp.ColA).Equal(cv.Val(vp.ColB)) {
@@ -316,9 +378,9 @@ func (x *NodeExec) probeModule(env *Env, j int, p []*tuple.Tuple, maxEpoch int) 
 				merged[pos] = t
 			}
 		}
-		out = append(out, merged)
+		dst = append(dst, merged)
 	}
-	return out
+	return dst
 }
 
 // RAOf resolves the random-access source behind a probe edge. The executor
@@ -338,10 +400,18 @@ func (x *NodeExec) RAOf(edge *plangraph.Edge) *source.RandomAccess {
 func (x *NodeExec) SetRAResolver(f func(*plangraph.Node) *source.RandomAccess) { x.raResolve = f }
 
 // baseColFor translates a node-space (atom, col) into the probe source's base
-// relation column: probe sources are single-atom, so the column carries over.
+// relation column. Probe sources are single-atom pushdowns whose argument
+// list aligns positionally with the base relation's columns, so the column
+// index carries over unchanged; this asserts that invariant instead of
+// silently assuming it (a multi-atom probe source would need a real
+// translation through the edge's atom map).
 func (x *NodeExec) baseColFor(edge *plangraph.Edge, nodeAtom, col int) int {
-	_ = edge
-	_ = nodeAtom
+	if len(edge.From.Expr.Atoms) != 1 || len(edge.AtomMap) != 1 {
+		panic(fmt.Sprintf("operator: probe source %s is not single-atom (%d atoms)", edge.From.Key, len(edge.From.Expr.Atoms)))
+	}
+	if edge.AtomMap[0] != nodeAtom {
+		panic(fmt.Sprintf("operator: probe column for atom %d but %s covers atom %d", nodeAtom, edge.From.Key, edge.AtomMap[0]))
+	}
 	return col
 }
 
@@ -355,29 +425,33 @@ func (x *NodeExec) translate(r *tuple.Row, atomMap []int) []*tuple.Tuple {
 	return parts
 }
 
-// probeOrder returns (computing if stale) the adaptive probe sequence for a
-// driving input: a connectivity-respecting order over the other inputs,
-// cheapest observed fanout first, remote probes deferred on ties.
-func (x *NodeExec) probeOrder(drive int) []int {
-	if ord := x.probeOrders[drive]; ord != nil {
-		return ord
+// probePlan returns (compiling if stale) the probe plan for a driving input:
+// a connectivity-respecting order over the other inputs — cheapest observed
+// fanout first, remote probes deferred on ties — with each step's lookup
+// orientation, verify list and base column resolved.
+func (x *NodeExec) probePlan(drive int) []probeStep {
+	if plan := x.plans[drive]; plan != nil {
+		return plan
 	}
 	n := len(x.Node.Inputs)
-	bound := map[int]bool{}
+	nAtoms := len(x.Node.Expr.Atoms)
+	bound := make([]bool, nAtoms)
 	for _, a := range x.Node.Inputs[drive].AtomMap {
 		bound[a] = true
 	}
-	remaining := map[int]bool{}
+	remaining := n - 1
+	pending := make([]bool, n)
 	for j := 0; j < n; j++ {
-		if j != drive {
-			remaining[j] = true
-		}
+		pending[j] = j != drive
 	}
-	var order []int
-	for len(remaining) > 0 {
+	steps := make([]probeStep, 0, remaining)
+	for remaining > 0 {
 		best := -1
 		bestKey := [3]float64{}
-		for j := range remaining {
+		for j := 0; j < n; j++ {
+			if !pending[j] {
+				continue
+			}
 			connected := x.connectsTo(j, bound)
 			fan := x.fanout(drive, j)
 			remote := 0.0
@@ -393,14 +467,56 @@ func (x *NodeExec) probeOrder(drive int) []int {
 				best, bestKey = j, key
 			}
 		}
-		order = append(order, best)
+		steps = append(steps, x.compileStep(drive, best, bound))
 		for _, a := range x.Node.Inputs[best].AtomMap {
 			bound[a] = true
 		}
-		delete(remaining, best)
+		pending[best] = false
+		remaining--
 	}
-	x.probeOrders[drive] = order
-	return order
+	x.plans[drive] = steps
+	return steps
+}
+
+// compileStep resolves one probe step against the bound-atom set in effect
+// when the step runs. The bound set at step k is exactly the union of the
+// drive input's coverage and the previously probed inputs' coverages: every
+// stored or merged partial is non-nil precisely on its inputs' coverage, so
+// the compile-time orientation matches what the per-tuple code used to
+// re-derive.
+func (x *NodeExec) compileStep(drive, j int, bound []bool) probeStep {
+	edge := x.Node.Inputs[j]
+	st := probeStep{j: j, edge: edge, probe: edge.Probe, stat: x.stat(drive, j)}
+	jc := x.cov[j]
+	for _, p0 := range x.preds {
+		var pr cq.JoinPred
+		switch {
+		case jc[p0.AtomB] && !jc[p0.AtomA] && bound[p0.AtomA]:
+			pr = p0
+		case jc[p0.AtomA] && !jc[p0.AtomB] && bound[p0.AtomB]:
+			pr = cq.JoinPred{AtomA: p0.AtomB, ColA: p0.ColB, AtomB: p0.AtomA, ColB: p0.ColA}
+		default:
+			continue
+		}
+		if !st.hasLookup {
+			st.lookup, st.hasLookup = pr, true
+		} else {
+			st.verify = append(st.verify, pr)
+		}
+	}
+	if st.probe {
+		st.inv = make([]int, len(x.Node.Expr.Atoms))
+		for i := range st.inv {
+			st.inv[i] = -1
+		}
+		for fi, ti := range edge.AtomMap {
+			st.inv[ti] = fi
+		}
+		if st.hasLookup {
+			st.baseCol = x.baseColFor(edge, st.lookup.AtomB, st.lookup.ColB)
+		}
+	}
+	return st
 }
 
 func less3(a, b [3]float64) bool {
@@ -412,13 +528,10 @@ func less3(a, b [3]float64) bool {
 	return false
 }
 
-func (x *NodeExec) connectsTo(j int, bound map[int]bool) bool {
-	jCov := map[int]bool{}
-	for _, a := range x.Node.Inputs[j].AtomMap {
-		jCov[a] = true
-	}
+func (x *NodeExec) connectsTo(j int, bound []bool) bool {
+	jc := x.cov[j]
 	for _, p := range x.preds {
-		if (jCov[p.AtomA] && bound[p.AtomB]) || (jCov[p.AtomB] && bound[p.AtomA]) {
+		if (jc[p.AtomA] && bound[p.AtomB]) || (jc[p.AtomB] && bound[p.AtomA]) {
 			return true
 		}
 	}
@@ -464,18 +577,17 @@ func (x *NodeExec) RecoverHistory(env *Env, e int) int {
 	if drive < 0 {
 		return 0
 	}
-	have := x.Log.Identities()
+	have := x.Log.IdentitySet()
 	var results []*tuple.Row
-	for _, pr := range x.modules[drive].Scan(e) {
+	x.modules[drive].EachBefore(e, func(pr partialRow) {
 		env.Metrics.AddReplayTuple()
 		env.ChargeJoin()
 		for _, out := range x.joinFrom(env, drive, pr.parts, e) {
-			if !have[out.Identity()] {
-				have[out.Identity()] = true
+			if have.Add(out) {
 				results = append(results, out)
 			}
 		}
-	}
+	})
 	sort.SliceStable(results, func(i, j int) bool {
 		si, sj := results[i].ScoreProduct(), results[j].ScoreProduct()
 		if si != sj {
@@ -499,10 +611,10 @@ func (x *NodeExec) PreloadModule(j int, rows []*tuple.Row, epochs []int) {
 	}
 }
 
-// StateSize reports the node's resident state in rows (modules + log) for
-// the §6.3 memory accounting.
+// StateSize reports the node's resident state in rows (modules + log + the
+// log's materialised identity set) for the §6.3 memory accounting.
 func (x *NodeExec) StateSize() int {
-	n := x.Log.Len()
+	n := x.Log.Len() + x.Log.IdentCount()
 	for _, m := range x.modules {
 		n += m.Len()
 	}

@@ -74,8 +74,10 @@ type CQEntry struct {
 
 	maxima []float64
 	buffer candidateHeap
-	seen   map[string]bool
-	dups   int
+	// seen deduplicates offered rows by identity hash (§4.1 rank-merge; it is
+	// released when the CQ is unlinked, §6.3, and counted by SeenLen).
+	seen *identSet
+	dups int
 
 	// Threshold memoisation: thresholds change only when a group's stream
 	// frontier moves, so the last frontier vector is snapshotted.
@@ -88,7 +90,7 @@ type CQEntry struct {
 // NewCQEntry builds an entry. maxima holds the per-atom score maxima in CQ
 // atom order.
 func NewCQEntry(q *cq.CQ, u float64, maxima []float64) *CQEntry {
-	return &CQEntry{CQ: q, U: u, maxima: append([]float64(nil), maxima...), seen: map[string]bool{}}
+	return &CQEntry{CQ: q, U: u, maxima: append([]float64(nil), maxima...), seen: newIdentSet(0)}
 }
 
 // Threshold returns the NRA/HRJN-style corner bound on any future (unseen)
@@ -150,15 +152,26 @@ func (e *CQEntry) BufferLen() int { return len(e.buffer) }
 // re-derivation).
 func (e *CQEntry) Duplicates() int { return e.dups }
 
+// SeenLen reports the duplicate-set size in entries (§6.3 memory accounting:
+// the seen set is resident state invisible to the row counts).
+func (e *CQEntry) SeenLen() int { return e.seen.Len() }
+
+// DropSeen releases the duplicate-elimination set. The ATC calls it when the
+// CQ is unlinked (§6.3): a detached sink receives no further offers, so the
+// set — which otherwise grows with every distinct result ever offered — can
+// be reclaimed while buffered candidates stay eligible for emission.
+func (e *CQEntry) DropSeen() { e.seen = nil }
+
 // offer inserts a candidate result.
 func (e *CQEntry) offer(row *tuple.Row, score float64) {
-	id := row.Identity()
-	if e.seen[id] {
+	if e.seen == nil {
+		e.seen = newIdentSet(0)
+	}
+	if !e.seen.Add(row) {
 		e.dups++
 		return
 	}
-	e.seen[id] = true
-	heap.Push(&e.buffer, candidate{row: row, score: score, id: id})
+	heap.Push(&e.buffer, candidate{row: row, score: score, id: row.Identity()})
 }
 
 // EndpointSink adapts a terminal node's output into a CQ entry: rows arrive
@@ -175,17 +188,29 @@ func NewEndpointSink(entry *CQEntry, atomMap []int) *EndpointSink {
 	return &EndpointSink{Entry: entry, AtomMap: atomMap, scores: make([]float64, len(atomMap))}
 }
 
-// Offer scores and buffers one output row.
+// Offer scores and buffers one output row. Duplicates are rejected on the
+// producer row's cached identity (identity is part-order invariant, so the
+// node-order row and its CQ-order projection share one) before any
+// projection or scoring work is spent on them.
 func (s *EndpointSink) Offer(env *Env, r *tuple.Row) {
+	e := s.Entry
+	if e.seen == nil {
+		e.seen = newIdentSet(0)
+	}
+	if !e.seen.Add(r) {
+		e.dups++
+		return
+	}
 	parts := make([]*tuple.Tuple, len(s.AtomMap))
 	for ni, ci := range s.AtomMap {
 		parts[ci] = r.Part(ni)
 	}
 	row := tuple.NewRow(parts...)
+	row.InheritIdentity(r)
 	for i, p := range parts {
 		s.scores[i] = p.Score()
 	}
-	s.Entry.offer(row, s.Entry.CQ.Model.Score(s.scores))
+	heap.Push(&e.buffer, candidate{row: row, score: e.CQ.Model.Score(s.scores), id: r.Identity()})
 }
 
 // candidate is a buffered potential answer.

@@ -300,9 +300,12 @@ func (m *Manager) SyncCatalog() {
 	}
 }
 
-// StateSize reports total resident state in rows.
+// StateSize reports total resident state in rows: node logs and modules
+// (plus any materialised log identity sets) and the attached rank-merge
+// endpoints' candidate buffers and duplicate sets, which are state the §6.3
+// accounting would otherwise never see.
 func (m *Manager) StateSize() int {
-	total := 0
+	total := m.ATC.SinkStateRows()
 	for _, n := range m.Graph.Nodes() {
 		if x, ok := m.ATC.HasExec(n); ok {
 			total += x.StateSize()

@@ -1,0 +1,9 @@
+//go:build race
+
+package service_test
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Wall-clock-sensitive tests (admission-window economics) skip under it: the
+// ~10x instrumentation slowdown breaks their timing assumptions, not their
+// subject.
+const raceEnabled = true

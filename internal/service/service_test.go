@@ -338,6 +338,14 @@ func TestWindowSharesSourceWork(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run GUS load in -short mode")
 	}
+	if raceEnabled {
+		// The 25ms admission window must capture concurrently arriving
+		// searches for batching to share work; race instrumentation slows the
+		// engine roughly tenfold, so arrivals trickle in one per window and
+		// the economics this test pins no longer apply (flaky at the seed
+		// commit too, independent of engine changes).
+		t.Skip("wall-clock admission-window economics are not meaningful under -race")
+	}
 	run := func(window time.Duration) int64 {
 		w, err := workload.GUS(1, workload.GUSScaleDefault())
 		if err != nil {

@@ -99,9 +99,11 @@ type RandomAccess struct {
 	cache map[probeKey][]*tuple.Row
 }
 
+// probeKey keys the probe cache on the comparable value form directly; the
+// old string form paid a strconv allocation per probe.
 type probeKey struct {
 	col int
-	val string
+	val tuple.IndexKey
 }
 
 // OpenRandomAccess wraps the expression (which must be single-atom) as a
@@ -119,7 +121,7 @@ func (r *RandomAccess) Key() string { return r.key }
 // Probe returns the rows matching col = v. cached reports whether the result
 // came from the middleware cache (no remote round trip).
 func (r *RandomAccess) Probe(col int, v tuple.Value) (rows []*tuple.Row, cached bool, err error) {
-	pk := probeKey{col, v.Key()}
+	pk := probeKey{col, v.IndexKey()}
 	if rows, ok := r.cache[pk]; ok {
 		return rows, true, nil
 	}

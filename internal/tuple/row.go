@@ -3,6 +3,7 @@ package tuple
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Row is a (partial or complete) join result: an ordered list of base tuples,
@@ -13,6 +14,20 @@ import (
 // Row's part scores.
 type Row struct {
 	parts []*Tuple
+
+	// ident caches the canonical identity (and its 64-bit hash): rank-merge
+	// dedup, recovery dedup and deterministic tie-breaks all call Identity()
+	// per offered row, so it is computed at most once per row. The cache is an
+	// atomic pointer because pushed-down result rows are materialised once per
+	// expression in the remote-database view cache and then read concurrently
+	// by every shard goroutine streaming that expression.
+	ident atomic.Pointer[rowIdent]
+}
+
+// rowIdent is the computed identity with its precomputed FNV-1a hash.
+type rowIdent struct {
+	s string
+	h uint64
 }
 
 // NewRow builds a row over the given parts. The slice is owned by the row.
@@ -69,14 +84,56 @@ func (r *Row) ScoreProduct() float64 {
 // Identity returns a canonical identity for duplicate elimination: the sorted
 // identities of the row's parts, qualified by relation name. Two rows built
 // from the same base tuples (possibly in different part orders by different
-// plan shapes) share an Identity.
-func (r *Row) Identity() string {
+// plan shapes) share an Identity. The result is computed once and cached.
+func (r *Row) Identity() string { return r.identity().s }
+
+// IdentityHash returns a 64-bit FNV-1a hash of Identity(): the cheap set-
+// membership fast path used by rank-merge seen-sets and log identity sets.
+// Like Identity it is computed at most once per row.
+func (r *Row) IdentityHash() uint64 { return r.identity().h }
+
+// InheritIdentity copies o's cached identity into r, avoiding a recompute.
+// It must only be used when r is a reordering/projection of exactly o's parts
+// (identity is part-order invariant, so the identities are equal by
+// construction). A nil or uncached o is a no-op.
+func (r *Row) InheritIdentity(o *Row) {
+	if o == nil {
+		return
+	}
+	if id := o.ident.Load(); id != nil {
+		r.ident.Store(id)
+	}
+}
+
+func (r *Row) identity() *rowIdent {
+	if id := r.ident.Load(); id != nil {
+		return id
+	}
 	keys := make([]string, len(r.parts))
 	for i, p := range r.parts {
-		keys[i] = p.Schema().Name() + ":" + p.Identity()
+		keys[i] = p.QualifiedIdentity()
 	}
 	sort.Strings(keys)
-	return strings.Join(keys, "&")
+	s := strings.Join(keys, "&")
+	id := &rowIdent{s: s, h: fnv1a(s)}
+	// Concurrent computations produce the identical value; last store wins.
+	r.ident.Store(id)
+	return id
+}
+
+// fnv1a is the 64-bit FNV-1a hash (inlined to keep the hot path free of
+// hash.Hash allocations).
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // String renders the row as part strings joined by " ⋈ ".

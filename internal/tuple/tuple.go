@@ -3,6 +3,7 @@ package tuple
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Tuple is one row of a base relation. Tuples carry their schema, their
@@ -19,6 +20,11 @@ type Tuple struct {
 	// seq is the position of the tuple in its source's score order; it gives
 	// operators a total order for deterministic tie-breaking.
 	seq int64
+
+	// qident caches QualifiedIdentity. Tuples are shared by pointer across
+	// every shard goroutine streaming the same cached view, so the lazy cache
+	// is an atomic pointer (racing computes store the identical string).
+	qident atomic.Pointer[string]
 }
 
 // NeutralScore is the score assumed for tuples of relations without a scoring
@@ -41,8 +47,17 @@ func New(s *Schema, vals ...Value) *Tuple {
 }
 
 // WithSeq returns the tuple after recording its sequence number in source
-// score order. The relation store assigns these at load time.
-func (t *Tuple) WithSeq(seq int64) *Tuple { t.seq = seq; return t }
+// score order. The relation store assigns these at load time. Keyless
+// identities embed the sequence number, so changing it invalidates any
+// identity cached before assignment (the store sorts by Identity before
+// numbering).
+func (t *Tuple) WithSeq(seq int64) *Tuple {
+	if t.seq != seq {
+		t.seq = seq
+		t.qident.Store(nil)
+	}
+	return t
+}
 
 // Seq returns the tuple's position in its source's nonincreasing score order.
 func (t *Tuple) Seq() int64 { return t.seq }
@@ -81,17 +96,34 @@ func (t *Tuple) Key() Value {
 // used for duplicate elimination when recovered state is merged with live
 // streams (§6.2).
 func (t *Tuple) Identity() string {
-	if k := t.schema.KeyCol(); k >= 0 {
-		return t.vals[k].Key()
+	q := t.QualifiedIdentity()
+	return q[len(t.schema.Name())+1:]
+}
+
+// QualifiedIdentity returns "Relation:Identity" — the per-part key row
+// identities are built from. It is computed once and cached; many rows share
+// each base tuple, so the cache amortises the key formatting across every
+// join result the tuple participates in.
+func (t *Tuple) QualifiedIdentity() string {
+	if q := t.qident.Load(); q != nil {
+		return *q
 	}
 	var b strings.Builder
-	b.WriteByte('#')
-	b.WriteString(strconv.FormatInt(t.seq, 36))
-	for _, v := range t.vals {
-		b.WriteByte('|')
-		b.WriteString(v.Key())
+	b.WriteString(t.schema.Name())
+	b.WriteByte(':')
+	if k := t.schema.KeyCol(); k >= 0 {
+		b.WriteString(t.vals[k].Key())
+	} else {
+		b.WriteByte('#')
+		b.WriteString(strconv.FormatInt(t.seq, 36))
+		for _, v := range t.vals {
+			b.WriteByte('|')
+			b.WriteString(v.Key())
+		}
 	}
-	return b.String()
+	q := b.String()
+	t.qident.Store(&q)
+	return q
 }
 
 // String renders the tuple as Rel(v1, v2, ...).

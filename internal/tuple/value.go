@@ -140,6 +140,33 @@ func (v Value) Key() string {
 	}
 }
 
+// IndexKey is the comparable, allocation-free form of a Value used as a hash
+// map key by the middleware's join indexes and probe caches. Distinct values
+// map to distinct keys within and across kinds (Int(1), Float(1) and
+// String("1") all differ); float payloads are keyed by their bit pattern, so
+// NaN keys behave deterministically rather than vanishing the way a NaN map
+// key would.
+type IndexKey struct {
+	kind Kind
+	num  uint64
+	str  string
+}
+
+// IndexKey returns the value's map key. Unlike Key it performs no string
+// formatting, which is what keeps per-insert/per-probe work allocation-free.
+func (v Value) IndexKey() IndexKey {
+	switch v.kind {
+	case KindNull:
+		return IndexKey{kind: KindNull}
+	case KindInt:
+		return IndexKey{kind: KindInt, num: uint64(v.i)}
+	case KindFloat:
+		return IndexKey{kind: KindFloat, num: math.Float64bits(v.f)}
+	default:
+		return IndexKey{kind: KindString, str: v.s}
+	}
+}
+
 // Text renders the value for display.
 func (v Value) Text() string {
 	switch v.kind {
