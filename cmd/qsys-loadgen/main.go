@@ -14,8 +14,13 @@
 // Usage:
 //
 //	qsys-loadgen [-workload bio|gus|pfam] [-instance 1]
-//	             [-users 8] [-requests 12] [-k 20] [-budget 500]
+//	             [-users 8] [-requests 12] [-k 20] [-memory-budget 500]
+//	             [-evict-policy lru|benefit] [-spill-dir DIR]
 //	             [-windows 0,25ms] [-batch 5] [-shards 1] [-seed 1]
+//
+// With -spill-dir set, evicted plan segments spill to disk and revivals read
+// them back as local I/O; the report splits retained-state hits into memory
+// vs disk and counts revivals served from spill vs re-paid at the sources.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +36,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/service"
+	"repro/internal/state"
 	"repro/internal/workload"
 )
 
@@ -43,8 +50,22 @@ func main() {
 	batch := flag.Int("batch", 5, "admission batch size trigger")
 	shards := flag.Int("shards", 1, "engine shards")
 	seed := flag.Uint64("seed", 1, "workload draw seed")
-	budget := flag.Int("budget", 500, "per-shard state budget in rows (0 = unbounded)")
+	budget := flag.Int("memory-budget", 500, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
+	flag.IntVar(budget, "budget", 500, "alias for -memory-budget")
+	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
+	spillDir := flag.String("spill-dir", "", "spill evicted plan segments to per-shard dirs under this path instead of discarding (removed on close)")
 	flag.Parse()
+
+	if _, err := state.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "qsys-loadgen: -spill-dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var spans []time.Duration
 	for _, s := range strings.Split(*windows, ",") {
@@ -68,13 +89,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("closed-loop load: %d users x %d requests, k=%d, batch=%d, shards=%d, budget=%d rows, workload=%s\n\n",
-		*users, *requests, *k, *batch, *shards, *budget, *wl)
-	fmt.Printf("%-8s %8s %6s %9s %9s %9s %9s %11s %11s %9s %7s %6s %6s\n",
-		"window", "qps", "err", "p50", "p95", "p99", "mean", "streamTup", "totalTup", "replayed", "shared", "occ", "evict")
+	mode := "discard"
+	if *spillDir != "" {
+		mode = "spill"
+	}
+	fmt.Printf("closed-loop load: %d users x %d requests, k=%d, batch=%d, shards=%d, budget=%d rows (%s, policy=%s), workload=%s\n\n",
+		*users, *requests, *k, *batch, *shards, *budget, mode, *policy, *wl)
+	fmt.Printf("%-8s %8s %6s %9s %9s %9s %11s %11s %9s %9s %6s %7s %7s %7s %6s\n",
+		"window", "qps", "err", "p50", "p95", "p99", "streamTup", "totalTup", "replayed", "spilledR", "evict", "revSp", "revSrc", "mem/dsk", "occ")
 
 	for _, span := range spans {
-		rep, err := run(*wl, *instance, span, *users, *requests, *k, *batch, *shards, *budget, *seed)
+		rep, err := run(*wl, *instance, span, *users, *requests, *k, *batch, *shards, *budget, *seed, *policy, *spillDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -83,16 +108,22 @@ func main() {
 		for _, sh := range rep.stats.Shards {
 			evictions += sh.Evictions
 		}
-		fmt.Printf("%-8v %8.1f %6d %9v %9v %9v %9v %11d %11d %9d %6.1f%% %6.2f %6d\n",
+		split := rep.stats.Shared
+		fmt.Printf("%-8v %8.1f %6d %9v %9v %9v %11d %11d %9d %9d %6d %7d %7d %3.0f/%-3.0f %6.2f\n",
 			span, rep.qps, rep.errors,
-			rep.p(0.50), rep.p(0.95), rep.p(0.99), rep.mean,
+			rep.p(0.50), rep.p(0.95), rep.p(0.99),
 			rep.stats.Work.StreamTuples, rep.stats.Work.TuplesConsumed(),
-			rep.stats.Work.ReplayTuples, 100*rep.stats.SharedFraction(),
-			rep.stats.Service.BatchOccupancy.Mean, evictions)
+			rep.stats.Work.ReplayTuples, rep.stats.Work.SpillRowsRead,
+			evictions, rep.stats.Work.RevivalsFromSpill, rep.stats.Work.RevivalsFromSource,
+			100*split.MemoryHit, 100*split.DiskHit,
+			rep.stats.Service.BatchOccupancy.Mean)
 	}
-	fmt.Println("\nstreamTup/totalTup: rows fetched from sources; replayed: rows served from retained state.")
+	fmt.Println("\nstreamTup/totalTup: rows fetched from sources; replayed: rows served from retained memory")
+	fmt.Println("state; spilledR: rows read back from the disk tier; revSp/revSrc: evicted segments revived")
+	fmt.Println("from spill vs re-derived by source replay; mem/dsk: shared-work split (% of all rows).")
 	fmt.Println("Under a bounded state budget, a window > 0 co-admits concurrent arrivals so they share")
-	fmt.Println("live source streams before eviction can strike — fewer source tuples at equal load.")
+	fmt.Println("live source streams before eviction can strike — fewer source tuples at equal load; a")
+	fmt.Println("spill dir turns the remaining evictions into local disk reads instead of source re-reads.")
 }
 
 type report struct {
@@ -114,7 +145,7 @@ func (r *report) p(q float64) time.Duration {
 	return r.latencies[i].Round(time.Microsecond)
 }
 
-func run(wl string, instance int, window time.Duration, users, requests, k, batch, shards, budget int, seed uint64) (*report, error) {
+func run(wl string, instance int, window time.Duration, users, requests, k, batch, shards, budget int, seed uint64, policy, spillDir string) (*report, error) {
 	// A fresh workload per run keeps the comparison honest: no run inherits
 	// another's materialised source views.
 	w, err := workload.ByName(wl, instance)
@@ -125,6 +156,10 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("workload %s has no keyword suite", wl)
 	}
+	if spillDir != "" {
+		// Separate windows must not inherit each other's segments.
+		spillDir = filepath.Join(spillDir, fmt.Sprintf("w%d", window/time.Microsecond))
+	}
 	svc := service.New(w, service.Config{
 		K:            k,
 		Seed:         seed,
@@ -132,6 +167,8 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 		BatchSize:    batch,
 		Shards:       shards,
 		MemoryBudget: budget,
+		EvictPolicy:  policy,
+		SpillDir:     spillDir,
 	})
 	defer svc.Close()
 

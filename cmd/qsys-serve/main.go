@@ -8,7 +8,8 @@
 //
 //	qsys-serve [-addr :8080] [-workload bio|gus|pfam] [-instance 1]
 //	           [-window 25ms] [-batch 5] [-shards 1] [-k 50]
-//	           [-budget 0] [-realtime]
+//	           [-memory-budget 0] [-evict-policy lru|benefit] [-spill-dir DIR]
+//	           [-realtime]
 //
 // Endpoints:
 //
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/state"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -43,9 +45,23 @@ func main() {
 	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
 	shards := flag.Int("shards", 1, "independent engine shards")
 	k := flag.Int("k", 50, "default answers per search")
-	budget := flag.Int("budget", 0, "per-shard state budget in rows (0 = unbounded)")
+	budget := flag.Int("memory-budget", 0, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
+	flag.IntVar(budget, "budget", 0, "alias for -memory-budget")
+	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
+	spillDir := flag.String("spill-dir", "", "spill evicted plan segments to per-shard dirs under this path instead of discarding (removed on shutdown)")
 	realtime := flag.Bool("realtime", false, "sleep simulated delays for real (live demo pacing)")
 	flag.Parse()
+
+	if _, err := state.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "qsys-serve: -spill-dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	w, err := workload.ByName(*wl, *instance)
 	if err != nil {
@@ -58,6 +74,8 @@ func main() {
 		BatchSize:    *batch,
 		Shards:       *shards,
 		MemoryBudget: *budget,
+		EvictPolicy:  *policy,
+		SpillDir:     *spillDir,
 		RealTime:     *realtime,
 	})
 

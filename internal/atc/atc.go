@@ -14,13 +14,18 @@
 package atc
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/operator"
 	"repro/internal/plangraph"
 	"repro/internal/remotedb"
 	"repro/internal/source"
+	"repro/internal/state"
 )
+
+// maxEvictedKeys caps the revival-classification key set (see DropExec).
+const maxEvictedKeys = 8192
 
 // MergeState tracks one user query's rank-merge within the controller.
 type MergeState struct {
@@ -63,6 +68,22 @@ type ATC struct {
 	// historyComplete marks nodes whose log reflects every row derivable
 	// from their inputs' logs; parking clears it.
 	historyComplete map[*plangraph.Node]bool
+
+	// ledger, when bound, accounts every exec's and endpoint's resident
+	// state incrementally (§6.3); spill, when bound, is the disk tier evicted
+	// segments serialize to and revival restores from. Both are bound once by
+	// the query state manager before any exec exists.
+	ledger *state.Ledger
+	spill  *state.Spill
+	// SpillLost, when set, is told the expression key of a stream whose
+	// spill segment turned out unrestorable: its retained prefix is gone for
+	// real, so the state manager must drop the catalog's buffered-prefix
+	// accounting the spill had been allowed to keep.
+	SpillLost func(exprKey string)
+	// evictedKeys remembers node keys whose state was dropped, so a later
+	// re-creation can be classified as a revival from spill or from source
+	// replay (the shared-fraction split the serving stats report).
+	evictedKeys map[string]bool
 }
 
 // New creates a controller for a plan graph.
@@ -77,7 +98,16 @@ func New(g *plangraph.Graph, env *operator.Env, fleet *remotedb.Fleet) *ATC {
 		byUQ:            map[string]*MergeState{},
 		attach:          map[string]attachment{},
 		historyComplete: map[*plangraph.Node]bool{},
+		evictedKeys:     map[string]bool{},
 	}
+}
+
+// BindState attaches the execution-state subsystem: the accounting ledger
+// (required for budget enforcement) and the optional spill tier. Must be
+// called before any exec is created.
+func (a *ATC) BindState(ledger *state.Ledger, spill *state.Spill) {
+	a.ledger = ledger
+	a.spill = spill
 }
 
 // Epoch returns the current epoch (§6.2's logical timestamp).
@@ -155,6 +185,9 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 		return x, nil
 	}
 	x := operator.NewNodeExec(n)
+	if a.ledger != nil {
+		x.SetAccount(a.ledger.NewAccount(n.Key))
+	}
 	switch n.Kind {
 	case plangraph.SourceStream:
 		db, err := a.Fleet.DB(n.DB)
@@ -166,6 +199,7 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 			return nil, err
 		}
 		x.Stream = st
+		a.restoreStream(n, x)
 	case plangraph.SourceProbe:
 		db, err := a.Fleet.DB(n.DB)
 		if err != nil {
@@ -179,6 +213,43 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 	return x, nil
 }
 
+// restoreStream reinstalls a re-created stream source's spilled state: the
+// stream skips its already-delivered prefix and the log gets its rows back
+// with their original epoch stamps, all charged as local spill I/O rather
+// than remote stream reads (§6.3 disk tier).
+func (a *ATC) restoreStream(n *plangraph.Node, x *operator.NodeExec) {
+	if a.spill == nil || !a.spill.Has(n.Key) {
+		a.noteSourceRevival(n.Key)
+		return
+	}
+	snap, rows, bytes, err := a.spill.Take(n.Key)
+	if err != nil || snap == nil || snap.Kind != int(plangraph.SourceStream) || snap.StreamPos > x.Stream.Len() {
+		// A segment existed but is unusable: the retained prefix is truly
+		// lost, so the catalog must stop pricing it as buffered.
+		a.spill.NoteDropped()
+		if a.SpillLost != nil {
+			a.SpillLost(n.Expr.Key())
+		}
+		a.noteSourceRevival(n.Key)
+		return
+	}
+	delete(a.evictedKeys, n.Key)
+	x.Stream.Skip(snap.StreamPos)
+	x.ImportLog(snap.LogRows, snap.LogEpochs)
+	a.Env.ChargeSpillRead(rows, bytes)
+	a.Env.Metrics.AddRevivalFromSpill()
+}
+
+// noteSourceRevival classifies the re-creation of a previously evicted node
+// whose state was not recoverable from spill: its history will be re-derived
+// by fresh source work.
+func (a *ATC) noteSourceRevival(key string) {
+	if a.evictedKeys[key] {
+		delete(a.evictedKeys, key)
+		a.Env.Metrics.AddRevivalFromSource()
+	}
+}
+
 // HasExec reports whether runtime state exists for the node (used by the
 // state manager's memory accounting without forcing source opens).
 func (a *ATC) HasExec(n *plangraph.Node) (*operator.NodeExec, bool) {
@@ -186,11 +257,64 @@ func (a *ATC) HasExec(n *plangraph.Node) (*operator.NodeExec, bool) {
 	return x, ok
 }
 
-// DropExec discards a node's runtime state (eviction, §6.3).
+// DropExec discards a node's runtime state (eviction, §6.3), releasing its
+// ledger account and remembering the key so a later re-creation is
+// classified as a revival.
 func (a *ATC) DropExec(n *plangraph.Node) {
+	if x, ok := a.execs[n]; ok {
+		a.ledger.Release(x.Account())
+		// The key set only feeds the revival-classification metric; bound it
+		// so a long-lived server with an ever-diverse query stream cannot
+		// grow it without limit (classification turns best-effort past the
+		// cap).
+		if len(a.evictedKeys) >= maxEvictedKeys {
+			a.evictedKeys = map[string]bool{}
+		}
+		a.evictedKeys[n.Key] = true
+	}
 	delete(a.execs, n)
 	delete(a.ras, n)
 	delete(a.historyComplete, n)
+}
+
+// SpillNode serializes a node's retained state — log rows, stream position,
+// access modules, all epoch-stamped — to the disk tier, reporting whether a
+// segment was written. The caller evicts the node afterwards either way;
+// with a segment on disk the next revival of the same expression restores
+// instead of re-paying source reads.
+func (a *ATC) SpillNode(n *plangraph.Node) bool {
+	if a.spill == nil {
+		return false
+	}
+	x, ok := a.execs[n]
+	if !ok {
+		return false
+	}
+	snap := &state.NodeSnapshot{Key: n.Key, Kind: int(n.Kind)}
+	if x.Stream != nil {
+		snap.StreamPos = x.Stream.Pos()
+	}
+	snap.LogRows, snap.LogEpochs = x.Log.Export()
+	if n.Kind == plangraph.Join {
+		snap.Modules = make([]state.ModuleSnapshot, len(n.Inputs))
+		for i, e := range n.Inputs {
+			parts, epochs := x.Module(i).Export()
+			snap.Modules[i] = state.ModuleSnapshot{
+				ProducerKey: e.From.Key,
+				Coverage:    append([]int(nil), e.AtomMap...),
+				Probe:       e.Probe,
+				Parts:       parts,
+				Epochs:      epochs,
+			}
+		}
+	}
+	rows, bytes, err := a.spill.Write(snap)
+	if err != nil {
+		// Local disk failed; fall back to discard eviction.
+		return false
+	}
+	a.Env.Metrics.AddSpillWrite(int64(rows), bytes)
+	return true
 }
 
 // Revive brings a node fully live for the given epoch: parents are revived
@@ -209,6 +333,8 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 	if a.historyComplete[n] && a.modulesCurrent(x) {
 		return x, nil
 	}
+	// Parents first (recursively restoring their own spilled state), so a
+	// spilled segment for this node can be checked against live parent logs.
 	for _, e := range n.Inputs {
 		if e.Probe {
 			// Random-access inputs have no stream history to replay; probes
@@ -218,10 +344,16 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 			}
 			continue
 		}
-		px, err := a.Revive(e.From, epoch)
-		if err != nil {
+		if _, err := a.Revive(e.From, epoch); err != nil {
 			return nil, err
 		}
+	}
+	a.restoreJoin(n, x)
+	for _, e := range n.Inputs {
+		if e.Probe {
+			continue
+		}
+		px := a.execs[e.From]
 		// Top up this module with the parent's logged rows it has missed.
 		have := x.Module(e.InputIdx).Len()
 		rows, epochs := px.Log.RowsFrom(have)
@@ -235,6 +367,73 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 	}
 	a.historyComplete[n] = true
 	return x, nil
+}
+
+// restoreJoin reinstalls a re-grafted join node's spilled state — module
+// rows and output log, original epoch stamps — when a segment exists and is
+// structurally consistent with the new graft: same input partition (producer
+// keys, atom maps, probe flags, in order) and no parent log shorter than the
+// module rows it once fed. A mismatch (the optimizer re-partitioned the
+// expression, or a parent was discarded and restarted) drops the segment and
+// falls back to normal revival; reinstalling across it would fabricate or
+// duplicate join state.
+func (a *ATC) restoreJoin(n *plangraph.Node, x *operator.NodeExec) {
+	if a.spill == nil || !a.spill.Has(n.Key) {
+		if x.Log.Len() == 0 && x.StateSize() == 0 {
+			a.noteSourceRevival(n.Key)
+		}
+		return
+	}
+	if x.Log.Len() > 0 || x.StateSize() > 0 {
+		return // live state present; the segment is stale
+	}
+	snap, rows, bytes, err := a.spill.Take(n.Key)
+	if err != nil || snap == nil || !a.joinSnapshotConsistent(n, snap) {
+		a.spill.NoteDropped()
+		a.noteSourceRevival(n.Key)
+		return
+	}
+	delete(a.evictedKeys, n.Key)
+	for i := range snap.Modules {
+		x.ImportModuleRows(i, snap.Modules[i].Parts, snap.Modules[i].Epochs)
+	}
+	x.ImportLog(snap.LogRows, snap.LogEpochs)
+	a.Env.ChargeSpillRead(rows, bytes)
+	a.Env.Metrics.AddRevivalFromSpill()
+}
+
+// joinSnapshotConsistent verifies a spilled join segment still matches the
+// node's current input structure and its parents' logs.
+func (a *ATC) joinSnapshotConsistent(n *plangraph.Node, snap *state.NodeSnapshot) bool {
+	if snap.Kind != int(plangraph.Join) || len(snap.Modules) != len(n.Inputs) {
+		return false
+	}
+	for i, e := range n.Inputs {
+		m := &snap.Modules[i]
+		if m.ProducerKey != e.From.Key || m.Probe != e.Probe || !slices.Equal(m.Coverage, e.AtomMap) {
+			return false
+		}
+		if !e.Probe {
+			px, ok := a.execs[e.From]
+			if !ok || px.Log.Len() < len(m.Parts) {
+				return false
+			}
+		}
+	}
+	nAtoms := len(n.Expr.Atoms)
+	for _, r := range snap.LogRows {
+		if r.Arity() != nAtoms {
+			return false
+		}
+	}
+	for i := range snap.Modules {
+		for _, ps := range snap.Modules[i].Parts {
+			if len(ps) != nAtoms {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (a *ATC) modulesCurrent(x *operator.NodeExec) bool {
@@ -266,8 +465,11 @@ func (a *ATC) UnlinkCQ(cqID string) {
 	delete(a.attach, cqID)
 	a.Graph.RemoveEndpoint(cqID)
 	at.node.RemoveSink(at.sink)
-	// The detached sink receives no further offers; release its entry's
-	// duplicate-elimination set (§6.3 — buffered candidates stay eligible).
+	// The detached sink receives no further offers: close its ledger account
+	// (remaining buffered candidates stay eligible for emission but are no
+	// longer resident state the budget can reclaim) and release its entry's
+	// duplicate-elimination set (§6.3).
+	a.ledger.Release(at.sink.Entry.Account())
 	at.sink.Entry.DropSeen()
 	a.park(at.node)
 }

@@ -46,6 +46,11 @@ type Config struct {
 	// Experiments enables the §7 driver pass (Table 4 and Figures 7–12 at the
 	// single-instance scale); disable for quick smoke runs.
 	Experiments bool `json:"experiments"`
+	// BudgetRows is the bounded-budget profile's row budget (§6.3): the
+	// serving workload is re-run unbounded, with discard eviction, and with
+	// spill eviction at this budget, comparing source-tuple counts and
+	// result digests. 0 skips the profile.
+	BudgetRows int `json:"budget_rows,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -62,8 +67,16 @@ func (c Config) Defaults() Config {
 	if c.K == 0 {
 		c.K = 50
 	}
+	if c.BudgetRows == 0 {
+		c.BudgetRows = DefaultBudgetRows
+	}
 	return c
 }
+
+// DefaultBudgetRows is the canonical row budget of the bounded-budget
+// profile: small enough that the 4-round serving workload must evict, large
+// enough that every query still completes. Keep stable across PRs.
+const DefaultBudgetRows = 2000
 
 // Counters is the JSON form of the engine work counters. These must be
 // identical across an optimization PR's baseline and current runs: the
@@ -77,6 +90,13 @@ type Counters struct {
 	JoinProbes     int64 `json:"join_probes"`
 	ReplayTuples   int64 `json:"replay_tuples"`
 	ResultsEmitted int64 `json:"results_emitted"`
+
+	// State-lifecycle traffic (§6.3 disk tier); zero on unbounded runs, so
+	// the counters-equal gate against pre-subsystem baselines still holds.
+	SpillRowsWritten   int64 `json:"spill_rows_written,omitempty"`
+	SpillRowsRead      int64 `json:"spill_rows_read,omitempty"`
+	RevivalsFromSpill  int64 `json:"revivals_from_spill,omitempty"`
+	RevivalsFromSource int64 `json:"revivals_from_source,omitempty"`
 }
 
 func countersOf(s metrics.Snapshot) Counters {
@@ -89,6 +109,11 @@ func countersOf(s metrics.Snapshot) Counters {
 		JoinProbes:     s.JoinProbes,
 		ReplayTuples:   s.ReplayTuples,
 		ResultsEmitted: s.ResultsEmitted,
+
+		SpillRowsWritten:   s.SpillRowsWritten,
+		SpillRowsRead:      s.SpillRowsRead,
+		RevivalsFromSpill:  s.RevivalsFromSpill,
+		RevivalsFromSource: s.RevivalsFromSource,
 	}
 }
 
@@ -146,12 +171,14 @@ type Experiment struct {
 	Digest string `json:"digest"`
 }
 
-// Point is one measured trajectory point: serving numbers plus the §7 pass.
+// Point is one measured trajectory point: serving numbers, the §7 pass, and
+// the bounded-budget state-lifecycle profile.
 type Point struct {
-	GoVersion   string       `json:"go_version"`
-	Config      Config       `json:"config"`
-	Serving     Serving      `json:"serving"`
-	Experiments []Experiment `json:"experiments,omitempty"`
+	GoVersion   string         `json:"go_version"`
+	Config      Config         `json:"config"`
+	Serving     Serving        `json:"serving"`
+	Experiments []Experiment   `json:"experiments,omitempty"`
+	Budget      *BudgetProfile `json:"budget,omitempty"`
 }
 
 // Delta summarizes current against baseline (negative = improvement).
@@ -183,10 +210,18 @@ type Report struct {
 // semantics gate for hot-path changes. Throughput under concurrency is the
 // load generator's job (cmd/qsys-loadgen).
 func RunServing(cfg Config) (*Serving, error) {
+	s, _, err := runServingWith(cfg, service.Config{})
+	return s, err
+}
+
+// runServingWith runs the seeded workload with state-lifecycle overrides
+// (memory budget, eviction policy, spill dir) taken from override, returning
+// the measurements together with the final service stats.
+func runServingWith(cfg Config, override service.Config) (*Serving, *service.Stats, error) {
 	cfg = cfg.Defaults()
 	w, err := workload.GUS(1, workload.GUSScaleDefault())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	svc := service.New(w, service.Config{
 		Seed:   cfg.Seed,
@@ -195,7 +230,10 @@ func RunServing(cfg Config) (*Serving, error) {
 		// BatchWindow 0 admits each search alone: the per-tuple engine cost is
 		// what this harness tracks, and window-free admission keeps the digest
 		// independent of wall-clock batching races.
-		BatchWindow: 0,
+		BatchWindow:  0,
+		MemoryBudget: override.MemoryBudget,
+		EvictPolicy:  override.EvictPolicy,
+		SpillDir:     override.SpillDir,
 	})
 	defer svc.Close()
 
@@ -210,7 +248,7 @@ func RunServing(cfg Config) (*Serving, error) {
 			user := fmt.Sprintf("user-%d", (round*len(w.Submissions)+i)%cfg.Users)
 			res, err := svc.Search(context.Background(), user, sub.UQ.Keywords, cfg.K)
 			if err != nil {
-				return nil, fmt.Errorf("benchrun: search %q: %w", sub.UQ.Keywords, err)
+				return nil, nil, fmt.Errorf("benchrun: search %q: %w", sub.UQ.Keywords, err)
 			}
 			searches++
 			digestResult(digest, res)
@@ -223,7 +261,7 @@ func RunServing(cfg Config) (*Serving, error) {
 	counters := countersOf(st.Work)
 	rows := counters.Rows()
 	if rows == 0 {
-		return nil, fmt.Errorf("benchrun: serving run processed no rows")
+		return nil, nil, fmt.Errorf("benchrun: serving run processed no rows")
 	}
 	return &Serving{
 		WallNS:        int64(wall),
@@ -235,7 +273,7 @@ func RunServing(cfg Config) (*Serving, error) {
 		Counters:      counters,
 		EngineLatency: latencyOf(st.Service.EngineLatency),
 		ResultDigest:  hex.EncodeToString(digest.Sum(nil)),
-	}, nil
+	}, &st, nil
 }
 
 // digestResult folds one search result into the running digest.
@@ -306,6 +344,13 @@ func Run(cfg Config) (*Point, error) {
 			return nil, err
 		}
 		p.Experiments = exps
+	}
+	if cfg.BudgetRows > 0 {
+		budget, err := RunBudget(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Budget = budget
 	}
 	return p, nil
 }
@@ -380,6 +425,9 @@ func (r *Report) Summary() string {
 			b.NSPerRow, b.AllocsPerRow, 100*r.Delta.NSPerRow, 100*r.Delta.AllocsPerRow)
 		s += fmt.Sprintf("semantics: counters_equal=%v result_digest_equal=%v experiment_digests_equal=%v\n",
 			r.Delta.CountersEqual, r.Delta.DigestsEqual, r.Delta.ExperimentsSame)
+	}
+	if r.Current.Budget != nil {
+		s += r.Current.Budget.Summary()
 	}
 	return s
 }

@@ -1,0 +1,121 @@
+package benchrun
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/service"
+)
+
+// BudgetRun is one bounded-budget execution of the seeded serving workload:
+// its source-side work, its state-lifecycle traffic, and its result digest.
+type BudgetRun struct {
+	Mode string `json:"mode"` // unbounded | discard | spill
+
+	StreamTuples   int64 `json:"stream_tuples"`
+	TuplesConsumed int64 `json:"tuples_consumed"`
+	ReplayTuples   int64 `json:"replay_tuples"`
+
+	Evictions          int   `json:"evictions"`
+	SpillRowsWritten   int64 `json:"spill_rows_written,omitempty"`
+	SpillRowsRead      int64 `json:"spill_rows_read,omitempty"`
+	RevivalsFromSpill  int64 `json:"revivals_from_spill,omitempty"`
+	RevivalsFromSource int64 `json:"revivals_from_source,omitempty"`
+
+	ResultDigest string `json:"result_digest"`
+}
+
+// BudgetProfile is the §6.3 state-lifecycle comparison checked into the
+// trajectory: the same seeded workload unbounded, with discard eviction and
+// with spill eviction at one row budget. The spill run must reproduce the
+// unbounded digest byte-for-byte while reading fewer source-stream tuples
+// than the discard run — eviction bounded the memory, the disk tier kept the
+// work shared.
+type BudgetProfile struct {
+	BudgetRows int    `json:"budget_rows"`
+	Policy     string `json:"policy"`
+
+	Unbounded BudgetRun `json:"unbounded"`
+	Discard   BudgetRun `json:"discard"`
+	Spill     BudgetRun `json:"spill"`
+
+	// SpillDigestMatchesUnbounded gates semantics; SpillStreamSavings is the
+	// source-stream tuples the disk tier saved against discard eviction at
+	// the same budget.
+	SpillDigestMatchesUnbounded   bool  `json:"spill_digest_matches_unbounded"`
+	DiscardDigestMatchesUnbounded bool  `json:"discard_digest_matches_unbounded"`
+	SpillStreamSavings            int64 `json:"spill_stream_savings_vs_discard"`
+
+	// SpillDirUsed is the temp directory the spill run used, already removed
+	// by the time RunBudget returns (tests stat it for leak checks).
+	SpillDirUsed string `json:"-"`
+}
+
+// RunBudget measures the bounded-budget profile at cfg.BudgetRows.
+func RunBudget(cfg Config) (*BudgetProfile, error) {
+	cfg = cfg.Defaults()
+	if cfg.BudgetRows <= 0 {
+		return nil, fmt.Errorf("benchrun: budget profile needs a positive BudgetRows")
+	}
+	prof := &BudgetProfile{BudgetRows: cfg.BudgetRows, Policy: "lru"}
+
+	run := func(mode string, override service.Config) (BudgetRun, error) {
+		serving, stats, err := runServingWith(cfg, override)
+		if err != nil {
+			return BudgetRun{}, fmt.Errorf("benchrun: %s run: %w", mode, err)
+		}
+		evictions := 0
+		for _, sh := range stats.Shards {
+			evictions += sh.Evictions
+		}
+		c := serving.Counters
+		return BudgetRun{
+			Mode:               mode,
+			StreamTuples:       c.StreamTuples,
+			TuplesConsumed:     c.StreamTuples + c.ProbeTuples,
+			ReplayTuples:       c.ReplayTuples,
+			Evictions:          evictions,
+			SpillRowsWritten:   c.SpillRowsWritten,
+			SpillRowsRead:      c.SpillRowsRead,
+			RevivalsFromSpill:  c.RevivalsFromSpill,
+			RevivalsFromSource: c.RevivalsFromSource,
+			ResultDigest:       serving.ResultDigest,
+		}, nil
+	}
+
+	var err error
+	if prof.Unbounded, err = run("unbounded", service.Config{}); err != nil {
+		return nil, err
+	}
+	if prof.Discard, err = run("discard", service.Config{MemoryBudget: cfg.BudgetRows, EvictPolicy: prof.Policy}); err != nil {
+		return nil, err
+	}
+	spillDir, err := os.MkdirTemp("", "qsys-bench-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+	prof.SpillDirUsed = spillDir
+	if prof.Spill, err = run("spill", service.Config{MemoryBudget: cfg.BudgetRows, EvictPolicy: prof.Policy, SpillDir: spillDir}); err != nil {
+		return nil, err
+	}
+
+	prof.SpillDigestMatchesUnbounded = prof.Spill.ResultDigest == prof.Unbounded.ResultDigest
+	prof.DiscardDigestMatchesUnbounded = prof.Discard.ResultDigest == prof.Unbounded.ResultDigest
+	prof.SpillStreamSavings = prof.Discard.StreamTuples - prof.Spill.StreamTuples
+	return prof, nil
+}
+
+// Summary renders the profile for the CLI.
+func (p *BudgetProfile) Summary() string {
+	line := func(r BudgetRun) string {
+		return fmt.Sprintf("  %-9s streamTup=%-7d totalTup=%-7d replayed=%-6d evict=%-4d spillW=%-6d spillR=%-6d revSp=%d revSrc=%d\n",
+			r.Mode, r.StreamTuples, r.TuplesConsumed, r.ReplayTuples, r.Evictions,
+			r.SpillRowsWritten, r.SpillRowsRead, r.RevivalsFromSpill, r.RevivalsFromSource)
+	}
+	s := fmt.Sprintf("budget profile (%d rows, %s):\n", p.BudgetRows, p.Policy)
+	s += line(p.Unbounded) + line(p.Discard) + line(p.Spill)
+	s += fmt.Sprintf("  spill digest == unbounded: %v; stream tuples saved vs discard: %d\n",
+		p.SpillDigestMatchesUnbounded, p.SpillStreamSavings)
+	return s
+}

@@ -1,6 +1,46 @@
 package benchrun
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
+
+// TestBudgetProfileSpillGate is the PR's acceptance gate for the §6.3 spill
+// tier on the seeded serving workload: at a bounded budget, the spill run
+// must produce byte-identical result digests to the unbounded run while
+// reading measurably fewer source-stream tuples than discard eviction at the
+// same budget — and it must leak no segment files.
+func TestBudgetProfileSpillGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-budget profile is a multi-run workload")
+	}
+	cfg := Config{Rounds: 2, BudgetRows: 1200}
+	p, err := RunBudget(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Discard.Evictions == 0 || p.Spill.Evictions == 0 {
+		t.Fatalf("budget %d evicted nothing (discard=%d spill=%d); gate is vacuous",
+			p.BudgetRows, p.Discard.Evictions, p.Spill.Evictions)
+	}
+	if !p.SpillDigestMatchesUnbounded {
+		t.Fatalf("spill digest %s != unbounded digest %s", p.Spill.ResultDigest, p.Unbounded.ResultDigest)
+	}
+	if p.Spill.StreamTuples >= p.Discard.StreamTuples {
+		t.Fatalf("spill read %d stream tuples, discard %d — no savings",
+			p.Spill.StreamTuples, p.Discard.StreamTuples)
+	}
+	if p.Spill.SpillRowsWritten == 0 || p.Spill.RevivalsFromSpill == 0 {
+		t.Fatalf("spill lifecycle never exercised: %+v", p.Spill)
+	}
+	// The profile's temp spill dir is removed before RunBudget returns.
+	if p.SpillDirUsed == "" {
+		t.Fatal("profile did not record its spill dir")
+	}
+	if _, err := os.Stat(p.SpillDirUsed); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s leaked: %v", p.SpillDirUsed, err)
+	}
+}
 
 // BenchmarkServingWorkload runs the trajectory serving workload once per
 // iteration; it exists so the fixed workload can be profiled with the

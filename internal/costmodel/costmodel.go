@@ -162,6 +162,21 @@ func allIdx(n int) []int {
 	return idx
 }
 
+// StreamRebuildCost estimates what re-deriving an evicted stream source's
+// retained prefix would cost: every already-delivered tuple must be
+// re-streamed from the remote source (§6.3 — the loss a discard eviction
+// realizes and a spill eviction avoids).
+func (m *Model) StreamRebuildCost(tuples int) float64 {
+	return float64(tuples) * m.Params.StreamCost
+}
+
+// JoinRebuildCost estimates re-deriving an evicted m-join's retained state:
+// its module and log rows are recomputed by in-memory join work from the
+// surviving upstream logs.
+func (m *Model) JoinRebuildCost(rows int) float64 {
+	return float64(rows) * m.Params.JoinCost
+}
+
 // AssignmentCost prices a complete, valid input assignment for query set qs
 // with per-query result target k.
 //

@@ -26,6 +26,15 @@ type Counters struct {
 	joinProbes     int64
 	resultsEmitted int64
 	replayTuples   int64
+
+	spillSegsOut  int64
+	spillRowsOut  int64
+	spillBytesOut int64
+	spillSegsIn   int64
+	spillRowsIn   int64
+	spillBytesIn  int64
+	revivalSpill  int64
+	revivalSource int64
 }
 
 // AddStreamRead records one streaming-source read of duration d.
@@ -61,6 +70,31 @@ func (c *Counters) AddResult() { atomic.AddInt64(&c.resultsEmitted, 1) }
 // Figure 10 measures.
 func (c *Counters) AddReplayTuple() { atomic.AddInt64(&c.replayTuples, 1) }
 
+// AddSpillWrite records one evicted plan segment serialized to the disk
+// tier (§6.3 spill): rows and bytes written.
+func (c *Counters) AddSpillWrite(rows, bytes int64) {
+	atomic.AddInt64(&c.spillSegsOut, 1)
+	atomic.AddInt64(&c.spillRowsOut, rows)
+	atomic.AddInt64(&c.spillBytesOut, bytes)
+}
+
+// AddSpillRead records one spilled segment read back during revival. Spill
+// reads are local I/O, not source work: they count toward neither
+// TuplesConsumed nor ReplayTuples.
+func (c *Counters) AddSpillRead(rows, bytes int64) {
+	atomic.AddInt64(&c.spillSegsIn, 1)
+	atomic.AddInt64(&c.spillRowsIn, rows)
+	atomic.AddInt64(&c.spillBytesIn, bytes)
+}
+
+// AddRevivalFromSpill counts a re-created node whose state came back from
+// the disk tier.
+func (c *Counters) AddRevivalFromSpill() { atomic.AddInt64(&c.revivalSpill, 1) }
+
+// AddRevivalFromSource counts a re-created node that had been evicted with
+// no spill segment, so its state is re-derived by fresh source reads.
+func (c *Counters) AddRevivalFromSource() { atomic.AddInt64(&c.revivalSource, 1) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	StreamTime time.Duration
@@ -75,6 +109,15 @@ type Snapshot struct {
 	JoinProbes     int64
 	ResultsEmitted int64
 	ReplayTuples   int64
+
+	SpillSegsWritten   int64
+	SpillRowsWritten   int64
+	SpillBytesWritten  int64
+	SpillSegsRead      int64
+	SpillRowsRead      int64
+	SpillBytesRead     int64
+	RevivalsFromSpill  int64
+	RevivalsFromSource int64
 }
 
 // Snapshot returns the current counter values.
@@ -91,6 +134,15 @@ func (c *Counters) Snapshot() Snapshot {
 		JoinProbes:     atomic.LoadInt64(&c.joinProbes),
 		ResultsEmitted: atomic.LoadInt64(&c.resultsEmitted),
 		ReplayTuples:   atomic.LoadInt64(&c.replayTuples),
+
+		SpillSegsWritten:   atomic.LoadInt64(&c.spillSegsOut),
+		SpillRowsWritten:   atomic.LoadInt64(&c.spillRowsOut),
+		SpillBytesWritten:  atomic.LoadInt64(&c.spillBytesOut),
+		SpillSegsRead:      atomic.LoadInt64(&c.spillSegsIn),
+		SpillRowsRead:      atomic.LoadInt64(&c.spillRowsIn),
+		SpillBytesRead:     atomic.LoadInt64(&c.spillBytesIn),
+		RevivalsFromSpill:  atomic.LoadInt64(&c.revivalSpill),
+		RevivalsFromSource: atomic.LoadInt64(&c.revivalSource),
 	}
 }
 
@@ -115,5 +167,14 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		JoinProbes:     s.JoinProbes + o.JoinProbes,
 		ResultsEmitted: s.ResultsEmitted + o.ResultsEmitted,
 		ReplayTuples:   s.ReplayTuples + o.ReplayTuples,
+
+		SpillSegsWritten:   s.SpillSegsWritten + o.SpillSegsWritten,
+		SpillRowsWritten:   s.SpillRowsWritten + o.SpillRowsWritten,
+		SpillBytesWritten:  s.SpillBytesWritten + o.SpillBytesWritten,
+		SpillSegsRead:      s.SpillSegsRead + o.SpillSegsRead,
+		SpillRowsRead:      s.SpillRowsRead + o.SpillRowsRead,
+		SpillBytesRead:     s.SpillBytesRead + o.SpillBytesRead,
+		RevivalsFromSpill:  s.RevivalsFromSpill + o.RevivalsFromSpill,
+		RevivalsFromSource: s.RevivalsFromSource + o.RevivalsFromSource,
 	}
 }

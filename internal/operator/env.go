@@ -42,3 +42,12 @@ func (e *Env) ChargeJoin() {
 	e.Clock.Advance(d)
 	e.Metrics.AddJoin(d)
 }
+
+// ChargeSpillRead advances the clock by the local-I/O cost of reading rows
+// back from a spilled plan segment (§6.3 disk tier) and records the read.
+// Spilled rows are charged as cheap local work, not as remote source reads —
+// that difference is the entire point of spilling over discarding.
+func (e *Env) ChargeSpillRead(rows int, bytes int64) {
+	e.Clock.Advance(e.Delays.SpillRead(rows))
+	e.Metrics.AddSpillRead(int64(rows), bytes)
+}

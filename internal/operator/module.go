@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/state"
 	"repro/internal/tuple"
 )
 
@@ -15,6 +16,10 @@ import (
 type identSet struct {
 	buckets map[uint64][]string
 	n       int
+	// acct, when set, receives +1 per newly added identity — entries reach
+	// log identity sets both through Append and directly from recovery
+	// (RecoverHistory dedups via the set), so accounting lives here.
+	acct *state.Account
 }
 
 func newIdentSet(capacity int) *identSet {
@@ -50,6 +55,7 @@ func (s *identSet) Add(r *tuple.Row) bool {
 	}
 	s.buckets[h] = append(b, r.Identity())
 	s.n++
+	s.acct.Add(1)
 	return true
 }
 
@@ -79,6 +85,20 @@ type Log struct {
 	// by Append so repeated recovery passes stop rebuilding it from scratch.
 	// It is resident state and is counted by IdentCount / cleared by Reset.
 	idents *identSet
+
+	// acct, when set, receives every size delta (rows + identity entries) so
+	// the state subsystem's ledger tracks resident state without rescans.
+	acct *state.Account
+}
+
+// SetAccount wires the log (and its identity set) to a ledger account,
+// crediting any rows it already holds.
+func (l *Log) SetAccount(a *state.Account) {
+	l.acct = a
+	if l.idents != nil {
+		l.idents.acct = a
+	}
+	a.Add(len(l.rows) + l.idents.Len())
 }
 
 // Append records a delivered row.
@@ -90,8 +110,9 @@ func (l *Log) Append(r *tuple.Row, epoch int) {
 	}
 	l.rows = append(l.rows, r)
 	l.epochs = append(l.epochs, epoch)
+	l.acct.Add(1)
 	if l.idents != nil {
-		l.idents.Add(r)
+		l.idents.Add(r) // accounts its own delta
 	}
 }
 
@@ -168,6 +189,7 @@ func (l *Log) Identities() map[string]bool {
 func (l *Log) IdentitySet() *identSet {
 	if l.idents == nil {
 		l.idents = newIdentSet(len(l.rows))
+		l.idents.acct = l.acct
 		for _, r := range l.rows {
 			l.idents.Add(r)
 		}
@@ -181,10 +203,15 @@ func (l *Log) IdentCount() int { return l.idents.Len() }
 
 // Reset discards the log and its identity set (eviction, §6.3).
 func (l *Log) Reset() {
+	l.acct.Add(-(len(l.rows) + l.idents.Len()))
 	l.rows, l.epochs = nil, nil
 	l.idents = nil
 	l.epochsSorted = false
 }
+
+// Export returns the log's rows and epochs in arrival order (spill
+// serialization; the caller must not mutate the slices).
+func (l *Log) Export() ([]*tuple.Row, []int) { return l.rows, l.epochs }
 
 // partialRow is a row translated into a join node's atom space: parts is
 // indexed by the node expression's atom positions, nil outside the
@@ -205,6 +232,15 @@ type AccessModule struct {
 	indexes map[int]map[tuple.IndexKey][]int32
 	// coverage lists the node atom positions this input covers.
 	coverage []int
+	// acct, when set, receives per-row size deltas for the state ledger.
+	acct *state.Account
+}
+
+// SetAccount wires the module to a ledger account, crediting any rows it
+// already holds.
+func (m *AccessModule) SetAccount(a *state.Account) {
+	m.acct = a
+	a.Add(len(m.rows))
 }
 
 // NewAccessModule creates a module covering the given node atom positions.
@@ -223,6 +259,7 @@ func (m *AccessModule) Len() int { return len(m.rows) }
 func (m *AccessModule) Insert(parts []*tuple.Tuple, epoch int) {
 	pos := int32(len(m.rows))
 	m.rows = append(m.rows, partialRow{parts: parts, epoch: epoch})
+	m.acct.Add(1)
 	for ik, idx := range m.indexes {
 		atom, col := ik>>16, ik&0xffff
 		if t := parts[atom]; t != nil {
@@ -277,6 +314,18 @@ func (m *AccessModule) EachBefore(maxEpoch int, fn func(partialRow)) {
 			fn(pr)
 		}
 	}
+}
+
+// Export returns the module's rows (node-space part vectors) and epochs in
+// insertion order (spill serialization; the caller must not mutate).
+func (m *AccessModule) Export() ([][]*tuple.Tuple, []int) {
+	parts := make([][]*tuple.Tuple, len(m.rows))
+	epochs := make([]int, len(m.rows))
+	for i, pr := range m.rows {
+		parts[i] = pr.parts
+		epochs[i] = pr.epoch
+	}
+	return parts, epochs
 }
 
 // Scan returns stored rows with epoch < maxEpoch in insertion order.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/plangraph"
 	"repro/internal/source"
+	"repro/internal/state"
 	"repro/internal/tuple"
 )
 
@@ -60,6 +61,11 @@ type NodeExec struct {
 	// raResolve maps a probe-source node to its opened RandomAccess; the ATC
 	// installs it so operator need not import the executor.
 	raResolve func(*plangraph.Node) *source.RandomAccess
+
+	// acct is the node's ledger account (§6.3 incremental accounting): the
+	// log and every module report their size deltas into it, so the state
+	// manager's budget check never rescans the graph.
+	acct *state.Account
 }
 
 type consumerBinding struct {
@@ -151,9 +157,40 @@ func (x *NodeExec) SyncInputs() {
 	}
 	for len(x.modules) < len(x.Node.Inputs) {
 		e := x.Node.Inputs[len(x.modules)]
-		x.modules = append(x.modules, NewAccessModule(e.AtomMap))
+		m := NewAccessModule(e.AtomMap)
+		m.SetAccount(x.acct)
+		x.modules = append(x.modules, m)
 	}
 	x.rebuildInputState()
+}
+
+// SetAccount wires the node's log and modules to a ledger account (set once
+// by the ATC when the exec is created).
+func (x *NodeExec) SetAccount(a *state.Account) {
+	x.acct = a
+	x.Log.SetAccount(a)
+	for _, m := range x.modules {
+		m.SetAccount(a)
+	}
+}
+
+// Account returns the node's ledger account (nil outside an engine).
+func (x *NodeExec) Account() *state.Account { return x.acct }
+
+// ImportLog reinstalls spilled log rows with their original epochs (§6.3
+// revival from the disk tier). The log must be empty.
+func (x *NodeExec) ImportLog(rows []*tuple.Row, epochs []int) {
+	for i, r := range rows {
+		x.Log.Append(r, epochs[i])
+	}
+}
+
+// ImportModuleRows reinstalls spilled module rows — already in node atom
+// space — into input j's module with their original epochs.
+func (x *NodeExec) ImportModuleRows(j int, parts [][]*tuple.Tuple, epochs []int) {
+	for i, ps := range parts {
+		x.modules[j].Insert(ps, epochs[i])
+	}
 }
 
 // AddConsumer wires a downstream join node.

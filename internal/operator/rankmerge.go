@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cq"
+	"repro/internal/state"
 	"repro/internal/tuple"
 )
 
@@ -78,6 +79,9 @@ type CQEntry struct {
 	// released when the CQ is unlinked, §6.3, and counted by SeenLen).
 	seen *identSet
 	dups int
+	// acct, when set, tracks buffered candidates plus seen-set entries in
+	// the state ledger (endpoint state the row counts never see, §6.3).
+	acct *state.Account
 
 	// Threshold memoisation: thresholds change only when a group's stream
 	// frontier moves, so the last frontier vector is snapshotted.
@@ -156,11 +160,23 @@ func (e *CQEntry) Duplicates() int { return e.dups }
 // the seen set is resident state invisible to the row counts).
 func (e *CQEntry) SeenLen() int { return e.seen.Len() }
 
+// SetAccount wires the entry to a ledger account, crediting current state.
+func (e *CQEntry) SetAccount(a *state.Account) {
+	e.acct = a
+	a.Add(len(e.buffer) + e.seen.Len())
+}
+
+// Account returns the entry's ledger account (nil outside an engine).
+func (e *CQEntry) Account() *state.Account { return e.acct }
+
 // DropSeen releases the duplicate-elimination set. The ATC calls it when the
 // CQ is unlinked (§6.3): a detached sink receives no further offers, so the
 // set — which otherwise grows with every distinct result ever offered — can
 // be reclaimed while buffered candidates stay eligible for emission.
-func (e *CQEntry) DropSeen() { e.seen = nil }
+func (e *CQEntry) DropSeen() {
+	e.acct.Add(-e.seen.Len())
+	e.seen = nil
+}
 
 // offer inserts a candidate result.
 func (e *CQEntry) offer(row *tuple.Row, score float64) {
@@ -171,6 +187,7 @@ func (e *CQEntry) offer(row *tuple.Row, score float64) {
 		e.dups++
 		return
 	}
+	e.acct.Add(2) // one seen entry, one buffered candidate
 	heap.Push(&e.buffer, candidate{row: row, score: score, id: row.Identity()})
 }
 
@@ -201,6 +218,7 @@ func (s *EndpointSink) Offer(env *Env, r *tuple.Row) {
 		e.dups++
 		return
 	}
+	e.acct.Add(2) // one seen entry, one buffered candidate
 	parts := make([]*tuple.Tuple, len(s.AtomMap))
 	for ni, ci := range s.AtomMap {
 		parts[ci] = r.Part(ni)
@@ -395,6 +413,7 @@ func (rm *RankMerge) Advance(env *Env) Step {
 
 func (rm *RankMerge) emit(env *Env, e *CQEntry) *Result {
 	c := heap.Pop(&e.buffer).(candidate)
+	e.acct.Add(-1)
 	res := Result{UQID: rm.UQ.ID, CQID: e.CQ.ID, Score: c.score, Row: c.row, At: env.Clock.Now()}
 	rm.emitted = append(rm.emitted, res)
 	env.Metrics.AddResult()

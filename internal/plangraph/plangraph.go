@@ -199,6 +199,14 @@ func (g *Graph) HasEndpointOn(n *Node) bool {
 	return false
 }
 
+// Evictable reports whether the node is structurally eligible for eviction
+// (§6.3): nothing consumes its output and no active endpoint terminates at
+// it. Runtime liveness (attached sinks, execution bindings) is the state
+// manager's side of the check.
+func (g *Graph) Evictable(n *Node) bool {
+	return len(n.Consumers) == 0 && !g.HasEndpointOn(n)
+}
+
 // Detach removes the node's input edges from its parents and deletes the
 // node (eviction path, §6.3). The node must have no consumers.
 func (g *Graph) Detach(n *Node) {

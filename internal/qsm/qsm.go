@@ -13,6 +13,8 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/tuple"
+
 	"repro/internal/atc"
 	"repro/internal/batcher"
 	"repro/internal/catalog"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/mqo"
 	"repro/internal/operator"
 	"repro/internal/plangraph"
+	"repro/internal/state"
 )
 
 // ShareMode selects how much sharing the optimizer may exploit — the four
@@ -82,26 +85,77 @@ type Manager struct {
 	Mode  ShareMode
 	// Unit selects joint versus per-user-query optimization under ShareAll.
 	Unit OptimizeUnit
-	// MemoryBudget bounds resident state in rows (0 = unbounded). §6.3.
+	// MemoryBudget bounds resident state in rows (0 = unbounded). §6.3. The
+	// serving layer overrides it per enforcement through State.SetBudgetFn
+	// (cross-shard arbitration of one global budget).
 	MemoryBudget int
 	// ChargeOptimizer adds measured optimization wall time to the virtual
 	// clock (the paper's response times include optimization, §7.4). Off by
 	// default so tests stay bit-deterministic.
 	ChargeOptimizer bool
 
+	// State is the execution-state subsystem: the accounting ledger every
+	// retained structure reports into, the eviction policy, and the optional
+	// spill tier.
+	State *state.Manager
+
 	lastUse map[*plangraph.Node]int // node -> last epoch referenced
-	// inputNodes remembers, per CQ id, its streaming-input bindings for
-	// threshold groups.
-	evictions int
 }
 
-// New creates a manager.
+// New creates a manager, wiring a fresh execution-state subsystem (ledger +
+// LRU policy, no spill) into the controller.
 func New(g *plangraph.Graph, a *atc.ATC, cat *catalog.Catalog, cm *costmodel.Model, mode ShareMode) *Manager {
-	return &Manager{Graph: g, ATC: a, Cat: cat, CM: cm, Mode: mode, lastUse: map[*plangraph.Node]int{}}
+	m := &Manager{Graph: g, ATC: a, Cat: cat, CM: cm, Mode: mode,
+		State:   state.NewManager(),
+		lastUse: map[*plangraph.Node]int{},
+	}
+	a.BindState(m.State.Ledger, nil)
+	// A spilled stream keeps its buffered-prefix accounting (evict); if the
+	// segment later proves unrestorable the prefix is gone for real.
+	a.SpillLost = cat.ForgetStreamed
+	return m
+}
+
+// EnableSpill turns discard eviction into spill eviction: evicted plan
+// segments serialize to per-shard disk segments under dir and revival reads
+// them back (§6.3 disk tier). The resolver maps spilled base-tuple
+// references back to canonical tuples; DefaultResolver builds one from the
+// manager's catalog and the controller's database fleet.
+func (m *Manager) EnableSpill(dir string, resolve state.TupleResolver) error {
+	sp, err := state.NewSpill(dir, resolve)
+	if err != nil {
+		return err
+	}
+	m.State.AttachSpill(sp)
+	m.ATC.BindState(m.State.Ledger, sp)
+	return nil
+}
+
+// DefaultResolver resolves spilled tuple references through the catalog (to
+// find the owning database) and the fleet's relation stores.
+func (m *Manager) DefaultResolver() state.TupleResolver {
+	return func(rel string, seq int64) (*tuple.Tuple, error) {
+		st, err := m.Cat.Relation(rel)
+		if err != nil {
+			return nil, err
+		}
+		db, err := m.ATC.Fleet.DB(st.DB)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Store().Relation(rel)
+		if err != nil {
+			return nil, err
+		}
+		if seq < 0 || int(seq) >= r.Cardinality() {
+			return nil, fmt.Errorf("qsm: spilled ref %s[%d] out of range", rel, seq)
+		}
+		return r.Row(int(seq)), nil
+	}
 }
 
 // Evictions returns how many state objects were evicted (§6.3).
-func (m *Manager) Evictions() int { return m.evictions }
+func (m *Manager) Evictions() int { return m.State.Evictions() }
 
 // AdmitReport summarises one admission.
 type AdmitReport struct {
@@ -204,6 +258,7 @@ func (m *Manager) Admit(subs []batcher.Submission, cfg mqo.Config) (*AdmitReport
 				maxima[i] = m.Cat.MaxScoreOf(a.Rel)
 			}
 			entry := operator.NewCQEntry(q, q.Model.MaxScore(maxima), maxima)
+			entry.SetAccount(m.State.Ledger.NewAccount("sink::" + q.ID))
 			for _, in := range inputsByCQ[q.ID] {
 				m.touch(in.node, epoch)
 				if in.mode != costmodel.Stream {
@@ -300,11 +355,18 @@ func (m *Manager) SyncCatalog() {
 	}
 }
 
-// StateSize reports total resident state in rows: node logs and modules
+// StateSize reports total resident state in rows — node logs and modules
 // (plus any materialised log identity sets) and the attached rank-merge
-// endpoints' candidate buffers and duplicate sets, which are state the §6.3
-// accounting would otherwise never see.
-func (m *Manager) StateSize() int {
+// endpoints' candidate buffers and duplicate sets — from the subsystem's
+// running ledger, in O(1). AuditStateSize recomputes the same number the
+// pre-subsystem way.
+func (m *Manager) StateSize() int { return int(m.State.Ledger.Total()) }
+
+// AuditStateSize recomputes resident state by rescanning the graph and the
+// attached endpoints — the O(graph) accounting the ledger replaced. It must
+// always equal StateSize (pinned by tests; the serving layer exposes both so
+// a drift would be visible in production stats).
+func (m *Manager) AuditStateSize() int {
 	total := m.ATC.SinkStateRows()
 	for _, n := range m.Graph.Nodes() {
 		if x, ok := m.ATC.HasExec(n); ok {
@@ -314,54 +376,76 @@ func (m *Manager) StateSize() int {
 	return total
 }
 
-// EnforceBudget evicts least-recently-used, currently idle state until the
-// graph fits the memory budget (§6.3: LRU with size as tie-breaker).
+// EnforceBudget evicts currently idle state under the active policy until
+// resident state fits the budget (§6.3). The budget is the arbitrated
+// allotment when the serving layer installed one, else MemoryBudget; 0 means
+// unbounded. Each round costs one pass over the graph to collect candidates
+// with their ledger-tracked sizes — the per-victim O(graph) StateSize
+// rescans of the pre-subsystem loop are gone.
 func (m *Manager) EnforceBudget(epoch int) {
-	if m.MemoryBudget <= 0 {
+	budget := m.State.Budget(m.MemoryBudget)
+	if budget <= 0 {
 		return
 	}
-	for m.StateSize() > m.MemoryBudget {
-		victim := m.pickVictim()
-		if victim == nil {
+	for m.State.Ledger.Total() > int64(budget) {
+		cands, nodes := m.evictionCandidates()
+		pick := m.State.Policy().Pick(cands)
+		if pick < 0 || pick >= len(nodes) {
 			return // everything live or pinned; nothing evictable
 		}
-		m.evict(victim)
+		m.evict(nodes[pick])
 	}
 }
 
-// pickVictim chooses the evictable node with the oldest last use, breaking
-// ties toward larger state.
-func (m *Manager) pickVictim() *plangraph.Node {
-	var best *plangraph.Node
-	bestUse, bestSize := 0, 0
+// evictionCandidates collects the evictable nodes in plan-graph creation
+// order (the deterministic tie-break every policy inherits), with sizes from
+// their ledger accounts and re-derivation costs from the cost model.
+func (m *Manager) evictionCandidates() ([]state.Candidate, []*plangraph.Node) {
+	var cands []state.Candidate
+	var nodes []*plangraph.Node
 	for _, n := range m.Graph.Nodes() {
 		x, ok := m.ATC.HasExec(n)
-		if !ok || x.HasWork() || len(n.Consumers) > 0 {
+		if !ok || x.HasWork() || !m.Graph.Evictable(n) {
 			continue // live, or structurally feeding cached state upstream
 		}
-		if m.Graph.HasEndpointOn(n) {
+		rows := x.Account().Rows()
+		if rows == 0 {
 			continue
 		}
-		size := x.StateSize()
-		if size == 0 {
-			continue
-		}
-		use := m.lastUse[n]
-		if best == nil || use < bestUse || (use == bestUse && size > bestSize) {
-			best, bestUse, bestSize = n, use, size
-		}
+		cands = append(cands, state.Candidate{
+			Key:         n.Key,
+			LastUse:     m.lastUse[n],
+			Rows:        rows,
+			RebuildCost: m.rebuildCost(n, x),
+		})
+		nodes = append(nodes, n)
 	}
-	return best
+	return cands, nodes
 }
 
-// evict removes a node's runtime state and detaches it from the graph; a
-// future query needing the expression re-creates (and re-pays for) it.
+// rebuildCost estimates re-deriving the node's state after a discard: a
+// stream source re-pays one remote read per delivered tuple; an m-join
+// recomputes its rows by in-memory join work from upstream logs.
+func (m *Manager) rebuildCost(n *plangraph.Node, x *operator.NodeExec) float64 {
+	if n.Kind == plangraph.SourceStream && x.Stream != nil {
+		return m.CM.StreamRebuildCost(x.Stream.Pos())
+	}
+	return m.CM.JoinRebuildCost(int(x.Account().Rows()))
+}
+
+// evict spills (when the disk tier is enabled) then removes a node's runtime
+// state and detaches it from the graph. With a spill segment written, the
+// catalog keeps the node's streamed-prefix accounting — the state is still
+// recoverable at local cost, so the optimizer should keep pricing it as
+// buffered; a discard forgets it, and a future query re-creates and re-pays
+// for the expression.
 func (m *Manager) evict(n *plangraph.Node) {
+	spilled := m.ATC.SpillNode(n)
 	m.ATC.DropExec(n)
-	if n.Kind == plangraph.SourceStream {
+	if n.Kind == plangraph.SourceStream && !spilled {
 		m.Cat.ForgetStreamed(n.Expr.Key())
 	}
 	m.Graph.Detach(n)
 	delete(m.lastUse, n)
-	m.evictions++
+	m.State.NoteEviction(m.State.Policy().Name())
 }

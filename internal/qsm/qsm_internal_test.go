@@ -1,0 +1,195 @@
+package qsm
+
+// Internal tests pinning the state subsystem against the pre-subsystem
+// implementation: the ledger's running totals must equal the O(graph)
+// recomputation at every step, and the LRU policy over ledger-sized
+// candidates must pick exactly the victims the old
+// StateSize-rescanning pickVictim chose, in the same order.
+
+import (
+	"testing"
+
+	"repro/internal/atc"
+	"repro/internal/batcher"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/mqo"
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+	"repro/internal/relationdb"
+	"repro/internal/remotedb"
+	"repro/internal/scoring"
+	"repro/internal/simclock"
+	"repro/internal/tuple"
+)
+
+// legacyStateSize is the pre-subsystem accounting: a full rescan of the
+// graph's execs plus the attached endpoints.
+func legacyStateSize(m *Manager) int {
+	total := m.ATC.SinkStateRows()
+	for _, n := range m.Graph.Nodes() {
+		if x, ok := m.ATC.HasExec(n); ok {
+			total += x.StateSize()
+		}
+	}
+	return total
+}
+
+// legacyPickVictim is a verbatim replica of the old eviction choice: walk
+// the graph in creation order, skip live or pinned nodes, recompute each
+// node's StateSize, keep the oldest last use with size as tie-break.
+func legacyPickVictim(m *Manager) *plangraph.Node {
+	var best *plangraph.Node
+	bestUse, bestSize := 0, 0
+	for _, n := range m.Graph.Nodes() {
+		x, ok := m.ATC.HasExec(n)
+		if !ok || x.HasWork() || len(n.Consumers) > 0 {
+			continue
+		}
+		if m.Graph.HasEndpointOn(n) {
+			continue
+		}
+		size := x.StateSize()
+		if size == 0 {
+			continue
+		}
+		use := m.lastUse[n]
+		if best == nil || use < bestUse || (use == bestUse && size > bestSize) {
+			best, bestUse, bestSize = n, use, size
+		}
+	}
+	return best
+}
+
+func internalRig(t *testing.T) (*Manager, *operator.Env) {
+	t.Helper()
+	rng := dist.New(31)
+	store := relationdb.NewStore("db")
+	cat := catalog.New()
+	for _, name := range []string{"A", "B", "C", "D"} {
+		s := tuple.NewSchema(name,
+			tuple.Column{Name: "a", Type: tuple.KindInt},
+			tuple.Column{Name: "b", Type: tuple.KindInt},
+			tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+		)
+		var rows []*tuple.Tuple
+		for i := 0; i < 220; i++ {
+			rows = append(rows, tuple.New(s, tuple.Int(int64(rng.Intn(55))), tuple.Int(int64(rng.Intn(55))), tuple.Float(0.2+0.8*rng.Float64())))
+		}
+		rel := relationdb.NewRelation(s, rows)
+		store.Put(rel)
+		cat.AddRelation("db", rel)
+	}
+	env := &operator.Env{Clock: simclock.NewVirtual(0), Delays: simclock.DefaultDelays(dist.New(5)), Metrics: &metrics.Counters{}}
+	graph := plangraph.New("")
+	ctrl := atc.New(graph, env, remotedb.NewFleet(remotedb.New(store)))
+	mgr := New(graph, ctrl, cat, costmodel.New(cat, costmodel.DefaultParams()), ShareAll)
+	return mgr, env
+}
+
+func internalChainQ(id string, rels ...string) *cq.CQ {
+	atoms := make([]*cq.Atom, len(rels))
+	for i, r := range rels {
+		atoms[i] = &cq.Atom{Rel: r, DB: "db", Args: []cq.Term{cq.V(i), cq.V(i + 1), cq.V(40 + i)}}
+	}
+	w := make([]float64, len(rels))
+	for i := range w {
+		w[i] = 1
+	}
+	return &cq.CQ{ID: id, UQID: "U-" + id, Atoms: atoms, Model: scoring.QSystem(0, w)}
+}
+
+func runInternalUQ(t *testing.T, m *Manager, env *operator.Env, uq *cq.UQ) {
+	t.Helper()
+	if _, err := m.Admit([]batcher.Submission{{At: env.Clock.Now(), UQ: uq}}, mqo.Config{K: uq.K}); err != nil {
+		t.Fatalf("admit %s: %v", uq.ID, err)
+	}
+	for m.ATC.RunRound() {
+	}
+	m.SyncCatalog()
+}
+
+// TestLedgerMatchesLegacyAccounting drives several overlapping queries
+// through the engine and checks, after every lifecycle step, that the
+// running ledger equals the pre-subsystem rescan.
+func TestLedgerMatchesLegacyAccounting(t *testing.T) {
+	m, env := internalRig(t)
+	queries := []*cq.UQ{
+		{ID: "U1", K: 10, CQs: []*cq.CQ{internalChainQ("U1.CQ1", "A", "B")}},
+		{ID: "U2", K: 10, CQs: []*cq.CQ{internalChainQ("U2.CQ1", "B", "C"), internalChainQ("U2.CQ2", "A", "B", "C")}},
+		{ID: "U3", K: 15, CQs: []*cq.CQ{internalChainQ("U3.CQ1", "C", "D")}},
+		{ID: "U4", K: 10, CQs: []*cq.CQ{internalChainQ("U4.CQ1", "A", "B")}},
+	}
+	for _, uq := range queries {
+		runInternalUQ(t, m, env, uq)
+		if got, want := m.StateSize(), legacyStateSize(m); got != want {
+			t.Fatalf("after %s: ledger %d != legacy rescan %d", uq.ID, got, want)
+		}
+		if got, want := m.StateSize(), m.AuditStateSize(); got != want {
+			t.Fatalf("after %s: ledger %d != audit %d", uq.ID, got, want)
+		}
+	}
+	if m.StateSize() == 0 {
+		t.Fatal("no retained state accumulated; test is vacuous")
+	}
+}
+
+// TestEnforceBudgetMatchesLegacy pins victim equivalence: on a seeded graph
+// with retained state, the ledger-driven LRU eviction must pick the same
+// victims in the same order as the old O(nodes²) implementation.
+func TestEnforceBudgetMatchesLegacy(t *testing.T) {
+	m, env := internalRig(t)
+	runInternalUQ(t, m, env, &cq.UQ{ID: "U1", K: 10, CQs: []*cq.CQ{internalChainQ("U1.CQ1", "A", "B")}})
+	runInternalUQ(t, m, env, &cq.UQ{ID: "U2", K: 10, CQs: []*cq.CQ{internalChainQ("U2.CQ1", "B", "C")}})
+	runInternalUQ(t, m, env, &cq.UQ{ID: "U3", K: 10, CQs: []*cq.CQ{internalChainQ("U3.CQ1", "C", "D"), internalChainQ("U3.CQ2", "A", "B", "C")}})
+
+	const budget = 40
+	var evicted []string
+	steps := 0
+	for legacyStateSize(m) > budget {
+		steps++
+		if steps > 1000 {
+			t.Fatal("eviction did not converge")
+		}
+		want := legacyPickVictim(m)
+		cands, nodes := m.evictionCandidates()
+		pick := m.State.Policy().Pick(cands)
+		if want == nil {
+			if pick >= 0 {
+				t.Fatalf("legacy declines but subsystem picks %s", nodes[pick].Key)
+			}
+			break
+		}
+		if pick < 0 {
+			t.Fatalf("subsystem declines but legacy picks %s", want.Key)
+		}
+		got := nodes[pick]
+		if got != want {
+			t.Fatalf("victim %d: subsystem picks %s, legacy picks %s", len(evicted), got.Key, want.Key)
+		}
+		m.evict(got)
+		evicted = append(evicted, got.Key)
+		if ls, ss := legacyStateSize(m), m.StateSize(); ls != ss {
+			t.Fatalf("after evicting %s: ledger %d != legacy %d", got.Key, ss, ls)
+		}
+	}
+	if len(evicted) < 2 {
+		t.Fatalf("only %d evictions exercised (state too small for budget %d)", len(evicted), budget)
+	}
+	// The public entry point arrives at the same end state.
+	m2, env2 := internalRig(t)
+	runInternalUQ(t, m2, env2, &cq.UQ{ID: "U1", K: 10, CQs: []*cq.CQ{internalChainQ("U1.CQ1", "A", "B")}})
+	runInternalUQ(t, m2, env2, &cq.UQ{ID: "U2", K: 10, CQs: []*cq.CQ{internalChainQ("U2.CQ1", "B", "C")}})
+	runInternalUQ(t, m2, env2, &cq.UQ{ID: "U3", K: 10, CQs: []*cq.CQ{internalChainQ("U3.CQ1", "C", "D"), internalChainQ("U3.CQ2", "A", "B", "C")}})
+	m2.MemoryBudget = budget
+	m2.EnforceBudget(99)
+	if m2.Evictions() != len(evicted) {
+		t.Fatalf("EnforceBudget evicted %d, stepwise loop evicted %d", m2.Evictions(), len(evicted))
+	}
+	if got, want := m2.StateSize(), m2.AuditStateSize(); got != want {
+		t.Fatalf("post-enforcement ledger %d != audit %d", got, want)
+	}
+}

@@ -1,0 +1,123 @@
+package qsm_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/operator"
+	"repro/internal/qsm"
+)
+
+// spillSuite is the overlapping query sequence the spill tests drive: U2
+// displaces U1's state under the tiny budget, and U3 re-needs it.
+func spillSuite() []*cq.UQ {
+	return []*cq.UQ{
+		{ID: "U1", K: 10, CQs: []*cq.CQ{chainQ("U1.CQ1", "A", "B")}},
+		{ID: "U2", K: 10, CQs: []*cq.CQ{chainQ("U2.CQ1", "B", "C")}},
+		{ID: "U3", K: 10, CQs: []*cq.CQ{chainQ("U3.CQ1", "A", "B")}},
+		{ID: "U4", K: 10, CQs: []*cq.CQ{chainQ("U4.CQ1", "B", "C")}},
+	}
+}
+
+func runSuite(t *testing.T, r *rig) map[string][]operator.Result {
+	t.Helper()
+	out := map[string][]operator.Result{}
+	for _, uq := range spillSuite() {
+		out[uq.ID] = r.runUQ(t, uq)
+	}
+	return out
+}
+
+// TestSpillRevivalMatchesUnboundedResults is the §6.3 spill semantic gate at
+// engine level: under a tiny budget with the disk tier enabled, every query
+// must produce exactly the unbounded run's answers, while reading fewer
+// source-stream tuples than discard eviction at the same budget (the spilled
+// prefix comes back as local I/O instead of remote re-reads).
+func TestSpillRevivalMatchesUnboundedResults(t *testing.T) {
+	const budget = 60
+
+	unbounded := newRig(t, qsm.ShareAll, 0)
+	wantResults := runSuite(t, unbounded)
+	unboundedStream := unbounded.env.Metrics.Snapshot().StreamTuples
+
+	discard := newRig(t, qsm.ShareAll, budget)
+	runSuite(t, discard)
+	discardStream := discard.env.Metrics.Snapshot().StreamTuples
+	if discard.mgr.Evictions() == 0 {
+		t.Fatalf("budget %d evicted nothing; gate is vacuous", budget)
+	}
+	if discardStream <= unboundedStream {
+		t.Fatalf("discard eviction should re-pay source reads: discard=%d unbounded=%d", discardStream, unboundedStream)
+	}
+
+	spillDir := filepath.Join(t.TempDir(), "spill")
+	spilled := newRig(t, qsm.ShareAll, budget)
+	if err := spilled.mgr.EnableSpill(spillDir, spilled.mgr.DefaultResolver()); err != nil {
+		t.Fatal(err)
+	}
+	gotResults := runSuite(t, spilled)
+	snap := spilled.env.Metrics.Snapshot()
+
+	if spilled.mgr.Evictions() == 0 || snap.SpillSegsWritten == 0 {
+		t.Fatalf("spill run evicted %d, wrote %d segments", spilled.mgr.Evictions(), snap.SpillSegsWritten)
+	}
+	if snap.RevivalsFromSpill == 0 {
+		t.Fatal("no revival was served from spill")
+	}
+	if snap.StreamTuples >= discardStream {
+		t.Fatalf("spill run read %d stream tuples, discard read %d — spill saved nothing", snap.StreamTuples, discardStream)
+	}
+
+	for id, want := range wantResults {
+		got := gotResults[id]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results vs unbounded %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-12 ||
+				got[i].Row.Identity() != want[i].Row.Identity() ||
+				got[i].CQID != want[i].CQID {
+				t.Fatalf("%s rank %d differs from unbounded run", id, i)
+			}
+		}
+	}
+
+	// The ledger survived the whole spill/revive cycle consistent.
+	if got, want := spilled.mgr.StateSize(), spilled.mgr.AuditStateSize(); got != want {
+		t.Fatalf("ledger %d != audit %d after spill cycle", got, want)
+	}
+
+	// Closing the subsystem reclaims every segment file.
+	if err := spilled.mgr.State.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(spillDir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir survived Close: %v", err)
+	}
+}
+
+// TestSpillMatchesUnboundedSourceWork asserts the strongest consequence of
+// spill eviction's design: because the catalog keeps a spilled stream's
+// buffered-prefix accounting and revival restores stream positions, a
+// bounded spill run performs no more source-stream reads than the unbounded
+// run — eviction becomes completely transparent to source-side work.
+func TestSpillMatchesUnboundedSourceWork(t *testing.T) {
+	const budget = 60
+	unbounded := newRig(t, qsm.ShareAll, 0)
+	runSuite(t, unbounded)
+	spilled := newRig(t, qsm.ShareAll, budget)
+	if err := spilled.mgr.EnableSpill(t.TempDir(), spilled.mgr.DefaultResolver()); err != nil {
+		t.Fatal(err)
+	}
+	runSuite(t, spilled)
+	ub, sp := unbounded.env.Metrics.Snapshot(), spilled.env.Metrics.Snapshot()
+	if sp.StreamTuples > ub.StreamTuples {
+		t.Fatalf("spill run read %d stream tuples, unbounded %d", sp.StreamTuples, ub.StreamTuples)
+	}
+	if spilled.mgr.Evictions() == 0 {
+		t.Fatal("spill run evicted nothing; assertion is vacuous")
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/atc"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/plangraph"
 	"repro/internal/qsm"
 	"repro/internal/simclock"
+	"repro/internal/state"
 	"repro/internal/workload"
 )
 
@@ -42,6 +44,7 @@ type shard struct {
 	id  int
 	cfg Config
 	svc *metrics.Service
+	arb *state.Arbiter
 
 	env   *operator.Env
 	graph *plangraph.Graph
@@ -55,7 +58,7 @@ type shard struct {
 	doneCh   chan struct{}
 }
 
-func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service) *shard {
+func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, arb *state.Arbiter) *shard {
 	rng := dist.New(cfg.Seed + uint64(id)*7919 + 1)
 	var clock simclock.Clock
 	if cfg.RealTime {
@@ -69,6 +72,23 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service) *s
 	cat := w.Catalog.Fork()
 	mgr := qsm.New(graph, ctrl, cat, costmodel.New(cat, costmodel.DefaultParams()), qsm.ShareAll)
 	mgr.MemoryBudget = cfg.MemoryBudget
+	policy, err := state.ParsePolicy(cfg.EvictPolicy)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
+	mgr.State.SetPolicy(policy)
+	if arb != nil {
+		// The shard's budget is its arbitrated share of the global budget,
+		// re-apportioned at every enforcement from current demand.
+		ledger := mgr.State.Ledger
+		mgr.State.SetBudgetFn(func() int { return arb.Allot(id, ledger.Total()) })
+	}
+	if cfg.SpillDir != "" {
+		dir := filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%d", id))
+		if err := mgr.EnableSpill(dir, mgr.DefaultResolver()); err != nil {
+			panic("service: " + err.Error())
+		}
+	}
 	if !cfg.JointOptimize {
 		mgr.Unit = qsm.UnitUQ
 	}
@@ -76,6 +96,7 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service) *s
 		id:       id,
 		cfg:      cfg,
 		svc:      svc,
+		arb:      arb,
 		env:      env,
 		graph:    graph,
 		ctrl:     ctrl,
@@ -332,14 +353,27 @@ func (sh *shard) respond(r *request, res *Result, err error) {
 // snapshot reads the engine state; only ever called from the executor
 // goroutine (or after it has exited).
 func (sh *shard) snapshot() ShardStats {
-	return ShardStats{
-		Shard:     sh.id,
-		Work:      sh.env.Metrics.Snapshot(),
-		Graph:     sh.graph.Stats(),
-		StateRows: sh.mgr.StateSize(),
-		Evictions: sh.mgr.Evictions(),
-		Now:       sh.env.Clock.Now(),
+	// The displayed budget is a side-effect-free peek: reading stats must
+	// not re-record demand in the arbiter and shift other shards' shares.
+	budget := sh.cfg.MemoryBudget
+	if sh.arb != nil {
+		budget = sh.arb.Share(sh.id)
 	}
+	ss := ShardStats{
+		Shard:             sh.id,
+		Work:              sh.env.Metrics.Snapshot(),
+		Graph:             sh.graph.Stats(),
+		StateRows:         sh.mgr.StateSize(),
+		StateRowsAudit:    sh.mgr.AuditStateSize(),
+		Budget:            budget,
+		Evictions:         sh.mgr.Evictions(),
+		EvictionsByPolicy: sh.mgr.State.EvictionsByPolicy(),
+		Now:               sh.env.Clock.Now(),
+	}
+	if sp := sh.mgr.State.Spill(); sp != nil {
+		ss.Spill = sp.Stats()
+	}
+	return ss
 }
 
 // stats fetches a snapshot through the executor, or directly once it exited.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/metrics"
 	"repro/internal/plangraph"
+	"repro/internal/state"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -60,9 +61,23 @@ type Config struct {
 	// MaxCQs overrides the workload's cap on candidate networks per search
 	// (0 keeps the workload's own setting; paper workloads use ≤20).
 	MaxCQs int
-	// MemoryBudget bounds retained middleware state per shard, in rows
-	// (0 = unbounded); exceeding it triggers LRU eviction (§6.3).
+	// MemoryBudget bounds retained middleware state in rows across the whole
+	// service (0 = unbounded). The budget is global: a demand-proportional
+	// arbiter apportions it to shards, so a hot shard holds more state than
+	// an idle one instead of every shard owning an equal island. Exceeding a
+	// shard's allotment triggers eviction under EvictPolicy (§6.3).
 	MemoryBudget int
+	// EvictPolicy selects the eviction policy: "lru" (default; the paper's
+	// least-recently-used, largest-first) or "benefit" (evict the state
+	// that is cheapest to re-derive per retained row, priced by the cost
+	// model). New panics on an unknown name — validate user input first.
+	EvictPolicy string
+	// SpillDir, when set, turns discard eviction into spill eviction: each
+	// shard serializes evicted plan segments to SpillDir/shard-<n> and
+	// revival reads them back as local I/O instead of re-paying source
+	// reads (§6.3 disk tier). The per-shard directories are removed on
+	// Close. New panics if the directory cannot be created.
+	SpillDir string
 
 	// BatchSize releases an admission batch as soon as this many queries
 	// collect (§7.1 uses 5). 0 means the default of 5; negative disables the
@@ -155,29 +170,60 @@ type Stats struct {
 	// Work.TuplesConsumed+ReplayTuples is the shared-work fraction: rows that
 	// were served from retained state instead of being re-fetched.
 	Work metrics.Snapshot
+	// Shared splits every row the engines processed by where it came from:
+	// retained memory state, the spill tier on disk, or a fresh source read.
+	Shared SharedSplit
 	// Shards holds per-engine detail.
 	Shards []ShardStats
 }
 
 // ShardStats describes one shard's engine.
 type ShardStats struct {
-	Shard     int
-	Work      metrics.Snapshot
-	Graph     plangraph.Stats
-	StateRows int
+	Shard int
+	Work  metrics.Snapshot
+	Graph plangraph.Stats
+	// StateRows is the shard's resident state from the running ledger;
+	// StateRowsAudit recomputes it by rescanning the graph. The two must
+	// agree — a drift means accounting corruption.
+	StateRows      int
+	StateRowsAudit int
+	// Budget is the shard's current arbitrated allotment (0 = unbounded).
+	Budget    int
 	Evictions int
+	// EvictionsByPolicy splits evictions by the policy that chose them.
+	EvictionsByPolicy map[string]int
+	// Spill reports the shard's disk-tier traffic (zero when disabled).
+	Spill state.SpillStats
 	// Now is the shard's engine-clock time.
 	Now time.Duration
 }
 
+// SharedSplit classifies processed rows by provenance: replayed from
+// retained memory state, restored from spilled segments on disk, or fetched
+// fresh from the remote sources. Fractions sum to 1 when any row flowed.
+type SharedSplit struct {
+	MemoryHit float64 `json:"memory_hit"`
+	DiskHit   float64 `json:"disk_hit"`
+	FreshRead float64 `json:"fresh_read"`
+}
+
 // SharedFraction is the portion of all rows the engines processed that came
-// from retained state rather than fresh source work.
+// from retained state (memory or disk) rather than fresh source work.
 func (st Stats) SharedFraction() float64 {
-	total := st.Work.TuplesConsumed() + st.Work.ReplayTuples
+	sp := st.SharedSplit()
+	return sp.MemoryHit + sp.DiskHit
+}
+
+// SharedSplit computes the provenance split from the work counters.
+func (st Stats) SharedSplit() SharedSplit {
+	mem := float64(st.Work.ReplayTuples)
+	disk := float64(st.Work.SpillRowsRead)
+	fresh := float64(st.Work.TuplesConsumed())
+	total := mem + disk + fresh
 	if total == 0 {
-		return 0
+		return SharedSplit{}
 	}
-	return float64(st.Work.ReplayTuples) / float64(total)
+	return SharedSplit{MemoryHit: mem / total, DiskHit: disk / total, FreshRead: fresh / total}
 }
 
 // Service is a concurrent keyword-search service over a workload's database
@@ -213,8 +259,14 @@ func New(w *workload.Workload, cfg Config) *Service {
 		genCfg: genCfg,
 		users:  map[string]*dist.RNG{},
 	}
+	// One global budget, arbitrated across shards by demand (§6.3 at serving
+	// scale). A nil arbiter means unbounded everywhere.
+	var arb *state.Arbiter
+	if cfg.MemoryBudget > 0 {
+		arb = state.NewArbiter(cfg.MemoryBudget, cfg.Shards)
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, w, cfg, s.svc))
+		s.shards = append(s.shards, newShard(i, w, cfg, s.svc, arb))
 	}
 	return s
 }
@@ -316,6 +368,7 @@ func (s *Service) Stats() Stats {
 		st.Shards = append(st.Shards, ss)
 		st.Work = st.Work.Add(ss.Work)
 	}
+	st.Shared = st.SharedSplit()
 	return st
 }
 
@@ -334,5 +387,8 @@ func (s *Service) Close() {
 	}
 	for _, sh := range s.shards {
 		<-sh.doneCh
+		// The executor has exited; reclaim the shard's spill segments so no
+		// run leaves disk state behind.
+		sh.mgr.State.Close() //nolint:errcheck
 	}
 }

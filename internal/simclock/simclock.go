@@ -104,6 +104,10 @@ type DelayModel struct {
 	// JoinCost is the fixed CPU cost charged per in-memory hash probe or
 	// insert; it is deterministic (local work has no network variance).
 	JoinCost time.Duration
+	// SpillRowCost is the fixed local-I/O cost charged per row read back
+	// from a spilled plan segment (§6.3's disk tier): sequential local disk,
+	// so deterministic and orders of magnitude below a remote stream read.
+	SpillRowCost time.Duration
 }
 
 // DefaultDelays mirrors §7: Poisson(mean 2 ms) per stream read and per remote
@@ -116,10 +120,11 @@ type DelayModel struct {
 // many queries share one ATC (§6.1, §7.1).
 func DefaultDelays(rng *dist.RNG) *DelayModel {
 	return &DelayModel{
-		rng:        rng,
-		StreamMean: 2 * time.Millisecond,
-		ProbeMean:  2 * time.Millisecond,
-		JoinCost:   20 * time.Microsecond,
+		rng:          rng,
+		StreamMean:   2 * time.Millisecond,
+		ProbeMean:    2 * time.Millisecond,
+		JoinCost:     20 * time.Microsecond,
+		SpillRowCost: 1 * time.Microsecond,
 	}
 }
 
@@ -142,3 +147,10 @@ func (m *DelayModel) RemoteProbe() time.Duration { return m.poisson(m.ProbeMean)
 
 // Join returns the CPU cost of one in-memory join operation.
 func (m *DelayModel) Join() time.Duration { return m.JoinCost }
+
+// SpillRead returns the local-I/O cost of reading n rows back from a
+// spilled segment. It draws nothing from the RNG, so enabling the spill
+// tier perturbs no other delay sequence.
+func (m *DelayModel) SpillRead(n int) time.Duration {
+	return time.Duration(n) * m.SpillRowCost
+}

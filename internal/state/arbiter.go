@@ -1,0 +1,80 @@
+package state
+
+import "sync"
+
+// Arbiter apportions one global state budget (in rows) across an engine's
+// shards by demand. Each shard periodically reports its resident state and
+// receives its current allotment: a demand-proportional share of the global
+// budget, so a hot shard working a popular topic can hold more state than an
+// idle one instead of every shard owning an equal island.
+//
+// Allot is called from shard executor goroutines concurrently; the arbiter
+// is the only piece of the state subsystem shared across goroutines.
+type Arbiter struct {
+	mu     sync.Mutex
+	budget int64
+	demand []int64
+}
+
+// NewArbiter creates an arbiter for a global budget over n shards. A budget
+// of 0 disables enforcement (every shard's allotment is 0 = unbounded).
+func NewArbiter(budget int, shards int) *Arbiter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Arbiter{budget: int64(budget), demand: make([]int64, shards)}
+}
+
+// Budget returns the global budget.
+func (a *Arbiter) Budget() int { return int(a.budget) }
+
+// Allot records the shard's current demand (its resident state in rows) and
+// returns the shard's allotment. Shares are proportional to demand+1 — the
+// +1 keeps idle shards from starving to exactly zero and makes a lone active
+// shard's share converge to the full budget.
+func (a *Arbiter) Allot(shard int, demand int64) int {
+	if a == nil || a.budget <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= len(a.demand) {
+		return int(a.budget) / len(a.demand)
+	}
+	if demand < 0 {
+		demand = 0
+	}
+	a.demand[shard] = demand
+	var sum int64
+	for _, d := range a.demand {
+		sum += d + 1
+	}
+	share := a.budget * (demand + 1) / sum
+	if share < 1 {
+		share = 1
+	}
+	return int(share)
+}
+
+// Share returns the shard's allotment from the demands already on record,
+// without updating anything — the side-effect-free read the stats path
+// uses, so observing a service never shifts its eviction behavior.
+func (a *Arbiter) Share(shard int) int {
+	if a == nil || a.budget <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= len(a.demand) {
+		return int(a.budget) / len(a.demand)
+	}
+	var sum int64
+	for _, d := range a.demand {
+		sum += d + 1
+	}
+	share := a.budget * (a.demand[shard] + 1) / sum
+	if share < 1 {
+		share = 1
+	}
+	return int(share)
+}

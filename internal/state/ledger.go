@@ -1,0 +1,109 @@
+// Package state is the execution-state subsystem of §6: the one place that
+// knows how much retained operator state exists, which of it to give up under
+// memory pressure, and how to keep evicted state recoverable at local-I/O
+// cost instead of re-paying remote source reads.
+//
+// It has four parts, each usable on its own:
+//
+//   - the accounting Ledger: every retained structure (access modules, node
+//     logs, rank-merge seen-sets, endpoint buffers) holds an Account and
+//     registers size deltas as rows arrive, so the total resident state is a
+//     running sum instead of an O(graph) rescan (§6.3 accounting);
+//   - pluggable eviction Policies: the paper's LRU-largest-first plus a
+//     benefit-aware policy scoring victims by estimated re-derivation cost
+//     per retained row;
+//   - the Spill tier: parked plan segments serialize their epoch-stamped log
+//     and module rows to per-shard disk segments on eviction, and revival
+//     (§6.2, Algorithm 2) reads them back as cheap local I/O, falling back
+//     to source replay only when no segment exists;
+//   - the cross-shard budget Arbiter: one global row budget apportioned to
+//     shards in proportion to their demand instead of per-shard islands.
+//
+// The package is deliberately free of engine imports (operator, atc, qsm):
+// the engine registers deltas and extracts/reinstalls rows; state owns the
+// bookkeeping, the victim choice and the bytes on disk.
+package state
+
+// Ledger is the incremental accounting of all retained execution state of
+// one engine (one plan graph), in rows. It replaces the per-victim
+// StateSize() rescan of the pre-subsystem eviction loop: structures call
+// Account.Add as rows arrive and leave, and Total is a running sum.
+//
+// A Ledger is confined to its engine's executor goroutine, like the rest of
+// the engine state; cross-goroutine readers must snapshot through that
+// goroutine (the serving layer already does this for all engine stats).
+type Ledger struct {
+	total    int64
+	accounts int
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Total returns the resident state across all live accounts, in rows.
+func (l *Ledger) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Accounts returns how many live accounts the ledger tracks.
+func (l *Ledger) Accounts() int {
+	if l == nil {
+		return 0
+	}
+	return l.accounts
+}
+
+// NewAccount opens an account for one retained structure (a node exec, an
+// endpoint entry). The label is diagnostic only.
+func (l *Ledger) NewAccount(label string) *Account {
+	if l == nil {
+		return nil
+	}
+	l.accounts++
+	return &Account{ledger: l, label: label}
+}
+
+// Release closes an account: its rows leave the total and all further Adds
+// on it are ignored. Releasing nil or an already-released account is a
+// no-op, so eviction racing cancellation cannot double-release.
+func (l *Ledger) Release(a *Account) {
+	if l == nil || a == nil || a.dead {
+		return
+	}
+	a.dead = true
+	l.total -= a.rows
+	l.accounts--
+}
+
+// Account is one structure's running row count within a ledger. All methods
+// are safe on a nil receiver: operator structures created outside an engine
+// (unit tests, ad hoc use) simply go unaccounted.
+type Account struct {
+	ledger *Ledger
+	label  string
+	rows   int64
+	dead   bool
+}
+
+// Add registers a size delta in rows (negative deltas release rows).
+func (a *Account) Add(delta int) {
+	if a == nil || a.dead {
+		return
+	}
+	a.rows += int64(delta)
+	a.ledger.total += int64(delta)
+}
+
+// Rows returns the account's current row count.
+func (a *Account) Rows() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.rows
+}
+
+// Live reports whether the account is still open.
+func (a *Account) Live() bool { return a != nil && !a.dead }

@@ -1,0 +1,90 @@
+package state
+
+import "fmt"
+
+// Candidate describes one evictable structure for a policy decision. The
+// caller (the query state manager) builds candidates in plan-graph creation
+// order, which every policy uses as the final tie-break so victim choice is
+// deterministic.
+type Candidate struct {
+	// Key identifies the structure (the plan node's scoped key).
+	Key string
+	// LastUse is the epoch the structure was last referenced.
+	LastUse int
+	// Rows is the structure's resident state, from its ledger account.
+	Rows int64
+	// RebuildCost estimates what re-deriving the state would cost if it were
+	// discarded (source reads for streams, in-memory join work for m-joins),
+	// in cost-model units.
+	RebuildCost float64
+}
+
+// Policy chooses an eviction victim among candidates (§6.3). Pick returns
+// the index of the victim, or -1 to decline (nothing worth evicting).
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate) int
+}
+
+// LRU is the paper's §6.3 policy: evict the least-recently-used structure,
+// breaking ties toward larger state. It reproduces the pre-subsystem
+// eviction order exactly (pinned by TestEnforceBudgetMatchesLegacy).
+type LRU struct{}
+
+// Name returns "lru".
+func (LRU) Name() string { return "lru" }
+
+// Pick chooses the oldest candidate, largest first on ties.
+func (LRU) Pick(cands []Candidate) int {
+	best := -1
+	var bestUse int
+	var bestRows int64
+	for i, c := range cands {
+		if best < 0 || c.LastUse < bestUse || (c.LastUse == bestUse && c.Rows > bestRows) {
+			best, bestUse, bestRows = i, c.LastUse, c.Rows
+		}
+	}
+	return best
+}
+
+// Benefit is the cost-aware policy: each candidate is scored by its
+// estimated re-derivation cost per retained row — the benefit its memory
+// buys — and the candidate whose rows buy the least is evicted first. Ties
+// fall back to LRU order. Scores come from the cost model at candidate
+// collection time (estimated source reads to rebuild), so a cheap-to-replay
+// structure loses its memory before an expensive one of equal size.
+type Benefit struct{}
+
+// Name returns "benefit".
+func (Benefit) Name() string { return "benefit" }
+
+// Pick chooses the candidate with the lowest rebuild cost per row.
+func (Benefit) Pick(cands []Candidate) int {
+	best := -1
+	var bestScore float64
+	var bestUse int
+	var bestRows int64
+	for i, c := range cands {
+		if c.Rows <= 0 {
+			continue
+		}
+		score := c.RebuildCost / float64(c.Rows)
+		if best < 0 || score < bestScore ||
+			(score == bestScore && (c.LastUse < bestUse || (c.LastUse == bestUse && c.Rows > bestRows))) {
+			best, bestScore, bestUse, bestRows = i, score, c.LastUse, c.Rows
+		}
+	}
+	return best
+}
+
+// ParsePolicy resolves a policy by name; "" defaults to LRU.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "lru":
+		return LRU{}, nil
+	case "benefit", "cost":
+		return Benefit{}, nil
+	default:
+		return nil, fmt.Errorf("state: unknown eviction policy %q (want lru or benefit)", name)
+	}
+}

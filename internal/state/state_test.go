@@ -1,0 +1,231 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestLedgerRunningTotals(t *testing.T) {
+	l := NewLedger()
+	a := l.NewAccount("a")
+	b := l.NewAccount("b")
+	a.Add(10)
+	b.Add(5)
+	a.Add(-3)
+	if l.Total() != 12 || a.Rows() != 7 || b.Rows() != 5 {
+		t.Fatalf("total=%d a=%d b=%d", l.Total(), a.Rows(), b.Rows())
+	}
+	l.Release(a)
+	if l.Total() != 5 {
+		t.Fatalf("after release total=%d", l.Total())
+	}
+	// Adds on a released account and double-release are no-ops (eviction
+	// racing cancellation must not corrupt the ledger).
+	a.Add(100)
+	l.Release(a)
+	if l.Total() != 5 || l.Accounts() != 1 {
+		t.Fatalf("after dead adds total=%d accounts=%d", l.Total(), l.Accounts())
+	}
+	// Nil receivers are inert.
+	var nilAcct *Account
+	nilAcct.Add(1)
+	if nilAcct.Rows() != 0 || nilAcct.Live() {
+		t.Fatal("nil account not inert")
+	}
+}
+
+func TestLRUPolicyOrder(t *testing.T) {
+	cands := []Candidate{
+		{Key: "n0", LastUse: 3, Rows: 10},
+		{Key: "n1", LastUse: 1, Rows: 5},
+		{Key: "n2", LastUse: 1, Rows: 9},
+		{Key: "n3", LastUse: 2, Rows: 50},
+	}
+	if got := (LRU{}).Pick(cands); got != 2 {
+		t.Fatalf("LRU picked %d, want 2 (oldest use, larger on tie)", got)
+	}
+	if got := (LRU{}).Pick(nil); got != -1 {
+		t.Fatalf("LRU on empty picked %d", got)
+	}
+}
+
+func TestBenefitPolicyPicksCheapestPerRow(t *testing.T) {
+	cands := []Candidate{
+		{Key: "expensive", LastUse: 1, Rows: 10, RebuildCost: 20000}, // 2000/row
+		{Key: "cheap", LastUse: 9, Rows: 100, RebuildCost: 500},      // 5/row
+		{Key: "mid", LastUse: 0, Rows: 10, RebuildCost: 1000},        // 100/row
+	}
+	if got := (Benefit{}).Pick(cands); got != 1 {
+		t.Fatalf("benefit picked %d, want 1 (lowest rebuild cost per row)", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{"": "lru", "lru": "lru", "benefit": "benefit", "cost": "benefit"} {
+		p, err := ParsePolicy(name)
+		if err != nil || p.Name() != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// spillFixture builds two tiny relations and a resolver over them.
+func spillFixture(t *testing.T) (map[string][]*tuple.Tuple, TupleResolver) {
+	t.Helper()
+	mk := func(name string, n int) []*tuple.Tuple {
+		s := tuple.NewSchema(name,
+			tuple.Column{Name: "id", Type: tuple.KindInt, Key: true},
+			tuple.Column{Name: "score", Type: tuple.KindFloat, Score: true},
+		)
+		out := make([]*tuple.Tuple, n)
+		for i := 0; i < n; i++ {
+			out[i] = tuple.New(s, tuple.Int(int64(i)), tuple.Float(1-float64(i)/float64(n))).WithSeq(int64(i))
+		}
+		return out
+	}
+	rels := map[string][]*tuple.Tuple{"R": mk("R", 8), "S": mk("S", 6)}
+	resolve := func(rel string, seq int64) (*tuple.Tuple, error) {
+		rows, ok := rels[rel]
+		if !ok || seq < 0 || int(seq) >= len(rows) {
+			return nil, fmt.Errorf("no %s[%d]", rel, seq)
+		}
+		return rows[seq], nil
+	}
+	return rels, resolve
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	rels, resolve := spillFixture(t)
+	sp, err := NewSpill(filepath.Join(t.TempDir(), "shard-0"), resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &NodeSnapshot{
+		Key:       "join::R&S",
+		Kind:      2,
+		StreamPos: 0,
+		LogRows:   []*tuple.Row{tuple.NewRow(rels["R"][0], rels["S"][1]), tuple.NewRow(rels["R"][2], rels["S"][3])},
+		LogEpochs: []int{1, 2},
+		Modules: []ModuleSnapshot{
+			{
+				ProducerKey: "stream::R", Coverage: []int{0},
+				Parts:  [][]*tuple.Tuple{{rels["R"][0], nil}, {rels["R"][2], nil}},
+				Epochs: []int{1, 2},
+			},
+			{
+				ProducerKey: "stream::S", Coverage: []int{1}, Probe: true,
+				Parts:  [][]*tuple.Tuple{{nil, rels["S"][1]}},
+				Epochs: []int{1},
+			},
+		},
+	}
+	rows, bytes, err := sp.Write(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 5 || bytes <= 0 {
+		t.Fatalf("write rows=%d bytes=%d", rows, bytes)
+	}
+	if !sp.Has("join::R&S") {
+		t.Fatal("segment not indexed")
+	}
+
+	got, rrows, rbytes, err := sp.Take("join::R&S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || rrows != rows || rbytes != bytes {
+		t.Fatalf("take rows=%d bytes=%d snap=%v", rrows, rbytes, got)
+	}
+	if got.Kind != 2 || len(got.LogRows) != 2 || len(got.Modules) != 2 {
+		t.Fatalf("shape: %+v", got)
+	}
+	// Resolution restores the canonical pointers, not copies.
+	if got.LogRows[0].Part(0) != rels["R"][0] || got.LogRows[0].Part(1) != rels["S"][1] {
+		t.Fatal("log row parts not canonical tuples")
+	}
+	if got.LogRows[0].Identity() != snap.LogRows[0].Identity() {
+		t.Fatal("row identity changed across spill")
+	}
+	if got.Modules[0].Parts[1][0] != rels["R"][2] || got.Modules[0].Parts[1][1] != nil {
+		t.Fatal("module parts wrong")
+	}
+	if !got.Modules[1].Probe || got.Modules[1].ProducerKey != "stream::S" {
+		t.Fatalf("module meta: %+v", got.Modules[1])
+	}
+	if got.LogEpochs[1] != 2 || got.Modules[0].Epochs[1] != 2 {
+		t.Fatal("epochs lost")
+	}
+
+	// Taken segments are gone — a second Take is a clean miss, and the file
+	// was removed from disk.
+	if again, _, _, err := sp.Take("join::R&S"); err != nil || again != nil {
+		t.Fatalf("second take: %v %v", again, err)
+	}
+	entries, err := os.ReadDir(sp.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("segments leaked: %v", entries)
+	}
+
+	st := sp.Stats()
+	if st.SegmentsWritten != 1 || st.SegmentsRead != 1 || st.RowsWritten != int64(rows) || st.Resident != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSpillCloseRemovesDir(t *testing.T) {
+	_, resolve := spillFixture(t)
+	dir := filepath.Join(t.TempDir(), "spill", "shard-3")
+	sp, err := NewSpill(dir, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.Write(&NodeSnapshot{Key: "stream::R", Kind: 0, StreamPos: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir survived Close: %v", err)
+	}
+}
+
+func TestArbiterApportionsByDemand(t *testing.T) {
+	a := NewArbiter(1000, 2)
+	// A lone active shard converges to (almost) the whole budget.
+	if got := a.Allot(0, 5000); got < 990 {
+		t.Fatalf("lone shard allotment %d", got)
+	}
+	// A second shard with equal demand splits the budget.
+	got1 := a.Allot(1, 5000)
+	got0 := a.Allot(0, 5000)
+	if got0 < 450 || got0 > 550 || got1 < 450 || got1 > 550 {
+		t.Fatalf("equal demand split %d/%d", got0, got1)
+	}
+	// Demand-weighted: the busy shard gets the lion's share.
+	a.Allot(1, 100)
+	if got := a.Allot(0, 9900); got < 900 {
+		t.Fatalf("busy shard allotment %d", got)
+	}
+	// Single-shard arbiter hands the full budget over.
+	s := NewArbiter(500, 1)
+	if got := s.Allot(0, 123); got != 500 {
+		t.Fatalf("single shard allotment %d", got)
+	}
+	// Unbounded budget disables enforcement.
+	u := NewArbiter(0, 4)
+	if got := u.Allot(2, 10); got != 0 {
+		t.Fatalf("unbounded allotment %d", got)
+	}
+}
