@@ -4,8 +4,9 @@
 // Usage:
 //
 //	qsys-bench [-full] [-only table4|fig7|fig8|fig9|fig10|fig11|fig12]
-//	qsys-bench -bench [-bench-out BENCH_PR3.json] [-bench-baseline prev.json]
+//	qsys-bench -bench [-bench-out BENCH_PR4.json] [-bench-baseline prev.json]
 //	           [-bench-rounds N] [-bench-experiments=false] [-bench-budget N]
+//	           [-bench-routing N]
 //
 // The default configuration preserves every reported shape at laptop scale;
 // -full mirrors the paper's methodology (4 synthetic instances × 3 runs).
@@ -33,14 +34,15 @@ func main() {
 	bench := flag.Bool("bench", false, "run the perf-trajectory harness instead of the paper tables")
 	benchOut := flag.String("bench-out", "", "where -bench writes its JSON point (default BENCH_<bench-pr>.json)")
 	benchBaseline := flag.String("bench-baseline", "", "previous -bench JSON to embed as baseline and diff against")
-	benchPR := flag.String("bench-pr", "PR3", "trajectory label recorded in the JSON")
+	benchPR := flag.String("bench-pr", "PR4", "trajectory label recorded in the JSON")
 	benchRounds := flag.Int("bench-rounds", 0, "override the serving workload's round count (0 = default)")
 	benchExperiments := flag.Bool("bench-experiments", true, "include the §7 driver pass in -bench runs")
 	benchBudget := flag.Int("bench-budget", 0, "row budget of the bounded-budget profile (0 = default; negative skips the profile)")
+	benchRouting := flag.Int("bench-routing", 0, "shard count of the hash-vs-affinity routing profile (0 = default; negative skips the profile)")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget); err != nil {
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -88,16 +90,17 @@ func main() {
 }
 
 // runBench measures one trajectory point and writes it as JSON.
-func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows int) error {
+func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards int) error {
 	if outPath == "" {
 		// Derived from the label so a future PR's bare run cannot silently
 		// clobber an earlier checked-in trajectory point.
 		outPath = fmt.Sprintf("BENCH_%s.json", pr)
 	}
-	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows}.Defaults()
-	if budgetRows < 0 {
-		cfg.BudgetRows = 0 // explicit skip
-	}
+	// Negative budget/routing values flow through as explicit skips:
+	// Defaults only replaces zero, and Run's positivity guards leave the
+	// profile out. (Zeroing them here used to be undone when Run re-applied
+	// Defaults, silently resurrecting the skipped profiles.)
+	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards}
 
 	var baseline *benchrun.Point
 	if baselinePath != "" {

@@ -17,10 +17,19 @@
 //	             [-users 8] [-requests 12] [-k 20] [-memory-budget 500]
 //	             [-evict-policy lru|benefit] [-spill-dir DIR]
 //	             [-windows 0,25ms] [-batch 5] [-shards 1] [-seed 1]
+//	             [-router affinity|hash] [-overlap]
 //
 // With -spill-dir set, evicted plan segments spill to disk and revivals read
 // them back as local I/O; the report splits retained-state hits into memory
 // vs disk and counts revivals served from spill vs re-paid at the sources.
+//
+// With -shards > 1 the -router flag selects shard placement — affinity
+// (default: route each query to the shard whose decaying resident keyword
+// set it overlaps most, §6.1 at serving scale) or hash (fixed keyword hash)
+// — and each run reports its routing decisions (affinity hits, hash routes,
+// estimated sharing-miss rate, per-shard resident keyword-set sizes).
+// -overlap augments the pool with overlapping topic variants of each suite
+// query, the workload on which placement visibly moves source-side work.
 package main
 
 import (
@@ -49,6 +58,8 @@ func main() {
 	windows := flag.String("windows", "0,25ms", "comma-separated admission windows to compare")
 	batch := flag.Int("batch", 5, "admission batch size trigger")
 	shards := flag.Int("shards", 1, "engine shards")
+	routerMode := flag.String("router", "affinity", "shard placement: affinity (route by overlap with each shard's resident keywords, hash fallback) or hash (fixed keyword hash)")
+	overlap := flag.Bool("overlap", false, "augment the keyword pool with overlapping topic variants (drop-last and case-folded-duplicate of each suite query) — the workload shard placement is measured on")
 	seed := flag.Uint64("seed", 1, "workload draw seed")
 	budget := flag.Int("memory-budget", 500, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
 	flag.IntVar(budget, "budget", 500, "alias for -memory-budget")
@@ -57,6 +68,10 @@ func main() {
 	flag.Parse()
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, err := service.ParseRouter(*routerMode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -93,13 +108,14 @@ func main() {
 	if *spillDir != "" {
 		mode = "spill"
 	}
-	fmt.Printf("closed-loop load: %d users x %d requests, k=%d, batch=%d, shards=%d, budget=%d rows (%s, policy=%s), workload=%s\n\n",
-		*users, *requests, *k, *batch, *shards, *budget, mode, *policy, *wl)
+	fmt.Printf("closed-loop load: %d users x %d requests, k=%d, batch=%d, shards=%d (router=%s), budget=%d rows (%s, policy=%s), workload=%s\n\n",
+		*users, *requests, *k, *batch, *shards, *routerMode, *budget, mode, *policy, *wl)
 	fmt.Printf("%-8s %8s %6s %9s %9s %9s %11s %11s %9s %9s %6s %7s %7s %7s %6s\n",
 		"window", "qps", "err", "p50", "p95", "p99", "streamTup", "totalTup", "replayed", "spilledR", "evict", "revSp", "revSrc", "mem/dsk", "occ")
 
+	multiShard := *shards > 1
 	for _, span := range spans {
-		rep, err := run(*wl, *instance, span, *users, *requests, *k, *batch, *shards, *budget, *seed, *policy, *spillDir)
+		rep, err := run(*wl, *instance, span, *users, *requests, *k, *batch, *shards, *budget, *seed, *policy, *spillDir, *routerMode, *overlap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -117,6 +133,15 @@ func main() {
 			evictions, rep.stats.Work.RevivalsFromSpill, rep.stats.Work.RevivalsFromSource,
 			100*split.MemoryHit, 100*split.DiskHit,
 			rep.stats.Service.BatchOccupancy.Mean)
+		if multiShard {
+			rt := rep.stats.Router
+			kws := make([]int, 0, len(rt.Shards))
+			for _, rs := range rt.Shards {
+				kws = append(kws, rs.Keywords)
+			}
+			fmt.Printf("  router[%v]: mode=%s decisions=%d affinity=%d hash=%d missRate=%.2f kwSets=%v\n",
+				span, rt.Mode, rt.Decisions, rt.AffinityHits, rt.HashRoutes, rt.MissRate, kws)
+		}
 	}
 	fmt.Println("\nstreamTup/totalTup: rows fetched from sources; replayed: rows served from retained memory")
 	fmt.Println("state; spilledR: rows read back from the disk tier; revSp/revSrc: evicted segments revived")
@@ -124,6 +149,11 @@ func main() {
 	fmt.Println("Under a bounded state budget, a window > 0 co-admits concurrent arrivals so they share")
 	fmt.Println("live source streams before eviction can strike — fewer source tuples at equal load; a")
 	fmt.Println("spill dir turns the remaining evictions into local disk reads instead of source re-reads.")
+	if multiShard {
+		fmt.Println("router lines: affinity = decisions placed by overlap with a shard's resident keywords;")
+		fmt.Println("hash = fixed-hash placements (all of them with -router=hash); missRate = fraction of")
+		fmt.Println("decisions routed away from the shard whose resident set best covered the query.")
+	}
 }
 
 type report struct {
@@ -145,7 +175,7 @@ func (r *report) p(q float64) time.Duration {
 	return r.latencies[i].Round(time.Microsecond)
 }
 
-func run(wl string, instance int, window time.Duration, users, requests, k, batch, shards, budget int, seed uint64, policy, spillDir string) (*report, error) {
+func run(wl string, instance int, window time.Duration, users, requests, k, batch, shards, budget int, seed uint64, policy, spillDir, routerMode string, overlap bool) (*report, error) {
 	// A fresh workload per run keeps the comparison honest: no run inherits
 	// another's materialised source views.
 	w, err := workload.ByName(wl, instance)
@@ -155,6 +185,9 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 	pool := keywordPool(w)
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("workload %s has no keyword suite", wl)
+	}
+	if overlap {
+		pool = overlapPool(pool)
 	}
 	if spillDir != "" {
 		// Separate windows must not inherit each other's segments.
@@ -166,6 +199,7 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 		BatchWindow:  window,
 		BatchSize:    batch,
 		Shards:       shards,
+		Router:       routerMode,
 		MemoryBudget: budget,
 		EvictPolicy:  policy,
 		SpillDir:     spillDir,
@@ -214,6 +248,19 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 		rep.qps = float64(len(lats)) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// overlapPool interleaves each base search with its overlapping topic
+// variants (workload.OverlapVariants — the same rules the benchrun routing
+// profile measures, so CI's loadgen comparison and BENCH_PR4's routing
+// block exercise one workload).
+func overlapPool(pool [][]string) [][]string {
+	out := make([][]string, 0, 3*len(pool))
+	for _, base := range pool {
+		out = append(out, base)
+		out = append(out, workload.OverlapVariants(base)...)
+	}
+	return out
 }
 
 // keywordPool collects the searches the load draws from: the workload's

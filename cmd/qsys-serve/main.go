@@ -7,9 +7,9 @@
 // Usage:
 //
 //	qsys-serve [-addr :8080] [-workload bio|gus|pfam] [-instance 1]
-//	           [-window 25ms] [-batch 5] [-shards 1] [-k 50]
-//	           [-memory-budget 0] [-evict-policy lru|benefit] [-spill-dir DIR]
-//	           [-realtime]
+//	           [-window 25ms] [-batch 5] [-shards 1] [-router affinity|hash]
+//	           [-k 50] [-memory-budget 0] [-evict-policy lru|benefit]
+//	           [-spill-dir DIR] [-realtime]
 //
 // Endpoints:
 //
@@ -44,6 +44,7 @@ func main() {
 	window := flag.Duration("window", 25*time.Millisecond, "admission batch window (0 = admit immediately)")
 	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
 	shards := flag.Int("shards", 1, "independent engine shards")
+	routerMode := flag.String("router", "affinity", "shard placement: affinity (route by overlap with each shard's resident keywords, hash fallback) or hash (fixed keyword hash)")
 	k := flag.Int("k", 50, "default answers per search")
 	budget := flag.Int("memory-budget", 0, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
 	flag.IntVar(budget, "budget", 0, "alias for -memory-budget")
@@ -53,6 +54,10 @@ func main() {
 	flag.Parse()
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, err := service.ParseRouter(*routerMode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -73,6 +78,7 @@ func main() {
 		BatchWindow:  *window,
 		BatchSize:    *batch,
 		Shards:       *shards,
+		Router:       *routerMode,
 		MemoryBudget: *budget,
 		EvictPolicy:  *policy,
 		SpillDir:     *spillDir,
@@ -117,8 +123,8 @@ func main() {
 
 	server := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d)",
-			w.Name, *addr, *window, *batch, *shards)
+		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d router=%s)",
+			w.Name, *addr, *window, *batch, *shards, *routerMode)
 		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

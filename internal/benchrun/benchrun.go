@@ -51,6 +51,11 @@ type Config struct {
 	// spill eviction at this budget, comparing source-tuple counts and
 	// result digests. 0 skips the profile.
 	BudgetRows int `json:"budget_rows,omitempty"`
+	// RoutingShards is the routing profile's shard count (§6.1 at serving
+	// scale): the overlapping-topic workload is run once under hash routing
+	// and once under affinity routing, comparing source-tuple counts and
+	// result digests. 0 skips the profile.
+	RoutingShards int `json:"routing_shards,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -69,6 +74,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.BudgetRows == 0 {
 		c.BudgetRows = DefaultBudgetRows
+	}
+	if c.RoutingShards == 0 {
+		c.RoutingShards = DefaultRoutingShards
 	}
 	return c
 }
@@ -171,14 +179,15 @@ type Experiment struct {
 	Digest string `json:"digest"`
 }
 
-// Point is one measured trajectory point: serving numbers, the §7 pass, and
-// the bounded-budget state-lifecycle profile.
+// Point is one measured trajectory point: serving numbers, the §7 pass, the
+// bounded-budget state-lifecycle profile and the shard-routing profile.
 type Point struct {
-	GoVersion   string         `json:"go_version"`
-	Config      Config         `json:"config"`
-	Serving     Serving        `json:"serving"`
-	Experiments []Experiment   `json:"experiments,omitempty"`
-	Budget      *BudgetProfile `json:"budget,omitempty"`
+	GoVersion   string          `json:"go_version"`
+	Config      Config          `json:"config"`
+	Serving     Serving         `json:"serving"`
+	Experiments []Experiment    `json:"experiments,omitempty"`
+	Budget      *BudgetProfile  `json:"budget,omitempty"`
+	Routing     *RoutingProfile `json:"routing,omitempty"`
 }
 
 // Delta summarizes current against baseline (negative = improvement).
@@ -352,6 +361,13 @@ func Run(cfg Config) (*Point, error) {
 		}
 		p.Budget = budget
 	}
+	if cfg.RoutingShards > 0 {
+		routing, err := RunRouting(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Routing = routing
+	}
 	return p, nil
 }
 
@@ -428,6 +444,9 @@ func (r *Report) Summary() string {
 	}
 	if r.Current.Budget != nil {
 		s += r.Current.Budget.Summary()
+	}
+	if r.Current.Routing != nil {
+		s += r.Current.Routing.Summary()
 	}
 	return s
 }

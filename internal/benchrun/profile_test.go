@@ -42,6 +42,40 @@ func TestBudgetProfileSpillGate(t *testing.T) {
 	}
 }
 
+// TestRoutingProfileAffinityGate is the PR's acceptance gate for §6.1
+// cluster-affinity placement at serving scale: on the overlapping-topic
+// workload at two shards, affinity routing must read strictly fewer
+// source-stream tuples than the fixed keyword hash while producing
+// byte-identical result digests — placement moved work, not answers.
+func TestRoutingProfileAffinityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routing profile is a multi-run workload")
+	}
+	p, err := RunRouting(Config{}.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.DigestsEqual {
+		t.Fatalf("affinity digest %s != hash digest %s", p.Affinity.ResultDigest, p.Hash.ResultDigest)
+	}
+	if p.Affinity.StreamTuples >= p.Hash.StreamTuples {
+		t.Fatalf("affinity read %d stream tuples, hash %d — placement saved nothing",
+			p.Affinity.StreamTuples, p.Hash.StreamTuples)
+	}
+	if p.Hash.SharingMisses == 0 {
+		t.Fatal("hash routing missed no sharing on the overlapping-topic workload; gate is vacuous")
+	}
+	if p.Affinity.MissRate >= p.Hash.MissRate {
+		t.Fatalf("affinity miss rate %.2f not below hash %.2f", p.Affinity.MissRate, p.Hash.MissRate)
+	}
+	if p.Affinity.AffinityHits == 0 {
+		t.Fatal("affinity routing never routed by affinity")
+	}
+	if len(p.Affinity.ShardKeywords) != p.Shards || len(p.Hash.ShardKeywords) != p.Shards {
+		t.Fatalf("shard keyword sets: hash=%v affinity=%v", p.Hash.ShardKeywords, p.Affinity.ShardKeywords)
+	}
+}
+
 // BenchmarkServingWorkload runs the trajectory serving workload once per
 // iteration; it exists so the fixed workload can be profiled with the
 // standard pprof tooling (go test -bench ServingWorkload -cpuprofile ...).

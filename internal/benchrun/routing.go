@@ -1,0 +1,172 @@
+package benchrun
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// DefaultRoutingShards is the canonical shard count of the routing profile:
+// the smallest fleet on which placement can miss sharing at all. Keep stable
+// across PRs.
+const DefaultRoutingShards = 2
+
+// RoutingRun is one sequential execution of the overlapping-topic workload
+// under a router mode: its source-side work, its placement decisions, and
+// its result digest.
+type RoutingRun struct {
+	Router string `json:"router"` // hash | affinity
+
+	StreamTuples   int64 `json:"stream_tuples"`
+	TuplesConsumed int64 `json:"tuples_consumed"`
+	ReplayTuples   int64 `json:"replay_tuples"`
+
+	AffinityHits  int64   `json:"affinity_hits"`
+	HashRoutes    int64   `json:"hash_routes"`
+	SharingMisses int64   `json:"sharing_misses"`
+	MissRate      float64 `json:"estimated_sharing_miss_rate"`
+	// ShardKeywords is each shard's resident keyword-set size at the end of
+	// the run.
+	ShardKeywords []int `json:"shard_keywords"`
+
+	ResultDigest string `json:"result_digest"`
+}
+
+// RoutingProfile is the §6.1 serving-scale placement comparison checked into
+// the trajectory: the same seeded overlapping-topic workload routed by the
+// fixed keyword hash and by cluster affinity, at the same shard count. The
+// affinity run must reproduce the hash run's result digest byte-for-byte
+// while reading fewer source-stream tuples — placement changed where work
+// ran, not what the queries answered, and co-locating overlapping topics
+// turned cross-shard sharing misses into replays.
+type RoutingProfile struct {
+	Shards   int `json:"shards"`
+	Topics   int `json:"topics"`
+	Searches int `json:"searches"`
+
+	Hash     RoutingRun `json:"hash"`
+	Affinity RoutingRun `json:"affinity"`
+
+	// DigestsEqual gates semantics; AffinityStreamSavings is the
+	// source-stream tuples affinity placement saved against the fixed hash
+	// on identical offered load.
+	DigestsEqual          bool  `json:"digests_equal"`
+	AffinityStreamSavings int64 `json:"affinity_stream_savings_vs_hash"`
+}
+
+// routingTopics derives the overlapping-topic workload from a workload's
+// bundled query suite: each multi-keyword suite query is one topic, searched
+// as the base set plus its workload.OverlapVariants (drop-last and
+// case-folded-duplicate — the same rules loadgen's -overlap pool uses, so
+// the checked-in profile and the CI loadgen comparison measure one
+// workload).
+func routingTopics(w *workload.Workload) [][3][]string {
+	var topics [][3][]string
+	for _, sub := range w.Submissions {
+		kws := sub.UQ.Keywords
+		variants := workload.OverlapVariants(kws)
+		if variants == nil {
+			continue
+		}
+		base := append([]string(nil), kws...)
+		topics = append(topics, [3][]string{base, variants[0], variants[1]})
+	}
+	return topics
+}
+
+// RunRouting measures the routing profile at cfg.RoutingShards.
+func RunRouting(cfg Config) (*RoutingProfile, error) {
+	cfg = cfg.Defaults()
+	shards := cfg.RoutingShards
+	if shards < 2 {
+		return nil, fmt.Errorf("benchrun: routing profile needs >= 2 shards, got %d", shards)
+	}
+	prof := &RoutingProfile{Shards: shards}
+
+	run := func(mode string) (RoutingRun, error) {
+		// A fresh workload per mode keeps the comparison honest: no run
+		// inherits the other's materialised source views.
+		w, err := workload.GUS(1, workload.GUSScaleDefault())
+		if err != nil {
+			return RoutingRun{}, err
+		}
+		topics := routingTopics(w)
+		if len(topics) == 0 {
+			return RoutingRun{}, fmt.Errorf("benchrun: workload has no multi-keyword suite queries")
+		}
+		prof.Topics = len(topics)
+		svc := service.New(w, service.Config{
+			Seed:   cfg.Seed,
+			K:      cfg.K,
+			Shards: shards,
+			Router: mode,
+			// Sequential, window-free admission: the profile measures
+			// placement, and determinism is what makes the digest a gate.
+			BatchWindow: 0,
+		})
+		defer svc.Close()
+
+		digest := sha256.New()
+		searches := 0
+		// Interleave topics within a pass and variants across passes: the
+		// base pass seeds each topic's resident shard, the later passes are
+		// the overlapping searches whose placement is under test.
+		for variant := 0; variant < 3; variant++ {
+			for _, tp := range topics {
+				res, err := svc.Search(context.Background(), "router-bench", tp[variant], cfg.K)
+				if err != nil {
+					return RoutingRun{}, fmt.Errorf("benchrun: %s routing search %q: %w", mode, tp[variant], err)
+				}
+				searches++
+				digestResult(digest, res)
+			}
+		}
+		prof.Searches = searches
+
+		st := svc.Stats()
+		out := RoutingRun{
+			Router:         mode,
+			StreamTuples:   st.Work.StreamTuples,
+			TuplesConsumed: st.Work.TuplesConsumed(),
+			ReplayTuples:   st.Work.ReplayTuples,
+			AffinityHits:   st.Router.AffinityHits,
+			HashRoutes:     st.Router.HashRoutes,
+			SharingMisses:  st.Router.SharingMisses,
+			MissRate:       st.Router.MissRate,
+			ResultDigest:   hex.EncodeToString(digest.Sum(nil)),
+		}
+		for _, rs := range st.Router.Shards {
+			out.ShardKeywords = append(out.ShardKeywords, rs.Keywords)
+		}
+		return out, nil
+	}
+
+	var err error
+	if prof.Hash, err = run(service.RouterHash); err != nil {
+		return nil, err
+	}
+	if prof.Affinity, err = run(service.RouterAffinity); err != nil {
+		return nil, err
+	}
+	prof.DigestsEqual = prof.Hash.ResultDigest == prof.Affinity.ResultDigest
+	prof.AffinityStreamSavings = prof.Hash.StreamTuples - prof.Affinity.StreamTuples
+	return prof, nil
+}
+
+// Summary renders the profile for the CLI.
+func (p *RoutingProfile) Summary() string {
+	line := func(r RoutingRun) string {
+		return fmt.Sprintf("  %-9s streamTup=%-7d totalTup=%-7d replayed=%-6d affinity=%-3d hash=%-3d missRate=%.2f kwSets=%v\n",
+			r.Router, r.StreamTuples, r.TuplesConsumed, r.ReplayTuples,
+			r.AffinityHits, r.HashRoutes, r.MissRate, r.ShardKeywords)
+	}
+	s := fmt.Sprintf("routing profile (%d shards, %d topics x 3 variants):\n", p.Shards, p.Topics)
+	s += line(p.Hash) + line(p.Affinity)
+	s += fmt.Sprintf("  affinity digest == hash: %v; stream tuples saved vs hash: %d\n",
+		p.DigestsEqual, p.AffinityStreamSavings)
+	return s
+}

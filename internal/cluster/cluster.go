@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/cq"
@@ -129,6 +130,175 @@ func Cluster(uqs []*cq.UQ, cfg Config) [][]*cq.UQ {
 		out = append(out, groups[k])
 	}
 	return out
+}
+
+// DefaultHalfLife is the decay horizon of an Affinity index, in observations:
+// a keyword's admission mass halves every this many Observe calls, so the
+// resident sets track the recent workload the way §6.1's clusters track one
+// batch.
+const DefaultHalfLife = 256
+
+// affEntry is one decayed quantity: a mass plus the tick it was last folded
+// at. Its effective value at tick t is w·2^−((t−tick)/halfLife).
+type affEntry struct {
+	w    float64
+	tick uint64
+}
+
+// Affinity is the online, serving-scale form of §6.1's similarity-driven
+// clustering: one decaying resident keyword set per group (in the serving
+// layer, per shard), fed by the canonical keyword sets of admitted queries.
+// Sim measures how much of a new query's keyword set is already resident in
+// a group, weighting each keyword by recency-decayed admission mass — the
+// same overlap notion Cluster applies to a fixed batch, followed online.
+// Load exposes each group's decayed admitted-keyword mass as a pressure
+// signal for placement penalties.
+//
+// Affinity is not safe for concurrent use; callers (the service router)
+// serialize access, like the rest of the engine code.
+type Affinity struct {
+	groups     int
+	halfLife   float64
+	pruneEvery uint64 // sweep cadence, tied to the decay horizon
+	tick       uint64
+	sets       []map[string]*affEntry
+	load       []affEntry
+}
+
+// NewAffinity builds an index over n groups. halfLife <= 0 selects
+// DefaultHalfLife.
+func NewAffinity(n int, halfLife float64) *Affinity {
+	if n < 1 {
+		n = 1
+	}
+	if halfLife <= 0 {
+		halfLife = DefaultHalfLife
+	}
+	a := &Affinity{groups: n, halfLife: halfLife, sets: make([]map[string]*affEntry, n), load: make([]affEntry, n)}
+	// Sweep once per half-life: by then the oldest untouched entries have
+	// lost half their mass, so the scan retires work proportional to decay
+	// instead of on a cadence unrelated to the configured horizon.
+	a.pruneEvery = uint64(halfLife)
+	if a.pruneEvery < 1 {
+		a.pruneEvery = 1
+	}
+	for i := range a.sets {
+		a.sets[i] = map[string]*affEntry{}
+	}
+	return a
+}
+
+// Groups returns the number of groups the index covers.
+func (a *Affinity) Groups() int { return a.groups }
+
+// decayed folds an entry's mass forward to the current tick.
+func (a *Affinity) decayed(e *affEntry) float64 {
+	if e == nil || e.w == 0 {
+		return 0
+	}
+	return e.w * math.Exp2(-float64(a.tick-e.tick)/a.halfLife)
+}
+
+// pruneThreshold drops entries whose decayed mass no longer influences
+// similarity, bounding the resident sets under churn.
+const pruneThreshold = 0.05
+
+// Observe advances the index one tick and folds a query's keywords into the
+// group it was placed on: each keyword gains one unit of admission mass, and
+// the group's load gains the keyword count.
+func (a *Affinity) Observe(group int, keywords []string) {
+	if group < 0 || group >= a.groups {
+		return
+	}
+	a.tick++
+	set := a.sets[group]
+	for _, kw := range keywords {
+		e := set[kw]
+		if e == nil {
+			e = &affEntry{}
+			set[kw] = e
+		}
+		e.w = a.decayed(e) + 1
+		e.tick = a.tick
+	}
+	l := &a.load[group]
+	l.w = a.decayed(l) + float64(len(keywords))
+	l.tick = a.tick
+	if a.tick%a.pruneEvery == 0 {
+		a.prune()
+	}
+}
+
+// prune removes entries whose decayed mass fell below the threshold.
+func (a *Affinity) prune() {
+	for _, set := range a.sets {
+		for kw, e := range set {
+			if a.decayed(e) < pruneThreshold {
+				delete(set, kw)
+			}
+		}
+	}
+}
+
+// Sim scores a query's expected overlap with a group: the fraction of its
+// keywords resident in the group's decayed set, each keyword contributing
+// min(1, decayed mass). 1.0 means every keyword was recently admitted there;
+// 0 means the group has seen none of them.
+func (a *Affinity) Sim(group int, keywords []string) float64 {
+	if group < 0 || group >= a.groups || len(keywords) == 0 {
+		return 0
+	}
+	set := a.sets[group]
+	sum := 0.0
+	for _, kw := range keywords {
+		if w := a.decayed(set[kw]); w > 1 {
+			sum += 1
+		} else {
+			sum += w
+		}
+	}
+	return sum / float64(len(keywords))
+}
+
+// Mass returns the group's total decayed admission mass over the given
+// keywords, uncapped: unlike Sim, which saturates per keyword and measures
+// coverage, Mass measures depth — how much recently admitted work on these
+// keywords lives in the group. It is the ranking signal for placement:
+// between two groups covering a query equally, the one with deeper mass
+// holds more replayable state.
+func (a *Affinity) Mass(group int, keywords []string) float64 {
+	if group < 0 || group >= a.groups {
+		return 0
+	}
+	set := a.sets[group]
+	sum := 0.0
+	for _, kw := range keywords {
+		sum += a.decayed(set[kw])
+	}
+	return sum
+}
+
+// Load returns the group's decayed admitted-keyword mass.
+func (a *Affinity) Load(group int) float64 {
+	if group < 0 || group >= a.groups {
+		return 0
+	}
+	return a.decayed(&a.load[group])
+}
+
+// Size returns how many keywords are effectively resident in the group's set
+// (decayed mass above the prune threshold).
+func (a *Affinity) Size(group int) int {
+	if group < 0 || group >= a.groups {
+		return 0
+	}
+	n := 0
+	for _, e := range a.sets[group] {
+		if a.decayed(e) >= pruneThreshold {
+			n++
+		}
+	}
+	return n
 }
 
 func jaccard(a, b map[int]bool) float64 {

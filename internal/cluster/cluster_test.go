@@ -95,6 +95,61 @@ func TestClusterSingletonFallback(t *testing.T) {
 	}
 }
 
+func TestAffinitySimAndObserve(t *testing.T) {
+	a := NewAffinity(2, 0)
+	if got := a.Sim(0, []string{"x"}); got != 0 {
+		t.Fatalf("empty index sim = %v", got)
+	}
+	a.Observe(0, []string{"protein", "gene"})
+	if got := a.Sim(0, []string{"protein", "gene"}); got != 1 {
+		t.Errorf("full overlap sim = %v, want 1", got)
+	}
+	if got := a.Sim(0, []string{"protein", "quartz"}); got != 0.5 {
+		t.Errorf("half overlap sim = %v, want 0.5", got)
+	}
+	if got := a.Sim(1, []string{"protein"}); got != 0 {
+		t.Errorf("other group sim = %v, want 0", got)
+	}
+	if a.Size(0) != 2 || a.Size(1) != 0 {
+		t.Errorf("sizes = %d/%d", a.Size(0), a.Size(1))
+	}
+	if a.Load(0) != 2 || a.Load(1) != 0 {
+		t.Errorf("loads = %v/%v", a.Load(0), a.Load(1))
+	}
+	// Out-of-range groups are inert.
+	a.Observe(9, []string{"x"})
+	if a.Sim(9, []string{"x"}) != 0 || a.Size(-1) != 0 || a.Load(7) != 0 {
+		t.Error("out-of-range group not inert")
+	}
+}
+
+func TestAffinityDecayAndPrune(t *testing.T) {
+	a := NewAffinity(2, 8) // short half-life so decay is visible
+	a.Observe(0, []string{"protein"})
+	// Eight observations elsewhere = one half-life: the mass halves.
+	for i := 0; i < 8; i++ {
+		a.Observe(1, []string{"filler"})
+	}
+	if got := a.Sim(0, []string{"protein"}); got <= 0.49 || got >= 0.51 {
+		t.Errorf("after one half-life sim = %v, want ~0.5", got)
+	}
+	// Far past the prune threshold the keyword no longer counts as resident.
+	for i := 0; i < 8*8; i++ {
+		a.Observe(1, []string{"filler"})
+	}
+	if a.Size(0) != 0 {
+		t.Errorf("decayed keyword still resident: size = %d", a.Size(0))
+	}
+	if got := a.Sim(0, []string{"protein"}); got > 0.02 {
+		t.Errorf("decayed sim = %v", got)
+	}
+	// Re-observation folds decayed mass instead of resetting it.
+	a.Observe(0, []string{"protein"})
+	if got := a.Sim(0, []string{"protein"}); got != 1 {
+		t.Errorf("refreshed sim = %v, want 1 (capped)", got)
+	}
+}
+
 func TestClusterDeterministic(t *testing.T) {
 	uqs := []*cq.UQ{
 		uqOver("U1", 3, "A", "B"), uqOver("U2", 3, "A"), uqOver("U3", 2, "B"),

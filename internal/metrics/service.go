@@ -186,6 +186,17 @@ type Service struct {
 	Batches        Counter
 	BatchOccupancy SizeHist
 
+	// Per-decision routing counters (multi-shard services; §6.1's clustering
+	// at serving scale). RouteAffinity counts queries placed by measured
+	// overlap with a shard's resident keyword set; RouteHash those placed by
+	// the fixed keyword hash (all of them in hash mode, the no-affinity
+	// fallback otherwise); RouteSharingMiss decisions that landed away from
+	// the shard best covering the query — placements that re-pay source
+	// reads for state already resident elsewhere.
+	RouteAffinity    Counter
+	RouteHash        Counter
+	RouteSharingMiss Counter
+
 	// WallLatency measures enqueue-to-response wall time (includes admission
 	// wait); EngineLatency measures the engine clock's admission-to-finish
 	// time (the paper's response-time notion).
@@ -203,6 +214,10 @@ type ServiceSnapshot struct {
 	Rejected  int64
 	Batches   int64
 
+	RouteAffinity    int64
+	RouteHash        int64
+	RouteSharingMiss int64
+
 	BatchOccupancy SizeStats
 	WallLatency    LatencyStats
 	EngineLatency  LatencyStats
@@ -211,15 +226,18 @@ type ServiceSnapshot struct {
 // Snapshot copies the current values.
 func (s *Service) Snapshot() ServiceSnapshot {
 	return ServiceSnapshot{
-		InFlight:       s.InFlight.Value(),
-		Queued:         s.Queued.Value(),
-		Requests:       s.Requests.Value(),
-		Completed:      s.Completed.Value(),
-		Canceled:       s.Canceled.Value(),
-		Rejected:       s.Rejected.Value(),
-		Batches:        s.Batches.Value(),
-		BatchOccupancy: s.BatchOccupancy.Snapshot(),
-		WallLatency:    s.WallLatency.Snapshot(),
-		EngineLatency:  s.EngineLatency.Snapshot(),
+		InFlight:         s.InFlight.Value(),
+		Queued:           s.Queued.Value(),
+		Requests:         s.Requests.Value(),
+		Completed:        s.Completed.Value(),
+		Canceled:         s.Canceled.Value(),
+		Rejected:         s.Rejected.Value(),
+		Batches:          s.Batches.Value(),
+		RouteAffinity:    s.RouteAffinity.Value(),
+		RouteHash:        s.RouteHash.Value(),
+		RouteSharingMiss: s.RouteSharingMiss.Value(),
+		BatchOccupancy:   s.BatchOccupancy.Snapshot(),
+		WallLatency:      s.WallLatency.Snapshot(),
+		EngineLatency:    s.EngineLatency.Snapshot(),
 	}
 }

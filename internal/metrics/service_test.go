@@ -70,6 +70,14 @@ func TestServiceCountersConcurrent(t *testing.T) {
 				s.InFlight.Inc()
 				s.WallLatency.Observe(time.Millisecond)
 				s.BatchOccupancy.Observe(j % 10)
+				if j%2 == 0 {
+					s.RouteAffinity.Inc()
+				} else {
+					s.RouteHash.Inc()
+				}
+				if j%100 == 0 {
+					s.RouteSharingMiss.Inc()
+				}
 				s.InFlight.Dec()
 				s.Completed.Inc()
 			}
@@ -82,5 +90,8 @@ func TestServiceCountersConcurrent(t *testing.T) {
 	}
 	if st.WallLatency.Count != 8000 || st.BatchOccupancy.Count != 8000 {
 		t.Errorf("hist counts: %d %d", st.WallLatency.Count, st.BatchOccupancy.Count)
+	}
+	if st.RouteAffinity != 4000 || st.RouteHash != 4000 || st.RouteSharingMiss != 80 {
+		t.Errorf("routing counters: affinity=%d hash=%d miss=%d", st.RouteAffinity, st.RouteHash, st.RouteSharingMiss)
 	}
 }

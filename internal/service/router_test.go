@@ -1,0 +1,139 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestCanonicalKeywords(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		{[]string{"Apple", "apple"}, []string{"apple"}},
+		{[]string{"apple", ""}, []string{"apple"}},
+		{[]string{"apple"}, []string{"apple"}},
+		{[]string{"  gene ", "Protein", "protein", "\t"}, []string{"gene", "protein"}},
+		{[]string{"b", "a"}, []string{"a", "b"}},
+		{[]string{"", "  "}, []string{}},
+	}
+	for _, c := range cases {
+		if got := canonicalKeywords(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("canonicalKeywords(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRouteCanonicalVariantsSameShard pins the routing-contract bugfix:
+// surface variants of one search — case, whitespace, duplicates, empty
+// tokens — must land on the same shard in BOTH router modes, or overlapping
+// queries silently re-pay full remote source reads on separate plan graphs.
+func TestRouteCanonicalVariantsSameShard(t *testing.T) {
+	variants := [][]string{
+		{"Apple", "apple"},
+		{"apple", ""},
+		{"apple"},
+		{" APPLE\t"},
+		{"apple", "apple", "apple"},
+	}
+	for _, mode := range []string{RouterHash, RouterAffinity} {
+		s := &Service{shards: make([]*shard, 7), router: newRouter(mode, 7, &metrics.Service{})}
+		want := s.route(variants[0])
+		for _, kw := range variants[1:] {
+			if got := s.route(kw); got != want {
+				t.Errorf("%s router: %q routed to shard %d, %q to %d", mode, variants[0], want, kw, got)
+			}
+		}
+	}
+}
+
+// TestAffinityRouterGroupsOverlap drives the affinity router directly:
+// overlapping topics converge on one shard, disjoint topics fall back to the
+// hash, and the decision counters add up.
+func TestAffinityRouterGroupsOverlap(t *testing.T) {
+	svc := &metrics.Service{}
+	rt := newRouter(RouterAffinity, 5, svc)
+
+	first := rt.route([]string{"metabolism", "protein"})
+	if got := svc.RouteHash.Value(); got != 1 {
+		t.Fatalf("first decision should hash-fall-back (no affinity anywhere); hash routes = %d", got)
+	}
+	// Half-overlapping follow-ups join the topic's shard by affinity.
+	for _, kw := range [][]string{
+		{"metabolism", "gene"},
+		{"protein", "metabolism"},
+		{"gene", "protein"},
+	} {
+		if got := rt.route(kw); got != first {
+			t.Errorf("%q routed to shard %d, want topic shard %d", kw, got, first)
+		}
+	}
+	if got := svc.RouteAffinity.Value(); got != 3 {
+		t.Errorf("affinity hits = %d, want 3", got)
+	}
+	// A disjoint topic has no meaningful affinity: fixed hash decides.
+	disjoint := []string{"quartz", "basalt"}
+	want := hashShard(disjoint, 5)
+	if got := rt.route(disjoint); got != want {
+		t.Errorf("disjoint topic routed to %d, want hash shard %d", got, want)
+	}
+	st := rt.stats()
+	if st.Mode != RouterAffinity || st.Decisions != 5 || st.AffinityHits != 3 || st.HashRoutes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SharingMisses != 0 || st.MissRate != 0 {
+		t.Errorf("affinity routing recorded sharing misses: %+v", st)
+	}
+	if len(st.Shards) != 5 || st.Shards[first].Keywords != 3 {
+		t.Errorf("shard sets = %+v (topic shard %d should hold metabolism+protein+gene)", st.Shards, first)
+	}
+}
+
+// TestHashRouterEstimatesSharingMisses: in hash mode the affinity index is
+// still fed, so the router can report how often the fixed placement routed a
+// query away from the shard that already held its topic.
+func TestHashRouterEstimatesSharingMisses(t *testing.T) {
+	svc := &metrics.Service{}
+	rt := newRouter(RouterHash, 4, svc)
+	// Find two overlapping keyword sets whose hashes disagree.
+	base := []string{"metabolism", "protein"}
+	overlapping := [][]string{
+		{"metabolism", "gene"},
+		{"metabolism", "membrane"},
+		{"metabolism", "plasma"},
+		{"metabolism", "kinase"},
+	}
+	home := rt.route(base)
+	missed := false
+	for _, kw := range overlapping {
+		if hashShard(canonicalKeywords(kw), 4) != home {
+			rt.route(kw)
+			missed = true
+			break
+		}
+	}
+	if !missed {
+		t.Skip("no overlapping set hashed away from the topic shard at 4 shards")
+	}
+	st := rt.stats()
+	if st.SharingMisses != 1 || st.AffinityHits != 0 || st.HashRoutes != 2 {
+		t.Errorf("stats = %+v, want exactly one sharing miss over two hash routes", st)
+	}
+	if st.MissRate != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", st.MissRate)
+	}
+}
+
+// TestParseRouter validates the knob surface.
+func TestParseRouter(t *testing.T) {
+	for in, want := range map[string]string{"": RouterAffinity, "affinity": RouterAffinity, "hash": RouterHash} {
+		got, err := ParseRouter(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRouter(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := ParseRouter("random"); err == nil {
+		t.Error("unknown router accepted")
+	}
+}

@@ -6,10 +6,10 @@
 //
 // Architecture (one Service):
 //
-//	Search ──► keyword-hash router ──► shard 0: admission queue ─► executor goroutine
-//	                               └─► shard 1: admission queue ─► executor goroutine
-//	                               └─► …                              │
-//	           per-request response channel ◄─────────────────────────┘
+//	Search ──► cluster-affinity router ──► shard 0: admission queue ─► executor goroutine
+//	                                   └─► shard 1: admission queue ─► executor goroutine
+//	                                   └─► …                              │
+//	           per-request response channel ◄─────────────────────────────┘
 //
 // Each shard owns one complete engine — plan graph, ATC, query state manager,
 // catalog fork, clock and delay model — and a single executor goroutine that
@@ -23,10 +23,13 @@
 // arrivals — and drives atc.RunRound continuously, dispatching each completed
 // rank-merge back to its waiting caller.
 //
-// Queries are routed to shards by a hash of their keyword set, so identical
-// and overlapping searches land on the same plan graph and share work, while
-// disjoint topics execute in parallel — the serving-layer analogue of §6.1's
-// query clustering (ATC-CL).
+// Queries are routed to shards by measured overlap affinity: the router keeps
+// one decaying resident keyword set per shard (cluster.Affinity) and places
+// each canonical keyword set on the shard it overlaps most, falling back to a
+// fixed hash when no shard has meaningful affinity — the serving-layer
+// analogue of §6.1's query clustering (ATC-CL). Identical and overlapping
+// searches land on the same plan graph and share work, while disjoint topics
+// execute in parallel.
 package service
 
 import (
@@ -34,8 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -89,9 +90,16 @@ type Config struct {
 	BatchWindow time.Duration
 
 	// Shards is the number of independent engines (plan graph + executor
-	// goroutine). Queries are routed by keyword-set hash, so related searches
-	// share a graph while unrelated ones run in parallel. Default 1.
+	// goroutine). Related searches share a graph while unrelated ones run in
+	// parallel; Router selects how queries are placed. Default 1.
 	Shards int
+	// Router selects shard placement: "affinity" (default) routes each query
+	// to the shard whose decaying resident keyword set it overlaps most —
+	// §6.1's cluster-affinity idea at serving scale, with a fixed-hash
+	// fallback when no shard has meaningful affinity — while "hash" always
+	// uses the hash of the canonical keyword set. New panics on an unknown
+	// name — validate user input with ParseRouter first.
+	Router string
 	// MaxQueue bounds each shard's submission queue; senders beyond it block
 	// (closed-loop backpressure) until the executor drains or their context
 	// expires. Default 1024.
@@ -170,6 +178,9 @@ type Stats struct {
 	// Work.TuplesConsumed+ReplayTuples is the shared-work fraction: rows that
 	// were served from retained state instead of being re-fetched.
 	Work metrics.Snapshot
+	// Router reports the shard-placement decisions and each shard's decaying
+	// resident keyword set.
+	Router RouterStats
 	// Shared splits every row the engines processed by where it came from:
 	// retained memory state, the spill tier on disk, or a fresh source read.
 	Shared SharedSplit
@@ -234,6 +245,7 @@ type Service struct {
 	svc    *metrics.Service
 	genCfg candidates.Config
 	shards []*shard
+	router *router
 
 	mu     sync.Mutex
 	users  map[string]*dist.RNG
@@ -259,6 +271,11 @@ func New(w *workload.Workload, cfg Config) *Service {
 		genCfg: genCfg,
 		users:  map[string]*dist.RNG{},
 	}
+	mode, err := ParseRouter(cfg.Router)
+	if err != nil {
+		panic(err.Error())
+	}
+	s.router = newRouter(mode, cfg.Shards, s.svc)
 	// One global budget, arbitrated across shards by demand (§6.3 at serving
 	// scale). A nil arbiter means unbounded everywhere.
 	var arb *state.Arbiter
@@ -331,7 +348,12 @@ func (s *Service) expand(user string, keywords []string, k int) (*cq.UQ, error) 
 	}
 	rng, ok := s.users[user]
 	if !ok {
-		rng = dist.New(s.cfg.Seed + 1000 + uint64(len(s.users))*77)
+		// The seed is a function of the user's name alone: a user's scoring
+		// coefficients (§2.1) must be the same in every run, whatever order
+		// the users happened to arrive in.
+		h := fnv.New64a()
+		h.Write([]byte(user))
+		rng = dist.New(s.cfg.Seed + 1000 + h.Sum64()*77)
 		s.users[user] = rng
 	}
 	s.nextUQ++
@@ -339,30 +361,22 @@ func (s *Service) expand(user string, keywords []string, k int) (*cq.UQ, error) 
 	return candidates.Generate(s.genCfg, id, keywords, k, rng)
 }
 
-// route picks the shard for a keyword set: a hash of the sorted, folded
-// keywords, so the same (and textually overlapping) searches always share one
-// plan graph.
+// route picks the shard for a keyword set. The set is canonicalized first —
+// folded, trimmed, empties dropped, deduplicated — so surface variants of
+// one search can never land on different shards and silently re-pay remote
+// source reads; the configured router (affinity by default, fixed hash
+// otherwise) then places the canonical set.
 func (s *Service) route(keywords []string) int {
 	if len(s.shards) == 1 {
 		return 0
 	}
-	folded := make([]string, len(keywords))
-	for i, kw := range keywords {
-		folded[i] = strings.ToLower(strings.TrimSpace(kw))
-	}
-	sort.Strings(folded)
-	h := fnv.New32a()
-	for _, kw := range folded {
-		h.Write([]byte(kw))
-		h.Write([]byte{0})
-	}
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return s.router.route(canonicalKeywords(keywords))
 }
 
 // Stats snapshots the service. Engine-side numbers are fetched through each
 // shard's executor so no lock is needed on the single-threaded engine state.
 func (s *Service) Stats() Stats {
-	st := Stats{Service: s.svc.Snapshot()}
+	st := Stats{Service: s.svc.Snapshot(), Router: s.router.stats()}
 	for _, sh := range s.shards {
 		ss := sh.stats()
 		st.Shards = append(st.Shards, ss)

@@ -8,6 +8,17 @@ import "sync"
 // budget, so a hot shard working a popular topic can hold more state than an
 // idle one instead of every shard owning an equal island.
 //
+// Apportionment is sum-safe: the shares of any one demand snapshot are
+// computed together by largest-remainder division, with every shard's
+// 1-row floor charged against the pool first, so Σ Share(i) == Budget
+// exactly whenever Budget >= shards. The one degenerate case is
+// Budget < shards: an allotment of 0 means unbounded, so every shard still
+// receives the 1-row floor and the fleet over-commits to exactly one row
+// per shard — the tightest enforceable bound the allotment encoding can
+// express. (Shares read at different times come from different snapshots,
+// so a shard acting on a stale share can transiently exceed its next one;
+// within a snapshot the sum invariant always holds.)
+//
 // Allot is called from shard executor goroutines concurrently; the arbiter
 // is the only piece of the state subsystem shared across goroutines.
 type Arbiter struct {
@@ -28,10 +39,53 @@ func NewArbiter(budget int, shards int) *Arbiter {
 // Budget returns the global budget.
 func (a *Arbiter) Budget() int { return int(a.budget) }
 
+// apportionLocked computes every shard's share of the budget from the
+// current demand table. Weights are demand+1 — the +1 keeps idle shards
+// from starving to exactly zero and makes a lone active shard's share
+// converge to the full budget. Each shard is first floored at 1 row
+// (0 would mean unbounded), the floors are charged against the pool, and
+// the remainder is split by largest-remainder division so the shares sum
+// to the budget exactly.
+func (a *Arbiter) apportionLocked() []int64 {
+	n := int64(len(a.demand))
+	shares := make([]int64, n)
+	pool := a.budget - n
+	if pool < 0 {
+		pool = 0 // degenerate budget < shards: floors alone over-commit
+	}
+	var wsum int64
+	for _, d := range a.demand {
+		wsum += d + 1
+	}
+	type rem struct {
+		shard int
+		frac  int64
+	}
+	rems := make([]rem, n)
+	var given int64
+	for i, d := range a.demand {
+		w := d + 1
+		shares[i] = 1 + pool*w/wsum
+		given += pool * w / wsum
+		rems[i] = rem{shard: i, frac: pool * w % wsum}
+	}
+	// Hand the leftover rows to the largest remainders (ties: lower shard),
+	// via selection — shard counts are tiny.
+	for left := pool - given; left > 0; left-- {
+		best := -1
+		for i := range rems {
+			if rems[i].frac >= 0 && (best < 0 || rems[i].frac > rems[best].frac) {
+				best = i
+			}
+		}
+		shares[rems[best].shard]++
+		rems[best].frac = -1
+	}
+	return shares
+}
+
 // Allot records the shard's current demand (its resident state in rows) and
-// returns the shard's allotment. Shares are proportional to demand+1 — the
-// +1 keeps idle shards from starving to exactly zero and makes a lone active
-// shard's share converge to the full budget.
+// returns the shard's allotment from the updated snapshot.
 func (a *Arbiter) Allot(shard int, demand int64) int {
 	if a == nil || a.budget <= 0 {
 		return 0
@@ -45,20 +99,14 @@ func (a *Arbiter) Allot(shard int, demand int64) int {
 		demand = 0
 	}
 	a.demand[shard] = demand
-	var sum int64
-	for _, d := range a.demand {
-		sum += d + 1
-	}
-	share := a.budget * (demand + 1) / sum
-	if share < 1 {
-		share = 1
-	}
-	return int(share)
+	return int(a.apportionLocked()[shard])
 }
 
 // Share returns the shard's allotment from the demands already on record,
 // without updating anything — the side-effect-free read the stats path
-// uses, so observing a service never shifts its eviction behavior.
+// uses, so observing a service never shifts its eviction behavior. All
+// Shares read from one unchanged demand table sum to the budget exactly
+// (budget >= shards).
 func (a *Arbiter) Share(shard int) int {
 	if a == nil || a.budget <= 0 {
 		return 0
@@ -68,13 +116,5 @@ func (a *Arbiter) Share(shard int) int {
 	if shard < 0 || shard >= len(a.demand) {
 		return int(a.budget) / len(a.demand)
 	}
-	var sum int64
-	for _, d := range a.demand {
-		sum += d + 1
-	}
-	share := a.budget * (a.demand[shard] + 1) / sum
-	if share < 1 {
-		share = 1
-	}
-	return int(share)
+	return int(a.apportionLocked()[shard])
 }

@@ -229,3 +229,52 @@ func TestArbiterApportionsByDemand(t *testing.T) {
 		t.Fatalf("unbounded allotment %d", got)
 	}
 }
+
+// TestArbiterSharesNeverOverCommit pins the sum-safety fix: for any demand
+// profile with budget >= shards, the shares of one snapshot must sum to the
+// budget exactly (floor division used to leak rows and the 1-row clamp used
+// to mint them on top of the pool), and every shard keeps the 1-row floor.
+func TestArbiterSharesNeverOverCommit(t *testing.T) {
+	profiles := [][]int64{
+		{0, 0, 0, 0, 0},
+		{1, 1, 1, 1, 1},
+		{5000, 0, 0, 0, 0},
+		{9999, 1, 37, 0, 12345},
+		{7, 7, 7, 6, 7},
+		{1 << 40, 3, 1 << 39, 0, 9},
+	}
+	for _, budget := range []int{5, 6, 100, 999, 2000} {
+		for _, demands := range profiles {
+			a := NewArbiter(budget, len(demands))
+			for i, d := range demands {
+				a.Allot(i, d)
+			}
+			sum, min := 0, 1<<62
+			for i := range demands {
+				sh := a.Share(i)
+				sum += sh
+				if sh < min {
+					min = sh
+				}
+			}
+			if sum != budget {
+				t.Errorf("budget=%d demands=%v: Σ shares = %d", budget, demands, sum)
+			}
+			if min < 1 {
+				t.Errorf("budget=%d demands=%v: a shard starved to %d (0 means unbounded)", budget, demands, min)
+			}
+		}
+	}
+	// Degenerate case, documented on Arbiter: with budget < shards the 1-row
+	// floor wins (an allotment of 0 would mean unbounded), so the fleet
+	// over-commits to exactly one row per shard — never more.
+	a := NewArbiter(3, 5)
+	a.Allot(0, 1000)
+	sum := 0
+	for i := 0; i < 5; i++ {
+		sum += a.Share(i)
+	}
+	if sum != 5 {
+		t.Errorf("budget<shards: Σ shares = %d, want one floor row per shard", sum)
+	}
+}

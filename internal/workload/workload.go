@@ -20,6 +20,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/batcher"
@@ -83,6 +84,24 @@ func (w *Workload) Prefix(n int) *Workload {
 	cp := *w
 	cp.Submissions = w.Submissions[:n]
 	return &cp
+}
+
+// OverlapVariants derives the overlapping topic variants of a multi-keyword
+// search, the workload shard placement is measured on (benchrun's routing
+// profile and loadgen's -overlap pool share these rules): the set minus its
+// last keyword — textually different but heavily overlapping — and the set
+// with a case-folded duplicate of its first keyword — canonically identical
+// to the base, which pre-canonicalization routers scattered. Variants of one
+// topic drive the same source relations, so every cross-shard split re-pays
+// remote reads the resident shard already did. Returns nil for sets of
+// fewer than two keywords.
+func OverlapVariants(base []string) [][]string {
+	if len(base) < 2 {
+		return nil
+	}
+	drop := append([]string(nil), base[:len(base)-1]...)
+	dup := append(append([]string(nil), base...), strings.ToUpper(base[0]))
+	return [][]string{drop, dup}
 }
 
 // arrivalTimes spaces n arrivals with random gaps of up to maxGap ("posed
