@@ -4,9 +4,14 @@
 // Usage:
 //
 //	qsys-bench [-full] [-only table4|fig7|fig8|fig9|fig10|fig11|fig12]
-//	qsys-bench -bench [-bench-out BENCH_PR4.json] [-bench-baseline prev.json]
+//	qsys-bench -bench [-bench-out BENCH_PR5.json] [-bench-baseline prev.json]
 //	           [-bench-rounds N] [-bench-experiments=false] [-bench-budget N]
-//	           [-bench-routing N]
+//	           [-bench-routing N] [-bench-parallel N]
+//	qsys-bench [-cpuprofile cpu.out] [-memprofile mem.out] ...
+//
+// -cpuprofile / -memprofile write standard Go pprof profiles covering the
+// whole run (experiments or -bench), so hot-path and parallel-executor work
+// is inspectable with `go tool pprof`.
 //
 // The default configuration preserves every reported shape at laptop scale;
 // -full mirrors the paper's methodology (4 synthetic instances × 3 runs).
@@ -22,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/benchrun"
@@ -34,15 +41,48 @@ func main() {
 	bench := flag.Bool("bench", false, "run the perf-trajectory harness instead of the paper tables")
 	benchOut := flag.String("bench-out", "", "where -bench writes its JSON point (default BENCH_<bench-pr>.json)")
 	benchBaseline := flag.String("bench-baseline", "", "previous -bench JSON to embed as baseline and diff against")
-	benchPR := flag.String("bench-pr", "PR4", "trajectory label recorded in the JSON")
+	benchPR := flag.String("bench-pr", "PR5", "trajectory label recorded in the JSON")
 	benchRounds := flag.Int("bench-rounds", 0, "override the serving workload's round count (0 = default)")
 	benchExperiments := flag.Bool("bench-experiments", true, "include the §7 driver pass in -bench runs")
 	benchBudget := flag.Int("bench-budget", 0, "row budget of the bounded-budget profile (0 = default; negative skips the profile)")
 	benchRouting := flag.Int("bench-routing", 0, "shard count of the hash-vs-affinity routing profile (0 = default; negative skips the profile)")
+	benchParallel := flag.Int("bench-parallel", 0, "worker count of the serial-vs-parallel executor profile (0 = default; negative skips the profile)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qsys-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qsys-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qsys-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qsys-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *bench {
-		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting); err != nil {
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,7 +130,7 @@ func main() {
 }
 
 // runBench measures one trajectory point and writes it as JSON.
-func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards int) error {
+func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers int) error {
 	if outPath == "" {
 		// Derived from the label so a future PR's bare run cannot silently
 		// clobber an earlier checked-in trajectory point.
@@ -100,7 +140,7 @@ func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool
 	// Defaults only replaces zero, and Run's positivity guards leave the
 	// profile out. (Zeroing them here used to be undone when Run re-applied
 	// Defaults, silently resurrecting the skipped profiles.)
-	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards}
+	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers}
 
 	var baseline *benchrun.Point
 	if baselinePath != "" {

@@ -7,15 +7,16 @@
 // Usage:
 //
 //	qsys-serve [-addr :8080] [-workload bio|gus|pfam] [-instance 1]
-//	           [-window 25ms] [-batch 5] [-shards 1] [-router affinity|hash]
-//	           [-k 50] [-memory-budget 0] [-evict-policy lru|benefit]
-//	           [-spill-dir DIR] [-realtime]
+//	           [-window 25ms] [-batch 5] [-shards 1] [-workers 0]
+//	           [-router affinity|hash] [-k 50] [-memory-budget 0]
+//	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
 //
 // Endpoints:
 //
-//	POST /search  {"user":"alice","keywords":["protein","gene"],"k":10}
-//	GET  /stats   service + per-shard execution counters
-//	GET  /healthz liveness probe
+//	POST /search       {"user":"alice","keywords":["protein","gene"],"k":10}
+//	GET  /stats        service + per-shard execution counters
+//	GET  /healthz      liveness probe
+//	GET  /debug/pprof  standard Go profiling (CPU, heap, goroutines, ...)
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,7 @@ func main() {
 	window := flag.Duration("window", 25*time.Millisecond, "admission batch window (0 = admit immediately)")
 	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
 	shards := flag.Int("shards", 1, "independent engine shards")
+	workers := flag.Int("workers", 0, "per-shard parallel-executor workers: independent plan-graph components run concurrently (1 = serial engine, 0 = GOMAXPROCS); result digests are identical at any worker count")
 	routerMode := flag.String("router", "affinity", "shard placement: affinity (route by overlap with each shard's resident keywords, hash fallback) or hash (fixed keyword hash)")
 	k := flag.Int("k", 50, "default answers per search")
 	budget := flag.Int("memory-budget", 0, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
@@ -78,6 +81,7 @@ func main() {
 		BatchWindow:  *window,
 		BatchSize:    *batch,
 		Shards:       *shards,
+		Workers:      *workers,
 		Router:       *routerMode,
 		MemoryBudget: *budget,
 		EvictPolicy:  *policy,
@@ -120,11 +124,18 @@ func main() {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(rw, "ok")
 	})
+	// Standard Go profiling endpoints, so parallel-executor wins and
+	// contention are inspectable with `go tool pprof` against a live server.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	server := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d router=%s)",
-			w.Name, *addr, *window, *batch, *shards, *routerMode)
+		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d workers=%d router=%s)",
+			w.Name, *addr, *window, *batch, *shards, *workers, *routerMode)
 		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

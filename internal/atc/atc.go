@@ -14,7 +14,9 @@
 package atc
 
 import (
+	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/operator"
@@ -38,6 +40,21 @@ type MergeState struct {
 	// Canceled marks a merge abandoned by its caller before completion; its
 	// partial results are not meaningful.
 	Canceled bool
+	// Err records an execution failure (a scheduling round that did not
+	// converge, or a panic recovered from an operator while driving this
+	// merge). A failed merge is Done with no meaningful results; the serving
+	// layer turns it into a failed search response instead of letting it
+	// take down the process.
+	Err error
+
+	// nodeKeys is the merge's plan-graph footprint: every node its execution
+	// can touch, captured once at submission and immutable afterwards —
+	// sound because a registered rank-merge is never extended (the state
+	// manager builds a fresh merge per user query; operator.AddEntry has no
+	// engine caller), and unlinking only ever shrinks what a merge touches.
+	// Merges whose footprints intersect — transitively — share runtime state
+	// and form one scheduling component; see components.go.
+	nodeKeys []string
 }
 
 // Latency returns the user query's response time.
@@ -65,9 +82,26 @@ type ATC struct {
 	byUQ   map[string]*MergeState // user-query id -> merge state
 	attach map[string]attachment  // by CQ id
 
-	// historyComplete marks nodes whose log reflects every row derivable
-	// from their inputs' logs; parking clears it.
-	historyComplete map[*plangraph.Node]bool
+	// structMu guards the controller's shared structural maps (attach, the
+	// graph's endpoint map) against concurrent unlinks from the parallel
+	// executor's workers. Cross-component unlinks touch distinct keys, so
+	// mutual exclusion preserves determinism; intra-component order is the
+	// serial order by construction.
+	structMu sync.Mutex
+
+	// comps is the cached component partition of the active merges; dirty
+	// marks it stale (merges admitted, finished or forgotten). components.go.
+	comps     [][]*MergeState
+	compDirty bool
+
+	// par, when set, is the intra-shard parallel executor (EnableParallel):
+	// worker pool, per-source-node delay models, pre-opened streams,
+	// scheduling statistics. nil runs the serial engine byte-for-byte.
+	par *parallelState
+
+	// driveBound, when positive, overrides the defensive per-round step
+	// bound (SetDriveBound; tests only).
+	driveBound int
 
 	// ledger, when bound, accounts every exec's and endpoint's resident
 	// state incrementally (§6.3); spill, when bound, is the disk tier evicted
@@ -89,16 +123,15 @@ type ATC struct {
 // New creates a controller for a plan graph.
 func New(g *plangraph.Graph, env *operator.Env, fleet *remotedb.Fleet) *ATC {
 	return &ATC{
-		Graph:           g,
-		Env:             env,
-		Fleet:           fleet,
-		epoch:           0,
-		execs:           map[*plangraph.Node]*operator.NodeExec{},
-		ras:             map[*plangraph.Node]*source.RandomAccess{},
-		byUQ:            map[string]*MergeState{},
-		attach:          map[string]attachment{},
-		historyComplete: map[*plangraph.Node]bool{},
-		evictedKeys:     map[string]bool{},
+		Graph:       g,
+		Env:         env,
+		Fleet:       fleet,
+		epoch:       0,
+		execs:       map[*plangraph.Node]*operator.NodeExec{},
+		ras:         map[*plangraph.Node]*source.RandomAccess{},
+		byUQ:        map[string]*MergeState{},
+		attach:      map[string]attachment{},
+		evictedKeys: map[string]bool{},
 	}
 }
 
@@ -125,12 +158,14 @@ func (a *ATC) Merges() []*MergeState { return a.merges }
 // MergeByUQ returns the merge state for a user query id, or nil.
 func (a *ATC) MergeByUQ(uqID string) *MergeState { return a.byUQ[uqID] }
 
-// AddMerge registers a user query's rank-merge.
+// AddMerge registers a user query's rank-merge and captures its plan-graph
+// footprint for component scheduling.
 func (a *ATC) AddMerge(rm *operator.RankMerge, arrival time.Duration) *MergeState {
-	m := &MergeState{RM: rm, Arrival: arrival}
+	m := &MergeState{RM: rm, Arrival: arrival, nodeKeys: a.mergeFootprint(rm)}
 	a.merges = append(a.merges, m)
 	a.active = append(a.active, m)
 	a.byUQ[rm.UQ.ID] = m
+	a.compDirty = true
 	return m
 }
 
@@ -146,6 +181,7 @@ func (a *ATC) CancelMerge(uqID string) {
 	m.Done = true
 	m.Canceled = true
 	m.Finished = a.Env.Clock.Now()
+	a.compDirty = true
 	for _, e := range m.RM.Entries {
 		a.UnlinkCQ(e.CQ.ID)
 	}
@@ -175,6 +211,7 @@ func (a *ATC) Forget(uqID string) {
 			break
 		}
 	}
+	a.compDirty = true
 }
 
 // Exec returns (creating on demand) the runtime state for a plan node,
@@ -190,13 +227,17 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 	}
 	switch n.Kind {
 	case plangraph.SourceStream:
-		db, err := a.Fleet.DB(n.DB)
-		if err != nil {
-			return nil, err
-		}
-		st, err := source.OpenStream(db, n.Expr)
-		if err != nil {
-			return nil, err
+		st := a.takePreopened(n)
+		if st == nil {
+			db, err := a.Fleet.DB(n.DB)
+			if err != nil {
+				return nil, err
+			}
+			var err2 error
+			st, err2 = source.OpenStream(db, n.Expr)
+			if err2 != nil {
+				return nil, err2
+			}
 		}
 		x.Stream = st
 		a.restoreStream(n, x)
@@ -274,7 +315,6 @@ func (a *ATC) DropExec(n *plangraph.Node) {
 	}
 	delete(a.execs, n)
 	delete(a.ras, n)
-	delete(a.historyComplete, n)
 }
 
 // SpillNode serializes a node's retained state — log rows, stream position,
@@ -330,7 +370,7 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 		// Sources are always consistent: their log mirrors their reads.
 		return x, nil
 	}
-	if a.historyComplete[n] && a.modulesCurrent(x) {
+	if x.HistoryComplete && a.modulesCurrent(x) {
 		return x, nil
 	}
 	// Parents first (recursively restoring their own spilled state), so a
@@ -365,7 +405,7 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 		px := a.execs[e.From]
 		px.AddConsumer(e, x)
 	}
-	a.historyComplete[n] = true
+	x.HistoryComplete = true
 	return x, nil
 }
 
@@ -452,18 +492,34 @@ func (a *ATC) modulesCurrent(x *operator.NodeExec) bool {
 // AttachCQ wires a conjunctive query's endpoint sink to its terminal node.
 func (a *ATC) AttachCQ(cqID string, node *operator.NodeExec, sink *operator.EndpointSink) {
 	node.AddSink(sink)
+	a.structMu.Lock()
 	a.attach[cqID] = attachment{node: node, sink: sink}
+	a.structMu.Unlock()
+}
+
+// detachEndpoint atomically claims a CQ's attachment and removes its graph
+// endpoint. The mutex makes concurrent unlinks from different scheduling
+// components safe; they operate on distinct keys, so locking changes no
+// outcome, only prevents the map races.
+func (a *ATC) detachEndpoint(cqID string) (attachment, bool) {
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
+	at, ok := a.attach[cqID]
+	if !ok {
+		return attachment{}, false
+	}
+	delete(a.attach, cqID)
+	a.Graph.RemoveEndpoint(cqID)
+	return at, true
 }
 
 // UnlinkCQ detaches a finished or pruned conjunctive query (§6.3) and parks
 // the plan segment that fed only it.
 func (a *ATC) UnlinkCQ(cqID string) {
-	at, ok := a.attach[cqID]
+	at, ok := a.detachEndpoint(cqID)
 	if !ok {
 		return
 	}
-	delete(a.attach, cqID)
-	a.Graph.RemoveEndpoint(cqID)
 	at.node.RemoveSink(at.sink)
 	// The detached sink receives no further offers: close its ledger account
 	// (remaining buffered candidates stay eligible for emission but are no
@@ -478,6 +534,8 @@ func (a *ATC) UnlinkCQ(cqID string) {
 // endpoints — buffered candidates plus duplicate-set entries — for the §6.3
 // memory accounting. Unlinked CQs have already released both.
 func (a *ATC) SinkStateRows() int {
+	a.structMu.Lock()
+	defer a.structMu.Unlock()
 	n := 0
 	for _, at := range a.attach {
 		n += at.sink.Entry.BufferLen() + at.sink.Entry.SeenLen()
@@ -492,7 +550,7 @@ func (a *ATC) park(x *operator.NodeExec) {
 	if x.HasWork() || x.Node.Kind != plangraph.Join {
 		return
 	}
-	a.historyComplete[x.Node] = false
+	x.HistoryComplete = false
 	for _, e := range x.Node.Inputs {
 		px, ok := a.execs[e.From]
 		if !ok {
@@ -510,37 +568,96 @@ func (a *ATC) park(x *operator.NodeExec) {
 // input stream with the highest number of tuple requests gets read the most"
 // and prevents source starvation (§4.2). It reports whether any merge is
 // still unfinished.
+//
+// With the parallel executor enabled (EnableParallel) the round is
+// component-scheduled: the active merges partition into connected components
+// of the shared plan graph, each component's merges advance in admission
+// order on a worker, and a barrier closes the round. Components share no
+// runtime state, so the rows that flow — and therefore result digests and
+// work counters — are identical at any worker count.
 func (a *ATC) RunRound() bool {
+	if a.par != nil && a.par.workers > 1 {
+		return a.runRoundParallel()
+	}
+	return a.serialRound()
+}
+
+// serialRound drives every active merge on the calling goroutine against
+// the global environment — the serial engine's round, also used by the
+// parallel executor when the graph holds a single component.
+func (a *ATC) serialRound() bool {
 	live := a.active[:0]
 	for _, m := range a.active {
 		if m.Done {
 			continue
 		}
-		a.driveMerge(m)
+		a.driveMerge(m, a.Env)
 		if !m.Done {
 			live = append(live, m)
 		}
+	}
+	a.compactActive(live)
+	return len(a.active) > 0
+}
+
+// compactActive installs the surviving merges, zeroing the tail for GC and
+// invalidating the component cache when anything finished.
+func (a *ATC) compactActive(live []*MergeState) {
+	if len(live) != len(a.active) {
+		a.compDirty = true
 	}
 	for i := len(live); i < len(a.active); i++ {
 		a.active[i] = nil
 	}
 	a.active = live
-	return len(a.active) > 0
 }
 
-// driveMerge advances one rank-merge until it reads a tuple or finishes.
-func (a *ATC) driveMerge(m *MergeState) {
-	const maxSteps = 1 << 22 // defensive: bounds a scheduling round
-	for i := 0; i < maxSteps; i++ {
-		step := m.RM.Advance(a.Env)
+// driveMergeMaxSteps defensively bounds one merge's scheduling round.
+const driveMergeMaxSteps = 1 << 22
+
+// SetDriveBound overrides the defensive per-round step bound (<= 0 restores
+// the default). It exists so tests can exercise the non-convergence failure
+// path deterministically; production code never needs it.
+func (a *ATC) SetDriveBound(n int) { a.driveBound = n }
+
+func (a *ATC) driveLimit() int {
+	if a.driveBound > 0 {
+		return a.driveBound
+	}
+	return driveMergeMaxSteps
+}
+
+// driveMerge advances one rank-merge until it reads a tuple or finishes,
+// charging work to env (the global environment in serial mode, the
+// component's environment under the parallel executor). A round that does
+// not converge — or an operator panic — fails the merge instead of taking
+// down the process: the error lands in MergeState.Err and the serving layer
+// returns it as a failed search.
+func (a *ATC) driveMerge(m *MergeState, env *operator.Env) {
+	if err := a.advanceMerge(m, env); err != nil {
+		a.failMerge(m, env, err)
+	}
+}
+
+// advanceMerge is driveMerge's happy path; it converts panics from the
+// operator stack into errors so a poisoned query cannot kill a worker.
+func (a *ATC) advanceMerge(m *MergeState, env *operator.Env) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("atc: driving %s: panic: %v", m.RM.UQ.ID, r)
+		}
+	}()
+	limit := a.driveLimit()
+	for i := 0; i < limit; i++ {
+		step := m.RM.Advance(env)
 		switch step.Kind {
 		case operator.StepDone:
 			m.Done = true
-			m.Finished = a.Env.Clock.Now()
+			m.Finished = env.Clock.Now()
 			for _, e := range m.RM.Entries {
 				a.UnlinkCQ(e.CQ.ID)
 			}
-			return
+			return nil
 		case operator.StepEmitted:
 			for _, id := range step.PrunedCQs {
 				a.UnlinkCQ(id)
@@ -548,13 +665,35 @@ func (a *ATC) driveMerge(m *MergeState) {
 		case operator.StepActivated:
 			// Bookkeeping only; continue advancing.
 		case operator.StepRead:
-			if step.Source.ReadOne(a.Env, a.epoch) {
-				return // one read per merge per round
+			if step.Source.ReadOne(env, a.epoch) {
+				return nil // one read per merge per round
 			}
 			// Exhausted: let the merge reclassify and pick again.
 		}
 	}
-	panic("atc: scheduling round did not converge for " + m.RM.UQ.ID)
+	return fmt.Errorf("atc: scheduling round did not converge for %s after %d steps",
+		m.RM.UQ.ID, limit)
+}
+
+// failMerge marks a merge failed and parks whatever of its plan segments can
+// still be detached cleanly.
+func (a *ATC) failMerge(m *MergeState, env *operator.Env, err error) {
+	m.Err = err
+	m.Done = true
+	m.Finished = env.Clock.Now()
+	// Best-effort unlink: the failure may have left operator state
+	// inconsistent, and cleanup must not re-panic the worker. Each entry is
+	// recovered individually so one poisoned segment cannot strand the
+	// remaining entries' attachments, sinks and ledger accounts.
+	for _, e := range m.RM.Entries {
+		a.unlinkRecovering(e.CQ.ID)
+	}
+}
+
+// unlinkRecovering is UnlinkCQ with panics contained to the one entry.
+func (a *ATC) unlinkRecovering(cqID string) {
+	defer func() { _ = recover() }()
+	a.UnlinkCQ(cqID)
 }
 
 // AllDone reports whether every admitted user query has finished.

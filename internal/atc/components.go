@@ -1,0 +1,155 @@
+package atc
+
+import (
+	"repro/internal/operator"
+	"repro/internal/plangraph"
+)
+
+// Component scheduling (the intra-shard parallel executor's partition).
+//
+// Two rank-merges interact only through shared runtime state: a stream both
+// read, a join whose modules both fill, a probe cache both hit. All of that
+// state hangs off plan-graph nodes, and a merge can only ever touch nodes
+// reachable from its conjunctive queries' terminal nodes through input
+// edges. So the merges partition into connected components of the bipartite
+// merge↔node incidence: merges whose footprints transitively intersect form
+// one component, and components are race-free units — no node, stream, probe
+// cache, log, module, or endpoint sink is visible to two of them.
+//
+// The index is maintained incrementally: a merge's footprint is computed
+// once at submission (Submit/AddMerge walks the closure, O(|segment|)), and
+// the partition itself is cached and rebuilt — one union-find pass over the
+// active footprints — only after an event that can change it (a submission,
+// a completed or canceled merge, a Forget). Footprints are deliberately
+// conservative: pruning a CQ mid-flight does not shrink its merge's
+// footprint, because the merge's entries keep reading their threshold
+// sources until the whole merge completes. Over-approximation can only cost
+// parallelism, never correctness.
+
+// mergeFootprint walks the plan segments feeding a rank-merge and returns
+// the keys of every node its execution can touch: the input-edge closure of
+// each CQ's terminal node, plus each entry's threshold-group sources (always
+// inside that closure for well-formed plans; included defensively).
+func (a *ATC) mergeFootprint(rm *operator.RankMerge) []string {
+	seen := map[*plangraph.Node]bool{}
+	var keys []string
+	var walk func(n *plangraph.Node)
+	walk = func(n *plangraph.Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		keys = append(keys, n.Key)
+		for _, e := range n.Inputs {
+			walk(e.From)
+		}
+	}
+	a.structMu.Lock()
+	for _, e := range rm.Entries {
+		if at, ok := a.attach[e.CQ.ID]; ok {
+			walk(at.node.Node)
+		}
+	}
+	a.structMu.Unlock()
+	for _, e := range rm.Entries {
+		for _, g := range e.Groups {
+			walk(g.Source.Node)
+		}
+	}
+	return keys
+}
+
+// MergeNodeKeys returns a copy of a merge's captured footprint (tests and
+// diagnostics), or nil for an unknown user query.
+func (a *ATC) MergeNodeKeys(uqID string) []string {
+	m := a.byUQ[uqID]
+	if m == nil {
+		return nil
+	}
+	return append([]string(nil), m.nodeKeys...)
+}
+
+// Components returns the current partition of the unfinished merges into
+// race-free scheduling components, in deterministic order: components are
+// ordered by their earliest member's admission position, and members within
+// a component keep admission order — exactly the serial round's relative
+// order restricted to the component. Done merges awaiting compaction (a
+// cancellation between rounds) are excluded: they drive nothing, so they
+// must not count as parallelism or fork a clock.
+func (a *ATC) Components() [][]*MergeState {
+	if !a.compDirty && a.comps != nil {
+		return a.comps
+	}
+	live := make([]*MergeState, 0, len(a.active))
+	for _, m := range a.active {
+		if !m.Done {
+			live = append(live, m)
+		}
+	}
+	a.comps = partitionMerges(live)
+	a.compDirty = false
+	return a.comps
+}
+
+// ComponentIDs renders the partition as user-query id groups (tests, stats).
+func (a *ATC) ComponentIDs() [][]string {
+	var out [][]string
+	for _, comp := range a.Components() {
+		ids := make([]string, len(comp))
+		for i, m := range comp {
+			ids[i] = m.RM.UQ.ID
+		}
+		out = append(out, ids)
+	}
+	return out
+}
+
+// partitionMerges is the from-scratch union-find over merge footprints. It
+// is the whole definition of the component invariant; the incremental index
+// is just this, cached (pinned by TestComponentIndexMatchesScratch).
+func partitionMerges(merges []*MergeState) [][]*MergeState {
+	parent := make([]int, len(merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[string]int{} // node key -> first merge touching it
+	for i, m := range merges {
+		for _, k := range m.nodeKeys {
+			if o, ok := owner[k]; ok {
+				ra, rb := find(i), find(o)
+				if ra != rb {
+					// Root at the smaller admission index so component
+					// identity is stable and ordered.
+					if ra < rb {
+						parent[rb] = ra
+					} else {
+						parent[ra] = rb
+					}
+				}
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	groups := map[int]int{} // root -> output slot
+	var out [][]*MergeState
+	for i, m := range merges {
+		r := find(i)
+		slot, ok := groups[r]
+		if !ok {
+			slot = len(out)
+			groups[r] = slot
+			out = append(out, nil)
+		}
+		out[slot] = append(out[slot], m)
+	}
+	return out
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// and once under affinity routing, comparing source-tuple counts and
 	// result digests. 0 skips the profile.
 	RoutingShards int `json:"routing_shards,omitempty"`
+	// ParallelWorkers is the parallelism profile's worker count: the
+	// multi-topic (many-component) and high-overlap (one-component)
+	// workloads are executed at -workers 1 and -workers N inside one
+	// engine, comparing wall clock, result digests and work counters.
+	// 0 skips the profile.
+	ParallelWorkers int `json:"parallel_workers,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -77,6 +83,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.RoutingShards == 0 {
 		c.RoutingShards = DefaultRoutingShards
+	}
+	if c.ParallelWorkers == 0 {
+		c.ParallelWorkers = DefaultParallelWorkers
 	}
 	return c
 }
@@ -182,12 +191,13 @@ type Experiment struct {
 // Point is one measured trajectory point: serving numbers, the §7 pass, the
 // bounded-budget state-lifecycle profile and the shard-routing profile.
 type Point struct {
-	GoVersion   string          `json:"go_version"`
-	Config      Config          `json:"config"`
-	Serving     Serving         `json:"serving"`
-	Experiments []Experiment    `json:"experiments,omitempty"`
-	Budget      *BudgetProfile  `json:"budget,omitempty"`
-	Routing     *RoutingProfile `json:"routing,omitempty"`
+	GoVersion   string           `json:"go_version"`
+	Config      Config           `json:"config"`
+	Serving     Serving          `json:"serving"`
+	Experiments []Experiment     `json:"experiments,omitempty"`
+	Budget      *BudgetProfile   `json:"budget,omitempty"`
+	Routing     *RoutingProfile  `json:"routing,omitempty"`
+	Parallel    *ParallelProfile `json:"parallel,omitempty"`
 }
 
 // Delta summarizes current against baseline (negative = improvement).
@@ -236,6 +246,13 @@ func runServingWith(cfg Config, override service.Config) (*Serving, *service.Sta
 		Seed:   cfg.Seed,
 		K:      cfg.K,
 		Shards: 1,
+		// Workers 1 pins the serial engine: the serving/budget trajectory
+		// blocks must be byte-reproducible on any machine, and the default
+		// (GOMAXPROCS) would swap the engine-wide delay RNG for per-node
+		// models wherever the measuring box has >1 core, shifting the
+		// virtual-clock latency numbers (digests and counters would still
+		// agree — that is the parallel profile's own gate).
+		Workers: 1,
 		// BatchWindow 0 admits each search alone: the per-tuple engine cost is
 		// what this harness tracks, and window-free admission keeps the digest
 		// independent of wall-clock batching races.
@@ -368,6 +385,13 @@ func Run(cfg Config) (*Point, error) {
 		}
 		p.Routing = routing
 	}
+	if cfg.ParallelWorkers > 0 {
+		parallel, err := RunParallel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Parallel = parallel
+	}
 	return p, nil
 }
 
@@ -447,6 +471,9 @@ func (r *Report) Summary() string {
 	}
 	if r.Current.Routing != nil {
 		s += r.Current.Routing.Summary()
+	}
+	if r.Current.Parallel != nil {
+		s += r.Current.Parallel.Summary()
 	}
 	return s
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package benchrun
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// wall-clock assertions skip under it (the ~10x slowdown breaks timing, not
+// semantics).
+const raceEnabled = true

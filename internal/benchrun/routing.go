@@ -104,8 +104,11 @@ func RunRouting(cfg Config) (*RoutingProfile, error) {
 			K:      cfg.K,
 			Shards: shards,
 			Router: mode,
-			// Sequential, window-free admission: the profile measures
-			// placement, and determinism is what makes the digest a gate.
+			// Serial engine + sequential, window-free admission: the
+			// profile measures placement, and determinism — independent of
+			// the measuring machine's core count — is what makes the
+			// digest a gate.
+			Workers:     1,
 			BatchWindow: 0,
 		})
 		defer svc.Close()

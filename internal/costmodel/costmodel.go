@@ -11,6 +11,7 @@ package costmodel
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/cq"
@@ -69,11 +70,15 @@ type Input struct {
 
 // Model prices assignments against a catalog. It memoises each query's full
 // expression (canonicalization is costly and BestPlan calls the cost function
-// exponentially often). Models are used single-threaded, one per plan graph.
+// exponentially often). The memo is lock-protected: under the parallel
+// executor, one admission optimizes its independent query groups
+// concurrently against the one shared model (the memo is keyed by CQ id, so
+// concurrent fills are distinct entries and the cache stays deterministic).
 type Model struct {
 	Cat    *catalog.Catalog
 	Params Params
 
+	mu       sync.RWMutex
 	fullExpr map[string]*cq.Expr // by CQ id
 }
 
@@ -84,11 +89,16 @@ func New(cat *catalog.Catalog, p Params) *Model {
 
 // FullExpr returns (and caches) the canonical expression of a whole query.
 func (m *Model) FullExpr(q *cq.CQ) *cq.Expr {
-	if e, ok := m.fullExpr[q.ID]; ok {
+	m.mu.RLock()
+	e, ok := m.fullExpr[q.ID]
+	m.mu.RUnlock()
+	if ok {
 		return e
 	}
-	e, _ := q.SubExpr(allIdx(len(q.Atoms)))
+	e, _ = q.SubExpr(allIdx(len(q.Atoms)))
+	m.mu.Lock()
 	m.fullExpr[q.ID] = e
+	m.mu.Unlock()
 	return e
 }
 

@@ -293,6 +293,16 @@ func runGroup(gi int, fleet *remotedb.Fleet, cat *catalog.Catalog, batches []bat
 	}
 	manager.SyncCatalog()
 
+	// The controller converts non-convergent rounds and operator panics
+	// into per-merge errors (so a serving process survives them); an
+	// experiment run must instead fail loudly — a truncated merge would
+	// otherwise digest into the trajectory as if it were a result.
+	for _, m := range controller.Merges() {
+		if m.Err != nil {
+			return nil, nil, nil, fmt.Errorf("exec: query %s failed: %w", m.RM.UQ.ID, m.Err)
+		}
+	}
+
 	var uqReports []*UQReport
 	for _, m := range controller.Merges() {
 		dups := 0

@@ -66,6 +66,13 @@ type NodeExec struct {
 	// log and every module report their size deltas into it, so the state
 	// manager's budget check never rescans the graph.
 	acct *state.Account
+
+	// HistoryComplete marks that the node's log reflects every row derivable
+	// from its inputs' logs; parking clears it. It is ATC bookkeeping kept on
+	// the exec so it lives and dies with the node's runtime state — and so
+	// the parallel executor's workers, which only ever touch nodes of their
+	// own plan-graph component, never share a map of it.
+	HistoryComplete bool
 }
 
 type consumerBinding struct {
@@ -266,7 +273,7 @@ func (x *NodeExec) ReadOne(env *Env, epoch int) bool {
 	if r == nil {
 		return false
 	}
-	env.ChargeStreamRead()
+	env.ChargeStreamRead(x.Node.Key)
 	x.Deliver(env, r, epoch)
 	return true
 }
@@ -362,7 +369,7 @@ func (x *NodeExec) probeModule(env *Env, st *probeStep, p []*tuple.Tuple, maxEpo
 			env.Metrics.AddProbeCacheHit()
 			env.ChargeJoin()
 		} else {
-			env.ChargeRemoteProbe(len(rows))
+			env.ChargeRemoteProbe(st.edge.From.Key, len(rows))
 		}
 		for _, r := range rows {
 			ok := true

@@ -11,6 +11,7 @@ package qsm
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/tuple"
@@ -195,21 +196,26 @@ func (m *Manager) Admit(subs []batcher.Submission, cfg mqo.Config) (*AdmitReport
 	}
 	inputsByCQ := map[string][]cqInput{}
 
-	for _, g := range groups {
-		start := time.Now()
-		res, err := mqo.Optimize(g.qs, m.CM, cfg)
-		if err != nil {
+	// Optimize the groups — concurrently when the controller runs the
+	// parallel executor. Each group's search is a pure function of the
+	// catalog and its own queries (under UnitUQ the groups are independent
+	// user queries), so the results are identical to the serial pass; only
+	// grafting below mutates the shared graph, and it stays serial, in
+	// group order. OptimizeWall remains the summed search cost — the same
+	// quantity the serial engine reports.
+	optResults := m.optimizeGroups(groups, cfg, report)
+
+	for gi, g := range groups {
+		res := optResults[gi].res
+		if err := optResults[gi].err; err != nil {
 			return nil, fmt.Errorf("qsm: optimize %q: %w", g.scope, err)
 		}
-		report.OptimizeWall += time.Since(start)
-		report.CandidatesPerGroup = append(report.CandidatesPerGroup, res.CandidateCount)
-		report.SearchNodes += res.SearchNodes
 		if err := mqo.Validate(g.qs, res.Inputs); err != nil {
 			return nil, fmt.Errorf("qsm: invalid assignment for %q: %w", g.scope, err)
 		}
 		prevScope := m.Graph.Scope
 		m.Graph.Scope = g.scope
-		err = factorize.Build(m.Graph, g.qs, res.Inputs, m.Cat)
+		err := factorize.Build(m.Graph, g.qs, res.Inputs, m.Cat)
 		if err != nil {
 			m.Graph.Scope = prevScope
 			return nil, fmt.Errorf("qsm: factorize %q: %w", g.scope, err)
@@ -234,6 +240,26 @@ func (m *Manager) Admit(subs []batcher.Submission, cfg mqo.Config) (*AdmitReport
 	// The paper includes optimization time in measured response times.
 	if m.ChargeOptimizer {
 		m.ATC.Env.Clock.Advance(report.OptimizeWall)
+	}
+
+	// Open the batch's cold remote streams concurrently before grafting
+	// (parallel controllers only; a no-op otherwise). Opening materialises
+	// independent pushed-down expressions at their databases, so a cold
+	// multi-source admission need not pay the round trips one after another.
+	// The node list is built in submission order so failures are
+	// deterministic.
+	var preopen []*plangraph.Node
+	for _, sub := range subs {
+		for _, q := range sub.UQ.CQs {
+			for _, in := range inputsByCQ[q.ID] {
+				if in.mode == costmodel.Stream {
+					preopen = append(preopen, in.node)
+				}
+			}
+		}
+	}
+	if err := m.ATC.PreopenStreams(preopen); err != nil {
+		return nil, err
 	}
 
 	// Graft each user query: revive terminal nodes (recovering history),
@@ -292,6 +318,54 @@ func (m *Manager) Admit(subs []batcher.Submission, cfg mqo.Config) (*AdmitReport
 	report.Recovered = m.ATC.Env.Metrics.Snapshot().ReplayTuples - replayBefore
 	m.EnforceBudget(epoch)
 	return report, nil
+}
+
+// optResult carries one group's optimization outcome.
+type optResult struct {
+	res *mqo.Result
+	err error
+}
+
+// optimizeGroups runs multi-query optimization for every group, bounded by
+// the controller's worker count (serial when the parallel executor is off or
+// there is only one group), and folds the search statistics into the report
+// in group order.
+func (m *Manager) optimizeGroups(groups []optGroup, cfg mqo.Config, report *AdmitReport) []optResult {
+	out := make([]optResult, len(groups))
+	walls := make([]time.Duration, len(groups))
+	workers := m.ATC.Workers()
+	if workers > 1 && len(groups) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range groups {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				start := time.Now()
+				res, err := mqo.Optimize(groups[i].qs, m.CM, cfg)
+				walls[i] = time.Since(start)
+				out[i] = optResult{res: res, err: err}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range groups {
+			start := time.Now()
+			res, err := mqo.Optimize(groups[i].qs, m.CM, cfg)
+			walls[i] = time.Since(start)
+			out[i] = optResult{res: res, err: err}
+		}
+	}
+	for i := range groups {
+		report.OptimizeWall += walls[i]
+		if out[i].res != nil {
+			report.CandidatesPerGroup = append(report.CandidatesPerGroup, out[i].res.CandidateCount)
+			report.SearchNodes += out[i].res.SearchNodes
+		}
+	}
+	return out
 }
 
 // groups splits the batch into optimization units per the sharing mode.

@@ -92,6 +92,12 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 	if !cfg.JointOptimize {
 		mgr.Unit = qsm.UnitUQ
 	}
+	if cfg.Workers > 1 {
+		// Component-scheduled parallel rounds inside this shard. The seed
+		// salt matches the shard's RNG derivation so per-node delay models
+		// differ across shards like everything else seeded does.
+		ctrl.EnableParallel(cfg.Workers, cfg.Seed+uint64(id)*7919+2)
+	}
 	sh := &shard{
 		id:       id,
 		cfg:      cfg,
@@ -207,7 +213,14 @@ func (sh *shard) run() {
 					continue
 				}
 				delete(waiters, id)
-				sh.respond(r, sh.result(r, m), nil)
+				if m.Err != nil {
+					// The merge failed inside the engine (non-convergent
+					// round or recovered operator panic): the caller gets a
+					// failed search instead of the process dying.
+					sh.respond(r, nil, fmt.Errorf("service: query %s failed: %w", id, m.Err))
+				} else {
+					sh.respond(r, sh.result(r, m), nil)
+				}
 				sh.ctrl.Forget(id)
 				finished = true
 			}
@@ -368,6 +381,7 @@ func (sh *shard) snapshot() ShardStats {
 		Budget:            budget,
 		Evictions:         sh.mgr.Evictions(),
 		EvictionsByPolicy: sh.mgr.State.EvictionsByPolicy(),
+		Parallel:          sh.ctrl.ParallelStats(),
 		Now:               sh.env.Clock.Now(),
 	}
 	if sp := sh.mgr.State.Spill(); sp != nil {

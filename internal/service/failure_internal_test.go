@@ -1,0 +1,44 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestNonConvergentMergeFailsSearchResponse pins the engine-failure contract
+// end to end: a merge whose scheduling rounds exceed the drive bound must
+// come back to the caller as a failed search response — the serve process
+// and its executor goroutines survive, and lifting the bound restores
+// service on the same shard.
+func TestNonConvergentMergeFailsSearchResponse(t *testing.T) {
+	w, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(w, Config{K: 8, Seed: 3, Shards: 1, Workers: 2, BatchWindow: 0})
+	defer svc.Close()
+
+	kw := w.Submissions[0].UQ.Keywords
+	// Cripple the bound before any request: every round then trips the
+	// non-convergence error inside a pool worker.
+	svc.shards[0].ctrl.SetDriveBound(1)
+	if _, err := svc.Search(context.Background(), "u", kw, 8); err == nil {
+		t.Fatal("crippled engine answered a search successfully")
+	} else if !strings.Contains(err.Error(), "did not converge") {
+		t.Fatalf("search error %v, want non-convergence", err)
+	}
+
+	// The executor must still be alive and serving: restore the bound
+	// through the engine's own submission path and search again.
+	svc.shards[0].ctrl.SetDriveBound(0)
+	res, err := svc.Search(context.Background(), "u", kw, 8)
+	if err != nil {
+		t.Fatalf("search after recovery: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("recovered search returned no answers")
+	}
+}

@@ -37,9 +37,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/atc"
 	"repro/internal/candidates"
 	"repro/internal/cq"
 	"repro/internal/dist"
@@ -93,6 +95,14 @@ type Config struct {
 	// goroutine). Related searches share a graph while unrelated ones run in
 	// parallel; Router selects how queries are placed. Default 1.
 	Shards int
+	// Workers sizes each shard's intra-shard parallel executor: the shared
+	// plan graph's independent components (connected subgraphs — searches
+	// that transitively share any node or stream stay in one component) are
+	// driven concurrently on this many workers, with a barrier per
+	// scheduling round. Result digests and work counters are byte-identical
+	// at any worker count; 1 runs the serial engine exactly. 0 defaults to
+	// GOMAXPROCS.
+	Workers int
 	// Router selects shard placement: "affinity" (default) routes each query
 	// to the shard whose decaying resident keyword set it overlaps most —
 	// §6.1's cluster-affinity idea at serving scale, with a fixed-hash
@@ -128,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
@@ -201,6 +214,10 @@ type ShardStats struct {
 	// Budget is the shard's current arbitrated allotment (0 = unbounded).
 	Budget    int
 	Evictions int
+	// Parallel reports the shard's intra-shard executor: worker count, pool
+	// utilization over parallel rounds, and the round-parallelism histogram
+	// (how many independent plan-graph components each round drove).
+	Parallel atc.ParallelStats
 	// EvictionsByPolicy splits evictions by the policy that chose them.
 	EvictionsByPolicy map[string]int
 	// Spill reports the shard's disk-tier traffic (zero when disabled).
@@ -401,8 +418,10 @@ func (s *Service) Close() {
 	}
 	for _, sh := range s.shards {
 		<-sh.doneCh
-		// The executor has exited; reclaim the shard's spill segments so no
-		// run leaves disk state behind.
+		// The executor has exited; release the shard's parallel workers and
+		// reclaim its spill segments so no run leaves goroutines or disk
+		// state behind.
+		sh.ctrl.Close()
 		sh.mgr.State.Close() //nolint:errcheck
 	}
 }

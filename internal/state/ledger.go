@@ -24,17 +24,22 @@
 // bookkeeping, the victim choice and the bytes on disk.
 package state
 
+import "sync/atomic"
+
 // Ledger is the incremental accounting of all retained execution state of
 // one engine (one plan graph), in rows. It replaces the per-victim
 // StateSize() rescan of the pre-subsystem eviction loop: structures call
 // Account.Add as rows arrive and leave, and Total is a running sum.
 //
-// A Ledger is confined to its engine's executor goroutine, like the rest of
-// the engine state; cross-goroutine readers must snapshot through that
-// goroutine (the serving layer already does this for all engine stats).
+// The ledger-wide aggregates are atomic: under the intra-shard parallel
+// executor, workers driving disjoint plan-graph components register deltas
+// into the one shared ledger concurrently. Each Account itself stays owned
+// by exactly one component (structures never span components), so only the
+// cross-account sums need to be concurrency-safe — and atomic addition is
+// order-independent, which keeps Total deterministic at any worker count.
 type Ledger struct {
-	total    int64
-	accounts int
+	total    atomic.Int64
+	accounts atomic.Int64
 }
 
 // NewLedger creates an empty ledger.
@@ -45,7 +50,7 @@ func (l *Ledger) Total() int64 {
 	if l == nil {
 		return 0
 	}
-	return l.total
+	return l.total.Load()
 }
 
 // Accounts returns how many live accounts the ledger tracks.
@@ -53,7 +58,7 @@ func (l *Ledger) Accounts() int {
 	if l == nil {
 		return 0
 	}
-	return l.accounts
+	return int(l.accounts.Load())
 }
 
 // NewAccount opens an account for one retained structure (a node exec, an
@@ -62,25 +67,30 @@ func (l *Ledger) NewAccount(label string) *Account {
 	if l == nil {
 		return nil
 	}
-	l.accounts++
+	l.accounts.Add(1)
 	return &Account{ledger: l, label: label}
 }
 
 // Release closes an account: its rows leave the total and all further Adds
 // on it are ignored. Releasing nil or an already-released account is a
-// no-op, so eviction racing cancellation cannot double-release.
+// no-op, so eviction racing cancellation cannot double-release. Like Add,
+// Release must come from the account's owning component (or from the
+// executor between rounds).
 func (l *Ledger) Release(a *Account) {
 	if l == nil || a == nil || a.dead {
 		return
 	}
 	a.dead = true
-	l.total -= a.rows
-	l.accounts--
+	l.total.Add(-a.rows)
+	l.accounts.Add(-1)
 }
 
 // Account is one structure's running row count within a ledger. All methods
 // are safe on a nil receiver: operator structures created outside an engine
-// (unit tests, ad hoc use) simply go unaccounted.
+// (unit tests, ad hoc use) simply go unaccounted. An account's own fields
+// are deliberately not atomic — every account belongs to exactly one
+// plan-graph component, and the parallel executor's round barrier orders a
+// component's writes before any other goroutine reads them.
 type Account struct {
 	ledger *Ledger
 	label  string
@@ -94,7 +104,7 @@ func (a *Account) Add(delta int) {
 		return
 	}
 	a.rows += int64(delta)
-	a.ledger.total += int64(delta)
+	a.ledger.total.Add(int64(delta))
 }
 
 // Rows returns the account's current row count.

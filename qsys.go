@@ -222,6 +222,9 @@ func (s *System) Submit(uq *cq.UQ) (*SearchResult, error) {
 	for !merge.Done {
 		s.atc.RunRound()
 	}
+	if merge.Err != nil {
+		return nil, fmt.Errorf("qsys: query %s failed: %w", uq.ID, merge.Err)
+	}
 	s.manager.SyncCatalog()
 	res := &SearchResult{
 		ID:                uq.ID,
