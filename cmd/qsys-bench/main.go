@@ -47,6 +47,7 @@ func main() {
 	benchBudget := flag.Int("bench-budget", 0, "row budget of the bounded-budget profile (0 = default; negative skips the profile)")
 	benchRouting := flag.Int("bench-routing", 0, "shard count of the hash-vs-affinity routing profile (0 = default; negative skips the profile)")
 	benchParallel := flag.Int("bench-parallel", 0, "worker count of the serial-vs-parallel executor profile (0 = default; negative skips the profile)")
+	benchFleet := flag.Int("bench-fleet", 0, "shard-slot count of the single-vs-multi-process fleet parity profile (0 = default; negative skips the profile)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	if *bench {
-		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel); err != nil {
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel, *benchFleet); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -130,7 +131,7 @@ func main() {
 }
 
 // runBench measures one trajectory point and writes it as JSON.
-func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers int) error {
+func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers, fleetShards int) error {
 	if outPath == "" {
 		// Derived from the label so a future PR's bare run cannot silently
 		// clobber an earlier checked-in trajectory point.
@@ -140,7 +141,7 @@ func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool
 	// Defaults only replaces zero, and Run's positivity guards leave the
 	// profile out. (Zeroing them here used to be undone when Run re-applied
 	// Defaults, silently resurrecting the skipped profiles.)
-	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers}
+	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers, FleetShards: fleetShards}
 
 	var baseline *benchrun.Point
 	if baselinePath != "" {

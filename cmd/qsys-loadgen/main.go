@@ -39,9 +39,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -50,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/state"
 	"repro/internal/workload"
@@ -72,7 +81,14 @@ func main() {
 	flag.IntVar(budget, "budget", 500, "alias for -memory-budget")
 	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
 	spillDir := flag.String("spill-dir", "", "spill evicted plan segments to per-shard dirs under this path instead of discarding (removed on close)")
+	target := flag.String("target", "", "drive a running qsys-serve (single-process or front-end) at this base URL over HTTP instead of an in-process service; transient rejections (503, connection refused) are retried with jittered backoff and reported")
+	digest := flag.Bool("digest", false, "with -target: print the sha256 result digest of the run (deterministic with -users 1; the multi-process parity gate compares it across serving modes)")
 	flag.Parse()
+
+	if *target != "" {
+		runTarget(*target, *wl, *instance, *users, *requests, *k, *seed, *overlap, *digest)
+		return
+	}
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -265,6 +281,124 @@ func run(wl string, instance int, window time.Duration, users, requests, k, batc
 		rep.qps = float64(len(lats)) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// targetRetries bounds resubmission of transiently rejected searches in
+// -target mode.
+const targetRetries = 5
+
+// runTarget drives a running qsys-serve over HTTP with the same seeded
+// closed-loop workload the in-process mode uses. Searches rejected before
+// admission — 503 from a draining/closed shard, connection refused from a
+// restarting one — are retried with jittered exponential backoff; any other
+// failure counts as an error, since the query may already have executed.
+func runTarget(target, wl string, instance, users, requests, k int, seed uint64, overlap, digest bool) {
+	w, err := workload.ByName(wl, instance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pool := keywordPool(w)
+	if overlap {
+		pool = overlapPool(pool)
+	}
+	target = strings.TrimRight(target, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		errCount int
+		retries  int
+	)
+	h := sha256.New()
+	start := time.Now()
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := dist.New(seed + uint64(u)*977 + 3)
+			backoffRNG := dist.New(seed + uint64(u)*977 + 4)
+			zipf := dist.NewZipf(rng, len(pool), 0.8)
+			for i := 0; i < requests; i++ {
+				kw := pool[zipf.Next()]
+				t0 := time.Now()
+				view, tries, err := searchHTTP(client, target, fmt.Sprintf("user%d", u), kw, k, backoffRNG)
+				d := time.Since(t0)
+				mu.Lock()
+				retries += tries
+				if err != nil {
+					errCount++
+				} else {
+					lats = append(lats, d)
+					if digest {
+						fleet.DigestView(h, view)
+					}
+				}
+				mu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep := &report{latencies: lats, errors: errCount}
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(len(lats)) / elapsed.Seconds()
+	}
+	fmt.Printf("target %s: %d users x %d requests, k=%d, workload=%s\n",
+		target, users, requests, k, wl)
+	fmt.Printf("qps=%.1f errors=%d retries=%d p50=%v p95=%v p99=%v\n",
+		qps, errCount, retries, rep.p(0.50), rep.p(0.95), rep.p(0.99))
+	if digest {
+		fmt.Printf("digest=%s\n", hex.EncodeToString(h.Sum(nil)))
+	}
+	if errCount > 0 {
+		os.Exit(1)
+	}
+}
+
+// searchHTTP posts one search, retrying transient pre-admission rejections.
+func searchHTTP(client *http.Client, target, user string, keywords []string, k int, rng *dist.RNG) (*fleet.ResultView, int, error) {
+	body, _ := json.Marshal(map[string]any{"user": user, "keywords": keywords, "k": k})
+	tries := 0
+	for {
+		view, retryableErr, err := postSearch(client, target, body)
+		if err == nil {
+			return view, tries, nil
+		}
+		if !retryableErr || tries >= targetRetries {
+			return nil, tries, err
+		}
+		tries++
+		base := 25 * time.Millisecond << uint(tries-1)
+		time.Sleep(base + time.Duration(rng.Intn(int(base)+1)))
+	}
+}
+
+// postSearch performs one attempt. The bool reports whether the failure is
+// safely retryable: the connection was never established, or the server
+// answered 503 (serve-side pre-admission rejection).
+func postSearch(client *http.Client, target string, body []byte) (*fleet.ResultView, bool, error) {
+	resp, err := client.Post(target+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		var op *net.OpError
+		return nil, errors.As(err, &op) && op.Op == "dial", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("search: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return nil, resp.StatusCode == http.StatusServiceUnavailable, err
+	}
+	var view fleet.ResultView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, false, err
+	}
+	return &view, false, nil
 }
 
 // overlapPool interleaves each base search with its overlapping topic

@@ -4,18 +4,28 @@
 // admission batches, multi-query-optimized together (§3) and executed over
 // shared plan graphs (§4–§6) — the paper's middleware as an online daemon.
 //
+// It serves in one of two modes:
+//
+//   - Single-process (default): every shard engine lives in this process.
+//   - Front-end (-fleet url,url,...): this process is the stateless tier of
+//     a distributed fleet — it owns candidate expansion, shard placement
+//     (the affinity router over remote endpoints), health-checked routing
+//     and live topic migration, while qsys-shard processes own the engines.
+//     Result digests are byte-identical across the two modes at equal seed.
+//
 // Usage:
 //
 //	qsys-serve [-addr :8080] [-workload bio|gus|pfam] [-instance 1]
 //	           [-window 25ms] [-batch 5] [-shards 1] [-workers 0]
 //	           [-router affinity|hash] [-k 50] [-memory-budget 0]
 //	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
+//	           [-fleet URL,URL,...] [-probe-interval 2s] [-rehome-factor 0]
 //
 // Endpoints:
 //
 //	POST /search       {"user":"alice","keywords":["protein","gene"],"k":10}
 //	GET  /stats        service + per-shard execution counters
-//	GET  /healthz      liveness probe
+//	GET  /healthz      per-shard health/drain state (503 when no shard serves)
 //	GET  /debug/pprof  standard Go profiling (CPU, heap, goroutines, ...)
 package main
 
@@ -30,12 +40,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/state"
-	"repro/internal/tuple"
 	"repro/internal/workload"
 )
 
@@ -45,15 +57,19 @@ func main() {
 	instance := flag.Int("instance", 1, "GUS instance (1-4)")
 	window := flag.Duration("window", 25*time.Millisecond, "admission batch window (0 = admit immediately)")
 	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
-	shards := flag.Int("shards", 1, "independent engine shards")
+	shards := flag.Int("shards", 1, "independent engine shards (single-process mode)")
 	workers := flag.Int("workers", 0, "per-shard parallel-executor workers: independent plan-graph components run concurrently (1 = serial engine, 0 = GOMAXPROCS); result digests are identical at any worker count")
 	routerMode := flag.String("router", "affinity", "shard placement: affinity (route by overlap with each shard's resident keywords, hash fallback) or hash (fixed keyword hash)")
 	k := flag.Int("k", 50, "default answers per search")
+	seed := flag.Uint64("seed", 1, "deterministic delay/scoring seed (must match the shard processes' in front-end mode)")
 	budget := flag.Int("memory-budget", 0, "global retained-state budget in rows, arbitrated across shards by demand (0 = unbounded)")
 	flag.IntVar(budget, "budget", 0, "alias for -memory-budget")
 	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
 	spillDir := flag.String("spill-dir", "", "spill evicted plan segments to per-shard dirs under this path instead of discarding (removed on shutdown)")
 	realtime := flag.Bool("realtime", false, "sleep simulated delays for real (live demo pacing)")
+	fleetList := flag.String("fleet", "", "comma-separated qsys-shard endpoints; enables front-end mode (this process runs no engine)")
+	probeEvery := flag.Duration("probe-interval", 2*time.Second, "front-end health-probe period (0 disables background probing)")
+	rehome := flag.Float64("rehome-factor", 0, "front-end live-migration hysteresis: migrate a topic when another shard's affinity mass exceeds its home's by this factor (0 disables; >= 2 sensible)")
 	flag.Parse()
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
@@ -76,18 +92,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	svc := service.New(w, service.Config{
-		K:            *k,
-		BatchWindow:  *window,
-		BatchSize:    *batch,
-		Shards:       *shards,
-		Workers:      *workers,
-		Router:       *routerMode,
-		MemoryBudget: *budget,
-		EvictPolicy:  *policy,
-		SpillDir:     *spillDir,
-		RealTime:     *realtime,
-	})
+
+	var (
+		api      serveAPI
+		teardown func()
+	)
+	if *fleetList != "" {
+		var backends []fleet.Backend
+		fm := &metrics.Fleet{}
+		for _, ep := range strings.Split(*fleetList, ",") {
+			ep = strings.TrimSpace(ep)
+			if ep == "" {
+				continue
+			}
+			backends = append(backends, fleet.NewClient(ep, fleet.ClientConfig{Metrics: fm}))
+		}
+		fr, err := fleet.NewFrontend(w, fleet.FrontendConfig{
+			Service:       service.Config{K: *k, Seed: *seed, Router: *routerMode},
+			ProbeInterval: *probeEvery,
+			RehomeFactor:  *rehome,
+			Metrics:       fm,
+		}, backends)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		api = &frontendAPI{fr: fr}
+		teardown = func() {
+			if err := fr.Close(); err != nil {
+				log.Printf("qsys-serve: front-end close: %v", err)
+			}
+		}
+		log.Printf("qsys-serve: front-end for %d shard endpoints (router=%s rehome=%.1f)",
+			len(backends), *routerMode, *rehome)
+	} else {
+		svc := service.New(w, service.Config{
+			K:            *k,
+			Seed:         *seed,
+			BatchWindow:  *window,
+			BatchSize:    *batch,
+			Shards:       *shards,
+			Workers:      *workers,
+			Router:       *routerMode,
+			MemoryBudget: *budget,
+			EvictPolicy:  *policy,
+			SpillDir:     *spillDir,
+			RealTime:     *realtime,
+		})
+		api = &localAPI{svc: svc, shards: *shards}
+		teardown = func() {
+			// Surface the per-shard state-teardown errors Close used to
+			// swallow: a serving process must log disk problems, not leak
+			// spill segments silently.
+			if err := svc.Close(); err != nil {
+				log.Printf("qsys-serve: close: %v", err)
+			}
+		}
+		log.Printf("qsys-serve: workload %s (window=%v batch=%d shards=%d workers=%d router=%s)",
+			w.Name, *window, *batch, *shards, *workers, *routerMode)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", func(rw http.ResponseWriter, req *http.Request) {
@@ -103,26 +166,25 @@ func main() {
 		if in.User == "" {
 			in.User = "anonymous"
 		}
-		res, err := svc.Search(req.Context(), in.User, in.Keywords, in.K)
+		view, err := api.Search(req.Context(), in.User, in.Keywords, in.K)
 		if err != nil {
-			switch {
-			case errors.Is(err, service.ErrClosed):
-				httpError(rw, http.StatusServiceUnavailable, err)
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				httpError(rw, http.StatusRequestTimeout, err)
-			default:
-				httpError(rw, http.StatusUnprocessableEntity, err)
-			}
+			httpError(rw, searchStatus(err), err)
 			return
 		}
-		writeJSON(rw, searchView(res))
+		writeJSON(rw, view)
 	})
 	mux.HandleFunc("GET /stats", func(rw http.ResponseWriter, req *http.Request) {
-		writeJSON(rw, svc.Stats())
+		writeJSON(rw, api.Stats(req.Context()))
 	})
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, req *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(rw, "ok")
+		hz := api.Healthz(req.Context())
+		rw.Header().Set("Content-Type", "application/json")
+		if !hz.OK {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(hz) //nolint:errcheck
 	})
 	// Standard Go profiling endpoints, so parallel-executor wins and
 	// contention are inspectable with `go tool pprof` against a live server.
@@ -134,8 +196,7 @@ func main() {
 
 	server := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		log.Printf("qsys-serve: workload %s on %s (window=%v batch=%d shards=%d workers=%d router=%s)",
-			w.Name, *addr, *window, *batch, *shards, *workers, *routerMode)
+		log.Printf("qsys-serve: listening on %s", *addr)
 		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -150,53 +211,76 @@ func main() {
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		log.Printf("qsys-serve: http shutdown: %v", err)
 	}
-	svc.Close()
+	teardown()
 	log.Print("qsys-serve: bye")
 }
 
-// answerView flattens an answer for JSON without exposing internal tuple
-// structure.
-type answerView struct {
-	Rank   int      `json:"rank"`
-	Score  float64  `json:"score"`
-	Query  string   `json:"query"`
-	Tuples []string `json:"tuples"`
+// serveAPI is what both modes expose to the HTTP handlers.
+type serveAPI interface {
+	Search(ctx context.Context, user string, keywords []string, k int) (*fleet.ResultView, error)
+	Stats(ctx context.Context) service.Stats
+	Healthz(ctx context.Context) fleet.HealthzView
 }
 
-type resultView struct {
-	ID                string        `json:"id"`
-	Keywords          []string      `json:"keywords"`
-	Shard             int           `json:"shard"`
-	BatchSize         int           `json:"batchSize"`
-	CandidateNetworks int           `json:"candidateNetworks"`
-	ExecutedNetworks  int           `json:"executedNetworks"`
-	EngineLatency     time.Duration `json:"engineLatencyNS"`
-	WallLatency       time.Duration `json:"wallLatencyNS"`
-	Answers           []answerView  `json:"answers"`
+// localAPI adapts a single-process service.
+type localAPI struct {
+	svc    *service.Service
+	shards int
 }
 
-func searchView(res *service.Result) resultView {
-	out := resultView{
-		ID:                res.ID,
-		Keywords:          res.Keywords,
-		Shard:             res.Shard,
-		BatchSize:         res.BatchSize,
-		CandidateNetworks: res.CandidateNetworks,
-		ExecutedNetworks:  res.ExecutedNetworks,
-		EngineLatency:     res.EngineLatency,
-		WallLatency:       res.WallLatency,
+func (a *localAPI) Search(ctx context.Context, user string, keywords []string, k int) (*fleet.ResultView, error) {
+	res, err := a.svc.Search(ctx, user, keywords, k)
+	if err != nil {
+		return nil, err
 	}
-	for _, a := range res.Answers {
-		v := answerView{Rank: a.Rank, Score: a.Score, Query: a.Query}
-		for _, t := range a.Tuples {
-			v.Tuples = append(v.Tuples, tupleString(t))
-		}
-		out.Answers = append(out.Answers, v)
-	}
-	return out
+	return fleet.ViewOf(res), nil
 }
 
-func tupleString(t *tuple.Tuple) string { return t.String() }
+func (a *localAPI) Stats(ctx context.Context) service.Stats { return a.svc.Stats() }
+
+// Healthz reports per-shard state for the single-process mode: every shard is
+// in this process, healthy and non-draining as long as it serves, with its
+// in-flight count drawn from the service counters.
+func (a *localAPI) Healthz(ctx context.Context) fleet.HealthzView {
+	st := a.svc.Stats()
+	hz := fleet.HealthzView{OK: true}
+	for i := 0; i < a.shards; i++ {
+		hz.Shards = append(hz.Shards, fleet.ShardHealthView{
+			Shard:   i,
+			Healthy: true,
+		})
+	}
+	hz.Shards[0].InFlight = int(st.Service.InFlight)
+	return hz
+}
+
+// frontendAPI adapts the distributed front-end.
+type frontendAPI struct {
+	fr *fleet.Frontend
+}
+
+func (a *frontendAPI) Search(ctx context.Context, user string, keywords []string, k int) (*fleet.ResultView, error) {
+	return a.fr.Search(ctx, user, keywords, k)
+}
+
+func (a *frontendAPI) Stats(ctx context.Context) service.Stats { return a.fr.Stats(ctx) }
+
+func (a *frontendAPI) Healthz(ctx context.Context) fleet.HealthzView { return a.fr.Healthz(ctx) }
+
+func searchStatus(err error) int {
+	var rpcErr *fleet.RPCError
+	switch {
+	case errors.Is(err, service.ErrClosed), errors.Is(err, fleet.ErrCircuitOpen),
+		errors.Is(err, fleet.ErrNoHealthyShard):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &rpcErr):
+		return rpcErr.Status
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
 
 func httpError(rw http.ResponseWriter, code int, err error) {
 	rw.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,129 @@
+// Command qsys-shard runs one shard process of the distributed serving tier:
+// a single engine (plan graph, ATC, query state manager) behind the fleet RPC
+// surface, fronted by a stateless qsys-serve front-end.
+//
+// The shard admits only fully expanded user queries — candidate expansion,
+// per-user scoring coefficients and UQ ids are front-end state. -shard-id
+// sets service.Config.ShardIDOffset, which seeds the engine identically to
+// shard <id> of a single-process service with the same -seed: result digests
+// are byte-identical whether the fleet lives in one process or N.
+//
+// Usage:
+//
+//	qsys-shard [-addr :8091] [-shard-id 0] [-workload bio|gus|pfam]
+//	           [-instance 1] [-seed 1] [-window 25ms] [-batch 5]
+//	           [-workers 0] [-k 50] [-memory-budget 0]
+//	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
+//
+// Endpoints:
+//
+//	POST /rpc/search          expanded user query → ranked answers
+//	GET  /rpc/stats           engine + serving counters
+//	GET  /rpc/health          health/drain state
+//	POST /rpc/migrate/export  serialize + discard a topic's idle state
+//	POST /rpc/migrate/import  stage a migrated topic behind the consistency gate
+//	POST /rpc/drain           stop admissions, finish in-flight, hand state off
+//
+// SIGTERM/SIGINT drains gracefully: new searches are rejected as retryable,
+// in-flight searches finish, and the engine shuts down with its state-teardown
+// error logged rather than swallowed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/state"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	shardID := flag.Int("shard-id", 0, "fleet slot this process serves: seeds the engine as shard <id> of an equivalent single-process service")
+	wl := flag.String("workload", "bio", "workload: bio, gus, pfam")
+	instance := flag.Int("instance", 1, "GUS instance (1-4)")
+	seed := flag.Uint64("seed", 1, "deterministic delay/scoring seed (must match the front-end's)")
+	window := flag.Duration("window", 25*time.Millisecond, "admission batch window (0 = admit immediately)")
+	batch := flag.Int("batch", 5, "admission batch size trigger (negative = window only)")
+	workers := flag.Int("workers", 0, "parallel-executor workers (1 = serial engine, 0 = GOMAXPROCS)")
+	k := flag.Int("k", 50, "default answers per search")
+	budget := flag.Int("memory-budget", 0, "retained-state budget in rows (0 = unbounded)")
+	flag.IntVar(budget, "budget", 0, "alias for -memory-budget")
+	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
+	spillDir := flag.String("spill-dir", "", "spill evicted plan segments under this path instead of discarding (removed on shutdown)")
+	realtime := flag.Bool("realtime", false, "sleep simulated delays for real")
+	flag.Parse()
+
+	if _, err := state.ParsePolicy(*policy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *shardID < 0 {
+		fmt.Fprintln(os.Stderr, "qsys-shard: -shard-id must be >= 0")
+		os.Exit(2)
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "qsys-shard: -spill-dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	w, err := workload.ByName(*wl, *instance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	svc := service.New(w, service.Config{
+		K:             *k,
+		Seed:          *seed,
+		BatchWindow:   *window,
+		BatchSize:     *batch,
+		Shards:        1,
+		ShardIDOffset: *shardID,
+		Workers:       *workers,
+		MemoryBudget:  *budget,
+		EvictPolicy:   *policy,
+		SpillDir:      *spillDir,
+		RealTime:      *realtime,
+	})
+	shard := fleet.NewShardServer(svc)
+
+	server := &http.Server{Addr: *addr, Handler: shard.Handler()}
+	go func() {
+		log.Printf("qsys-shard: slot %d, workload %s on %s (window=%v batch=%d workers=%d)",
+			*shardID, w.Name, *addr, *window, *batch, *workers)
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("qsys-shard: slot %d draining", *shardID)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	// Drain first — new searches 503 as retryable while in-flight ones
+	// finish — then stop the listener and tear the engine down.
+	if _, err := shard.Drain(shutdownCtx); err != nil {
+		log.Printf("qsys-shard: drain: %v", err)
+	}
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("qsys-shard: http shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("qsys-shard: state teardown: %v", err)
+	}
+	log.Printf("qsys-shard: slot %d bye", *shardID)
+}

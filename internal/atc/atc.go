@@ -118,6 +118,10 @@ type ATC struct {
 	// re-creation can be classified as a revival from spill or from source
 	// replay (the shared-fraction split the serving stats report).
 	evictedKeys map[string]bool
+	// staged holds migrated-in segments awaiting revival (migrate.go); they
+	// are consumed by restoreStream/restoreJoin ahead of the disk tier and
+	// behind the same consistency gate.
+	staged map[string]stagedSeg
 }
 
 // New creates a controller for a plan graph.
@@ -259,6 +263,26 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 // with their original epoch stamps, all charged as local spill I/O rather
 // than remote stream reads (§6.3 disk tier).
 func (a *ATC) restoreStream(n *plangraph.Node, x *operator.NodeExec) {
+	if seg, ok := a.takeStaged(n.Key); ok {
+		snap := seg.snap
+		if snap.Kind != int(plangraph.SourceStream) || snap.StreamPos > x.Stream.Len() {
+			// The migrated prefix does not match this shard's view of the
+			// source: it is lost, so the catalog must stop pricing it as
+			// buffered and the stream re-derives from source replay.
+			a.Env.Metrics.AddMigrationDrop()
+			if a.SpillLost != nil {
+				a.SpillLost(n.Expr.Key())
+			}
+			a.noteSourceRevival(n.Key)
+			return
+		}
+		delete(a.evictedKeys, n.Key)
+		x.Stream.Skip(snap.StreamPos)
+		x.ImportLog(snap.LogRows, snap.LogEpochs)
+		a.Env.ChargeSpillRead(snap.RowCount(), int64(seg.bytes))
+		a.Env.Metrics.AddMigrationRestore()
+		return
+	}
 	if a.spill == nil || !a.spill.Has(n.Key) {
 		a.noteSourceRevival(n.Key)
 		return
@@ -330,24 +354,7 @@ func (a *ATC) SpillNode(n *plangraph.Node) bool {
 	if !ok {
 		return false
 	}
-	snap := &state.NodeSnapshot{Key: n.Key, Kind: int(n.Kind)}
-	if x.Stream != nil {
-		snap.StreamPos = x.Stream.Pos()
-	}
-	snap.LogRows, snap.LogEpochs = x.Log.Export()
-	if n.Kind == plangraph.Join {
-		snap.Modules = make([]state.ModuleSnapshot, len(n.Inputs))
-		for i, e := range n.Inputs {
-			parts, epochs := x.Module(i).Export()
-			snap.Modules[i] = state.ModuleSnapshot{
-				ProducerKey: e.From.Key,
-				Coverage:    append([]int(nil), e.AtomMap...),
-				Probe:       e.Probe,
-				Parts:       parts,
-				Epochs:      epochs,
-			}
-		}
-	}
+	snap := snapshotNode(n, x)
 	rows, bytes, err := a.spill.Write(snap)
 	if err != nil {
 		// Local disk failed; fall back to discard eviction.
@@ -418,6 +425,26 @@ func (a *ATC) Revive(n *plangraph.Node, epoch int) (*operator.NodeExec, error) {
 // falls back to normal revival; reinstalling across it would fabricate or
 // duplicate join state.
 func (a *ATC) restoreJoin(n *plangraph.Node, x *operator.NodeExec) {
+	if seg, ok := a.takeStaged(n.Key); ok {
+		snap := seg.snap
+		// The gate: the node must be empty (state derived since staging makes
+		// the segment stale) and the segment must match the node's current
+		// input structure and parent logs. A failed gate drops the segment —
+		// the state re-derives by source replay, never installs wrong.
+		if x.Log.Len() > 0 || x.StateSize() > 0 || !a.joinSnapshotConsistent(n, snap) {
+			a.Env.Metrics.AddMigrationDrop()
+			a.noteSourceRevival(n.Key)
+			return
+		}
+		delete(a.evictedKeys, n.Key)
+		for i := range snap.Modules {
+			x.ImportModuleRows(i, snap.Modules[i].Parts, snap.Modules[i].Epochs)
+		}
+		x.ImportLog(snap.LogRows, snap.LogEpochs)
+		a.Env.ChargeSpillRead(snap.RowCount(), int64(seg.bytes))
+		a.Env.Metrics.AddMigrationRestore()
+		return
+	}
 	if a.spill == nil || !a.spill.Has(n.Key) {
 		if x.Log.Len() == 0 && x.StateSize() == 0 {
 			a.noteSourceRevival(n.Key)

@@ -62,6 +62,12 @@ type Config struct {
 	// engine, comparing wall clock, result digests and work counters.
 	// 0 skips the profile.
 	ParallelWorkers int `json:"parallel_workers,omitempty"`
+	// FleetShards is the distributed-tier parity profile's shard-slot count:
+	// the routing workload runs once inside a single process and once as a
+	// stateless front-end over that many shard HTTP servers, comparing result
+	// digests byte-for-byte, plus a live topic-migration probe that must cost
+	// zero extra source-stream tuples. 0 skips the profile.
+	FleetShards int `json:"fleet_shards,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -86,6 +92,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.ParallelWorkers == 0 {
 		c.ParallelWorkers = DefaultParallelWorkers
+	}
+	if c.FleetShards == 0 {
+		c.FleetShards = DefaultRoutingShards
 	}
 	return c
 }
@@ -198,6 +207,7 @@ type Point struct {
 	Budget      *BudgetProfile   `json:"budget,omitempty"`
 	Routing     *RoutingProfile  `json:"routing,omitempty"`
 	Parallel    *ParallelProfile `json:"parallel,omitempty"`
+	Fleet       *FleetProfile    `json:"fleet,omitempty"`
 }
 
 // Delta summarizes current against baseline (negative = improvement).
@@ -392,6 +402,13 @@ func Run(cfg Config) (*Point, error) {
 		}
 		p.Parallel = parallel
 	}
+	if cfg.FleetShards > 0 {
+		flt, err := RunFleet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Fleet = flt
+	}
 	return p, nil
 }
 
@@ -474,6 +491,9 @@ func (r *Report) Summary() string {
 	}
 	if r.Current.Parallel != nil {
 		s += r.Current.Parallel.Summary()
+	}
+	if r.Current.Fleet != nil {
+		s += r.Current.Fleet.Summary()
 	}
 	return s
 }

@@ -1,0 +1,300 @@
+package benchrun
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// FleetRun is one execution of the routing-profile workload under a serving
+// topology: its source-side work and its result digest.
+type FleetRun struct {
+	StreamTuples   int64  `json:"stream_tuples"`
+	TuplesConsumed int64  `json:"tuples_consumed"`
+	ReplayTuples   int64  `json:"replay_tuples"`
+	ResultDigest   string `json:"result_digest"`
+}
+
+// MigrationProbe is the live-migration consistency check: one topic is
+// searched, migrated to the other shard, and searched again, against a
+// control run where it stays put. Moving the topic must cost zero extra
+// source-stream tuples (the state traveled, so the sources are not re-read)
+// and answer identically.
+type MigrationProbe struct {
+	// Segments/Rows are what the source shard serialized and handed off;
+	// Installed/Dropped how the target's consistency gate received them.
+	Segments  int `json:"segments"`
+	Rows      int `json:"rows"`
+	Installed int `json:"installed"`
+	Dropped   int `json:"dropped"`
+
+	StayStreamTuples    int64 `json:"stay_stream_tuples"`
+	MigrateStreamTuples int64 `json:"migrate_stream_tuples"`
+	// ExtraStreamTuples must be zero: migration may move work, never re-pay
+	// it at the sources.
+	ExtraStreamTuples int64 `json:"extra_stream_tuples"`
+	DigestsEqual      bool  `json:"digests_equal"`
+}
+
+// FleetProfile is the distributed-tier parity gate checked into the
+// trajectory: the routing-profile workload executed once inside a single
+// process (Shards=N) and once as a fleet — a stateless front-end routing over
+// N shard HTTP servers, each a separate engine seeded via ShardIDOffset. The
+// two topologies must produce byte-identical result digests: the tier moves
+// processes around, not semantics. The migration probe additionally pins the
+// live topic-migration path.
+type FleetProfile struct {
+	Shards   int `json:"shards"`
+	Topics   int `json:"topics"`
+	Searches int `json:"searches"`
+
+	SingleProcess FleetRun `json:"single_process"`
+	MultiProcess  FleetRun `json:"multi_process"`
+	DigestsEqual  bool     `json:"digests_equal"`
+
+	Migration MigrationProbe `json:"migration"`
+}
+
+// fleetSearches runs the routing-profile search sequence through any search
+// function and digests the results.
+func fleetSearches(topics [][3][]string, k int, search func(keywords []string) (*fleet.ResultView, error)) (string, int, error) {
+	digest := sha256.New()
+	searches := 0
+	for variant := 0; variant < 3; variant++ {
+		for _, tp := range topics {
+			view, err := search(tp[variant])
+			if err != nil {
+				return "", 0, fmt.Errorf("benchrun: fleet search %q: %w", tp[variant], err)
+			}
+			searches++
+			fleet.DigestView(digest, view)
+		}
+	}
+	return hex.EncodeToString(digest.Sum(nil)), searches, nil
+}
+
+// RunFleet measures the fleet profile at cfg.RoutingShards shard slots.
+func RunFleet(cfg Config) (*FleetProfile, error) {
+	cfg = cfg.Defaults()
+	shards := cfg.FleetShards
+	if shards < 2 {
+		return nil, fmt.Errorf("benchrun: fleet profile needs >= 2 shards, got %d", shards)
+	}
+	prof := &FleetProfile{Shards: shards}
+
+	// Single-process control: one service owning every shard engine, the
+	// exact configuration of the routing profile's affinity run.
+	{
+		w, err := workload.GUS(1, workload.GUSScaleDefault())
+		if err != nil {
+			return nil, err
+		}
+		topics := routingTopics(w)
+		if len(topics) == 0 {
+			return nil, fmt.Errorf("benchrun: workload has no multi-keyword suite queries")
+		}
+		prof.Topics = len(topics)
+		svc := service.New(w, service.Config{
+			Seed: cfg.Seed, K: cfg.K, Shards: shards,
+			Router: service.RouterAffinity, Workers: 1, BatchWindow: 0,
+		})
+		digest, searches, err := fleetSearches(topics, cfg.K, func(kw []string) (*fleet.ResultView, error) {
+			res, err := svc.Search(context.Background(), "router-bench", kw, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			return fleet.ViewOf(res), nil
+		})
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		prof.Searches = searches
+		st := svc.Stats()
+		prof.SingleProcess = FleetRun{
+			StreamTuples:   st.Work.StreamTuples,
+			TuplesConsumed: st.Work.TuplesConsumed(),
+			ReplayTuples:   st.Work.ReplayTuples,
+			ResultDigest:   digest,
+		}
+		if err := svc.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Multi-process run: shard engines behind real HTTP servers on loopback,
+	// a stateless front-end expanding and routing over them. Each shard
+	// process builds its own workload instance — the generators are seeded,
+	// so the N copies are byte-equivalent — and runs Shards=1 with
+	// ShardIDOffset=i, seeding its engine identically to in-process shard i.
+	{
+		run, err := runFleetMulti(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		prof.MultiProcess = *run
+	}
+	prof.DigestsEqual = prof.SingleProcess.ResultDigest == prof.MultiProcess.ResultDigest
+
+	mig, err := runMigrationProbe(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	prof.Migration = *mig
+	return prof, nil
+}
+
+func runFleetMulti(cfg Config, shards int) (*FleetRun, error) {
+	type shardProc struct {
+		server   *http.Server
+		shardSrv *fleet.ShardServer
+		lis      net.Listener
+	}
+	var procs []*shardProc
+	defer func() {
+		for _, p := range procs {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			p.server.Shutdown(ctx) //nolint:errcheck
+			cancel()
+			p.shardSrv.Close()
+		}
+	}()
+
+	var backends []fleet.Backend
+	for i := 0; i < shards; i++ {
+		w, err := workload.GUS(1, workload.GUSScaleDefault())
+		if err != nil {
+			return nil, err
+		}
+		svc := service.New(w, service.Config{
+			Seed: cfg.Seed, K: cfg.K, Shards: 1, ShardIDOffset: i,
+			Router: service.RouterAffinity, Workers: 1, BatchWindow: 0,
+		})
+		ss := fleet.NewShardServer(svc)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		server := &http.Server{Handler: ss.Handler()}
+		go server.Serve(lis) //nolint:errcheck
+		procs = append(procs, &shardProc{server: server, shardSrv: ss, lis: lis})
+		backends = append(backends, fleet.NewClient("http://"+lis.Addr().String(), fleet.ClientConfig{}))
+	}
+
+	wf, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		return nil, err
+	}
+	topics := routingTopics(wf)
+	fr, err := fleet.NewFrontend(wf, fleet.FrontendConfig{
+		Service: service.Config{Seed: cfg.Seed, K: cfg.K, Router: service.RouterAffinity},
+	}, backends)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close() //nolint:errcheck
+
+	digest, _, err := fleetSearches(topics, cfg.K, func(kw []string) (*fleet.ResultView, error) {
+		return fr.Search(context.Background(), "router-bench", kw, cfg.K)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := fr.Stats(context.Background())
+	return &FleetRun{
+		StreamTuples:   st.Work.StreamTuples,
+		TuplesConsumed: st.Work.TuplesConsumed(),
+		ReplayTuples:   st.Work.ReplayTuples,
+		ResultDigest:   digest,
+	}, nil
+}
+
+// runMigrationProbe compares a topic searched, migrated and searched again
+// against the same topic staying put, inside one 2+-shard service (shards of
+// one process share the workload's materialized source views, so a migrated
+// stream segment passes the consistency gate on the target).
+func runMigrationProbe(cfg Config, shards int) (*MigrationProbe, error) {
+	run := func(migrate bool) (string, int64, *service.MigrationReport, error) {
+		w, err := workload.GUS(1, workload.GUSScaleDefault())
+		if err != nil {
+			return "", 0, nil, err
+		}
+		topics := routingTopics(w)
+		if len(topics) == 0 {
+			return "", 0, nil, fmt.Errorf("benchrun: workload has no multi-keyword suite queries")
+		}
+		topic := topics[0][0]
+		svc := service.New(w, service.Config{
+			Seed: cfg.Seed, K: cfg.K, Shards: shards,
+			Router: service.RouterAffinity, Workers: 1, BatchWindow: 0,
+		})
+		defer svc.Close() //nolint:errcheck
+
+		digest := sha256.New()
+		res, err := svc.Search(context.Background(), "router-bench", topic, cfg.K)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		digestResult(digest, res)
+
+		var rep *service.MigrationReport
+		if migrate {
+			home := res.Shard
+			rep, err = svc.MigrateTopic(topic, home, (home+1)%shards)
+			if err != nil {
+				return "", 0, nil, err
+			}
+		}
+
+		res, err = svc.Search(context.Background(), "router-bench", topic, cfg.K)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		digestResult(digest, res)
+		st := svc.Stats()
+		return hex.EncodeToString(digest.Sum(nil)), st.Work.StreamTuples, rep, nil
+	}
+
+	stayDigest, stayStream, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	migDigest, migStream, rep, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &MigrationProbe{
+		Segments:            rep.Segments,
+		Rows:                rep.Rows,
+		Installed:           rep.Installed,
+		Dropped:             rep.Dropped,
+		StayStreamTuples:    stayStream,
+		MigrateStreamTuples: migStream,
+		ExtraStreamTuples:   migStream - stayStream,
+		DigestsEqual:        stayDigest == migDigest,
+	}, nil
+}
+
+// Summary renders the profile for the CLI.
+func (p *FleetProfile) Summary() string {
+	s := fmt.Sprintf("fleet profile (%d shard slots, %d topics x 3 variants):\n", p.Shards, p.Topics)
+	line := func(name string, r FleetRun) string {
+		return fmt.Sprintf("  %-14s streamTup=%-7d totalTup=%-7d replayed=%-6d digest=%s...\n",
+			name, r.StreamTuples, r.TuplesConsumed, r.ReplayTuples, r.ResultDigest[:12])
+	}
+	s += line("single-process", p.SingleProcess) + line("multi-process", p.MultiProcess)
+	s += fmt.Sprintf("  multi-process digest == single-process: %v\n", p.DigestsEqual)
+	m := p.Migration
+	s += fmt.Sprintf("  migration: segments=%d rows=%d installed=%d dropped=%d extraStreamTup=%d digestsEqual=%v\n",
+		m.Segments, m.Rows, m.Installed, m.Dropped, m.ExtraStreamTuples, m.DigestsEqual)
+	return s
+}

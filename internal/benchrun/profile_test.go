@@ -133,6 +133,44 @@ func TestParallelProfileDigestGate(t *testing.T) {
 		p.MultiTopicSpeedup, p.MultiTopicEngineSpeedup, runtime.NumCPU(), raceEnabled)
 }
 
+// TestFleetProfileParityGate is this PR's acceptance gate for the
+// distributed serving tier: the routing-profile workload answered by a
+// front-end over shard HTTP processes must digest byte-identically to the
+// single-process run — the tier moves processes around, not semantics — and
+// the live-migration probe must move a topic mid-wave for zero extra
+// source-stream tuples with identical answers.
+func TestFleetProfileParityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet profile is a multi-run workload over loopback HTTP")
+	}
+	p, err := RunFleet(Config{}.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.DigestsEqual {
+		t.Fatalf("multi-process digest %s != single-process digest %s",
+			p.MultiProcess.ResultDigest, p.SingleProcess.ResultDigest)
+	}
+	if p.Searches == 0 || p.Topics == 0 {
+		t.Fatalf("profile ran no searches (%d topics); gate is vacuous", p.Topics)
+	}
+	m := p.Migration
+	if m.Segments == 0 {
+		t.Fatal("migration probe exported no segments; gate is vacuous")
+	}
+	if m.Installed != m.Segments || m.Dropped != 0 {
+		t.Fatalf("migration probe: %d/%d installed, %d dropped — in-process gate should accept all",
+			m.Installed, m.Segments, m.Dropped)
+	}
+	if m.ExtraStreamTuples != 0 {
+		t.Fatalf("migrating the topic cost %d extra source-stream tuples (stay=%d migrate=%d), want 0",
+			m.ExtraStreamTuples, m.StayStreamTuples, m.MigrateStreamTuples)
+	}
+	if !m.DigestsEqual {
+		t.Fatal("migrated-topic answers diverged from the stay-put control")
+	}
+}
+
 // BenchmarkServingWorkload runs the trajectory serving workload once per
 // iteration; it exists so the fixed workload can be profiled with the
 // standard pprof tooling (go test -bench ServingWorkload -cpuprofile ...).

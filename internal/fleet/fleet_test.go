@@ -1,0 +1,317 @@
+package fleet_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+var fleetTopics = [][]string{
+	{"metabolism", "protein"},
+	{"membrane", "gene"},
+	{"plasma membrane", "protein"},
+	{"metabolism", "gene"},
+	{"metabolism", "protein"},
+	{"membrane", "gene"},
+}
+
+// newShardHTTP starts a shard engine for fleet slot `slot` behind a real HTTP
+// server, as qsys-shard would run it.
+func newShardHTTP(t *testing.T, slot int, seed uint64) (*httptest.Server, *fleet.ShardServer) {
+	t.Helper()
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(w, service.Config{
+		Seed: seed, K: 10, Shards: 1, ShardIDOffset: slot,
+		Workers: 1, BatchWindow: 0,
+	})
+	ss := fleet.NewShardServer(svc)
+	srv := httptest.NewServer(ss.Handler())
+	t.Cleanup(func() { srv.Close(); ss.Close() })
+	return srv, ss
+}
+
+func newTestFrontend(t *testing.T, seed uint64, servers []*httptest.Server, cfg fleet.FrontendConfig) *fleet.Frontend {
+	t.Helper()
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backends []fleet.Backend
+	for _, srv := range servers {
+		backends = append(backends, fleet.NewClient(srv.URL, fleet.ClientConfig{
+			MaxRetries:   2,
+			RetryBackoff: 2 * time.Millisecond,
+			Metrics:      cfg.Metrics,
+		}))
+	}
+	if cfg.Service.Seed == 0 {
+		cfg.Service = service.Config{Seed: seed, K: 10, Router: service.RouterAffinity}
+	}
+	fr, err := fleet.NewFrontend(w, cfg, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fr.Close() }) //nolint:errcheck
+	return fr
+}
+
+// TestFleetDigestParityHTTP is the tentpole invariant end to end: the same
+// seeded search sequence answered by a single 2-shard process and by a
+// front-end over two shard HTTP servers must digest byte-identically.
+func TestFleetDigestParityHTTP(t *testing.T) {
+	const seed = 11
+
+	// Single-process control.
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := service.New(w, service.Config{
+		Seed: seed, K: 10, Shards: 2, Router: service.RouterAffinity,
+		Workers: 1, BatchWindow: 0,
+	})
+	defer single.Close() //nolint:errcheck
+	hSingle := sha256.New()
+	for _, kw := range fleetTopics {
+		res, err := single.Search(context.Background(), "parity", kw, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet.DigestView(hSingle, fleet.ViewOf(res))
+	}
+
+	// Distributed run: two shard processes (distinct workload instances —
+	// generation is seeded, so the copies are byte-equivalent) + front-end.
+	srv0, _ := newShardHTTP(t, 0, seed)
+	srv1, _ := newShardHTTP(t, 1, seed)
+	fr := newTestFrontend(t, seed, []*httptest.Server{srv0, srv1}, fleet.FrontendConfig{})
+	hMulti := sha256.New()
+	for _, kw := range fleetTopics {
+		view, err := fr.Search(context.Background(), "parity", kw, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Shard < 0 || view.Shard > 1 {
+			t.Fatalf("result claims shard %d of a 2-slot fleet", view.Shard)
+		}
+		fleet.DigestView(hMulti, view)
+	}
+
+	got, want := hex.EncodeToString(hMulti.Sum(nil)), hex.EncodeToString(hSingle.Sum(nil))
+	if got != want {
+		t.Fatalf("multi-process digest %s != single-process digest %s", got, want)
+	}
+}
+
+// TestDrainRejectsRetryablyAndFrontendFailsOver pins the drain contract: a
+// draining shard turns searches away as retryable 503s, and the front-end
+// routes the search to a healthy shard instead of failing it.
+func TestDrainRejectsRetryablyAndFrontendFailsOver(t *testing.T) {
+	srv0, _ := newShardHTTP(t, 0, 5)
+	srv1, ss1 := newShardHTTP(t, 1, 5)
+	fr := newTestFrontend(t, 5, []*httptest.Server{srv0, srv1}, fleet.FrontendConfig{})
+
+	// Warm both shards so the router has real placements.
+	for _, kw := range fleetTopics {
+		if _, err := fr.Search(context.Background(), "drainer", kw, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exp, err := ss1.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss1.Draining() {
+		t.Fatal("shard does not report draining")
+	}
+	_ = exp // handoff content exercised by the service-level migration tests
+
+	// A direct client search against the draining shard must surface a
+	// retryable RPC rejection (after its bounded retries).
+	c := fleet.NewClient(srv1.URL, fleet.ClientConfig{MaxRetries: 1, RetryBackoff: time.Millisecond})
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2 := service.NewExpander(w, service.Config{Seed: 5, K: 5})
+	uq, err := exp2.Expand("drainer", []string{"metabolism", "protein"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Search(context.Background(), uq)
+	var rpcErr *fleet.RPCError
+	if !errors.As(err, &rpcErr) || rpcErr.Status != 503 || !rpcErr.Retryable {
+		t.Fatalf("draining shard answered %v, want retryable 503", err)
+	}
+
+	// Every topic — including ones previously homed on shard 1 — must still
+	// answer through the front-end.
+	for _, kw := range fleetTopics {
+		view, err := fr.Search(context.Background(), "drainer", kw, 5)
+		if err != nil {
+			t.Fatalf("search %v after drain: %v", kw, err)
+		}
+		if view.Shard == 1 {
+			t.Fatalf("search %v routed to the draining shard", kw)
+		}
+	}
+
+	// The aggregated healthz must show shard 1 draining and the fleet OK.
+	hz := fr.Healthz(context.Background())
+	if !hz.OK {
+		t.Fatal("fleet healthz not OK with one healthy shard")
+	}
+	if !hz.Shards[1].Draining || hz.Shards[1].Healthy {
+		t.Fatalf("healthz shard 1 = %+v, want draining/unhealthy", hz.Shards[1])
+	}
+	if !hz.Shards[0].Healthy {
+		t.Fatalf("healthz shard 0 = %+v, want healthy", hz.Shards[0])
+	}
+}
+
+// TestClientCircuitBreaker pins the breaker lifecycle: consecutive connect
+// failures open the circuit (fail fast, no dial); the cooloff admits a single
+// half-open probe, and a failed probe re-opens the circuit for the next caller.
+func TestClientCircuitBreaker(t *testing.T) {
+	srv, _ := newShardHTTP(t, 0, 7)
+	w, err := workload.Bio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := service.NewExpander(w, service.Config{Seed: 7, K: 5})
+	uq, err := exp.Expand("breaker", []string{"metabolism", "protein"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url := srv.URL
+	srv.Close() // connections now refused
+
+	c := fleet.NewClient(url, fleet.ClientConfig{
+		MaxRetries:       1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooloff:   50 * time.Millisecond,
+	})
+	// First search burns through its attempts and trips the breaker.
+	if _, err := c.Search(context.Background(), uq); err == nil {
+		t.Fatal("search against closed endpoint succeeded")
+	}
+	// Now the circuit is open: fail fast without touching the network.
+	if _, err := c.Health(context.Background()); !errors.Is(err, fleet.ErrCircuitOpen) {
+		t.Fatalf("open circuit returned %v, want ErrCircuitOpen", err)
+	}
+	// After the cooloff a probe is admitted; it still fails (endpoint is
+	// gone) and the circuit stays open for the next caller.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Health(context.Background()); errors.Is(err, fleet.ErrCircuitOpen) {
+		t.Fatal("cooloff did not admit a half-open probe")
+	}
+	if _, err := c.Health(context.Background()); !errors.Is(err, fleet.ErrCircuitOpen) {
+		t.Fatalf("circuit closed after a failed probe")
+	}
+}
+
+// TestFrontendRoutesAroundDeadShard kills one shard process outright: the
+// front-end must mark it down on the failed search and answer from the
+// survivor, and healthz must report the fleet degraded but OK.
+func TestFrontendRoutesAroundDeadShard(t *testing.T) {
+	srv0, _ := newShardHTTP(t, 0, 9)
+	srv1, _ := newShardHTTP(t, 1, 9)
+	fr := newTestFrontend(t, 9, []*httptest.Server{srv0, srv1}, fleet.FrontendConfig{})
+
+	for _, kw := range fleetTopics {
+		if _, err := fr.Search(context.Background(), "survivor", kw, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1.Close()
+
+	for _, kw := range fleetTopics {
+		view, err := fr.Search(context.Background(), "survivor", kw, 5)
+		if err != nil {
+			t.Fatalf("search %v with shard 1 dead: %v", kw, err)
+		}
+		if view.Shard != 0 {
+			t.Fatalf("search %v answered by shard %d, want 0", kw, view.Shard)
+		}
+	}
+
+	hz := fr.Healthz(context.Background())
+	if !hz.OK {
+		t.Fatal("fleet healthz not OK with one live shard")
+	}
+	if hz.Shards[1].Error == "" {
+		t.Fatal("healthz hides the dead shard's probe failure")
+	}
+}
+
+// TestMigrationOverRPC pins live migration across processes: a fleet where a
+// topic is searched, migrated over the export/import RPCs and searched again
+// must digest identically to a fleet where the topic stays put. Segments the
+// target's consistency gate rejects (cross-process stream positions) are
+// dropped and re-derived by source replay — never served wrong.
+func TestMigrationOverRPC(t *testing.T) {
+	topic := []string{"metabolism", "protein"}
+	run := func(migrate bool) string {
+		srv0, _ := newShardHTTP(t, 0, 13)
+		srv1, _ := newShardHTTP(t, 1, 13)
+		fr := newTestFrontend(t, 13, []*httptest.Server{srv0, srv1}, fleet.FrontendConfig{})
+
+		h := sha256.New()
+		view, err := fr.Search(context.Background(), "mover", topic, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view.Answers) == 0 {
+			t.Fatal("first search produced no answers")
+		}
+		fleet.DigestView(h, view)
+
+		if migrate {
+			from, to := view.Shard, 1-view.Shard
+			if err := fr.MigrateTopic(context.Background(), topic, from, to); err != nil {
+				t.Fatal(err)
+			}
+			if got := fr.Metrics().Migrations.Value(); got != 1 {
+				t.Fatalf("migration counter = %d, want 1", got)
+			}
+			again, err := fr.Search(context.Background(), "mover", topic, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Shard != to {
+				t.Fatalf("post-migration search ran on shard %d, want %d", again.Shard, to)
+			}
+			fleet.DigestView(h, again)
+		} else {
+			again, err := fr.Search(context.Background(), "mover", topic, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Shard != view.Shard {
+				t.Fatalf("un-migrated topic moved from shard %d to %d", view.Shard, again.Shard)
+			}
+			fleet.DigestView(h, again)
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	}
+
+	stay := run(false)
+	migrated := run(true)
+	if stay != migrated {
+		t.Fatalf("migration changed results: stay=%s migrate=%s", stay, migrated)
+	}
+}

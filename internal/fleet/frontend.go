@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/state"
+	"repro/internal/workload"
+)
+
+// FrontendConfig tunes a front-end.
+type FrontendConfig struct {
+	// Service carries the expansion parameters (Seed, K, MaxCQs) and the
+	// Router mode; engine-side fields are ignored — the engines live in the
+	// shard processes.
+	Service service.Config
+	// ProbeInterval is the health prober's period; 0 disables background
+	// probing (backends are then marked down only by failed searches).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// RehomeFactor enables the topic migrator when > 1: after each search the
+	// placer may suggest migrating the topic to the shard whose admission
+	// mass on its keywords exceeds its pinned home's by this factor, and the
+	// front-end then moves the state over the migrate RPCs. 0 disables.
+	RehomeFactor float64
+	// Metrics receives fleet counters; nil allocates a private set.
+	Metrics *metrics.Fleet
+}
+
+// ErrNoHealthyShard is returned by Search when every backend has been marked
+// down or already failed this request.
+var ErrNoHealthyShard = errors.New("fleet: no healthy shard")
+
+// Frontend is the stateless half of the distributed tier: it owns candidate
+// expansion (per-user scoring coefficients, UQ ids), shard placement and
+// health, but no engine state — everything it holds can be rebuilt by
+// restarting it, at the cost of re-expanding and re-routing from scratch.
+type Frontend struct {
+	exp      *service.Expander
+	placer   *service.Placer
+	svc      *metrics.Service
+	fm       *metrics.Fleet
+	backends []Backend
+	rehome   float64
+
+	mu   sync.Mutex
+	down []bool // marked by failed probes/searches, cleared by probes
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewFrontend builds a front-end over the shard backends. The workload is
+// needed only for expansion (schema, catalog, generator config) — the
+// front-end never touches its data.
+func NewFrontend(w *workload.Workload, cfg FrontendConfig, backends []Backend) (*Frontend, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("fleet: front-end needs at least one backend")
+	}
+	svcCfg := cfg.Service
+	svcCfg.Shards = len(backends)
+	svc := &metrics.Service{}
+	placer, err := service.NewPlacer(svcCfg.Router, len(backends), svc)
+	if err != nil {
+		return nil, err
+	}
+	fm := cfg.Metrics
+	if fm == nil {
+		fm = &metrics.Fleet{}
+	}
+	f := &Frontend{
+		exp:      service.NewExpander(w, svcCfg),
+		placer:   placer,
+		svc:      svc,
+		fm:       fm,
+		backends: backends,
+		rehome:   cfg.RehomeFactor,
+		down:     make([]bool, len(backends)),
+		stop:     make(chan struct{}),
+	}
+	if cfg.ProbeInterval > 0 {
+		timeout := cfg.ProbeTimeout
+		if timeout <= 0 {
+			timeout = 2 * time.Second
+		}
+		f.wg.Add(1)
+		go f.probeLoop(cfg.ProbeInterval, timeout)
+	}
+	return f, nil
+}
+
+// Metrics returns the front-end's fleet counters.
+func (f *Frontend) Metrics() *metrics.Fleet { return f.fm }
+
+// healthy reports whether backend i is currently routable.
+func (f *Frontend) healthy(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.down[i]
+}
+
+func (f *Frontend) setDown(i int, down bool) {
+	f.mu.Lock()
+	changed := f.down[i] != down
+	f.down[i] = down
+	f.mu.Unlock()
+	if changed && down {
+		f.fm.HealthTrips.Inc()
+	}
+}
+
+// Search expands the keyword query for the user and ships it to the placed
+// shard. If the shard is unreachable (connect failure, open circuit, drain
+// rejection that outlived the client's retries), the backend is marked down
+// and the search fails over to the next healthy placement; an error after
+// the query may have been admitted is surfaced instead — resubmitting it
+// could execute the query twice.
+func (f *Frontend) Search(ctx context.Context, user string, keywords []string, k int) (*ResultView, error) {
+	uq, err := f.exp.Expand(user, keywords, k)
+	if err != nil {
+		return nil, err
+	}
+	f.svc.Requests.Inc()
+	tried := make(map[int]bool)
+	for {
+		sh, redirected := f.placer.Route(keywords, func(i int) bool {
+			return !tried[i] && f.healthy(i)
+		})
+		if tried[sh] {
+			// The router had no admissible shard left and fell back to an
+			// already-failed one: every backend is down.
+			return nil, fmt.Errorf("%w for %v", ErrNoHealthyShard, keywords)
+		}
+		if redirected {
+			f.fm.RouteUnhealthy.Inc()
+		}
+		view, err := f.backends[sh].Search(ctx, uq)
+		if err == nil {
+			view.Shard = sh
+			f.maybeRehome(ctx, keywords)
+			return view, nil
+		}
+		if !retryable(err) && !errors.Is(err, ErrCircuitOpen) {
+			return nil, err
+		}
+		// The query provably never reached admission on sh; route around it.
+		f.setDown(sh, true)
+		tried[sh] = true
+	}
+}
+
+// maybeRehome migrates the topic to its affinity-suggested home when the
+// migrator is enabled. Failures only log: migration is an optimization, and
+// a failed export/import leaves correctness to the consistency gate and
+// source replay.
+func (f *Frontend) maybeRehome(ctx context.Context, keywords []string) {
+	if f.rehome <= 1 {
+		return
+	}
+	from, to, ok := f.placer.SuggestRehome(keywords, f.rehome)
+	if !ok || !f.healthy(to) {
+		return
+	}
+	if err := f.MigrateTopic(ctx, keywords, from, to); err != nil {
+		log.Printf("fleet: rehome %v %d->%d: %v", keywords, from, to, err)
+	}
+}
+
+// MigrateTopic moves a topic's retained state between shards over the
+// migrate RPCs and re-pins the placer. The export is already detached from
+// the source when import runs; segments the target's consistency gate
+// rejects are dropped there and re-derived by source replay.
+func (f *Frontend) MigrateTopic(ctx context.Context, keywords []string, from, to int) error {
+	if from == to || from < 0 || to < 0 || from >= len(f.backends) || to >= len(f.backends) {
+		return fmt.Errorf("fleet: migrate %d -> %d out of range", from, to)
+	}
+	exp, err := f.backends[from].Export(ctx, keywords)
+	if err != nil {
+		return fmt.Errorf("fleet: export from shard %d: %w", from, err)
+	}
+	counts, err := f.backends[to].Import(ctx, exp)
+	if err != nil {
+		return fmt.Errorf("fleet: import into shard %d: %w", to, err)
+	}
+	f.placer.CommitRehome(keywords, from, to)
+	f.fm.Migrations.Inc()
+	f.fm.MigrationSegs.Add(int64(len(exp.Segments)))
+	f.fm.MigrationRows.Add(int64(counts.Rows))
+	f.fm.MigrationDrops.Add(int64(counts.Dropped))
+	return nil
+}
+
+// DrainBackend drains shard i — admissions stop, in-flight searches finish —
+// and imports its resident handoff into the first healthy other shard. The
+// drained backend stays registered but unroutable until a probe sees it
+// healthy again.
+func (f *Frontend) DrainBackend(ctx context.Context, i int) (*state.TopicExport, error) {
+	if i < 0 || i >= len(f.backends) {
+		return nil, fmt.Errorf("fleet: drain of unknown backend %d", i)
+	}
+	f.setDown(i, true)
+	exp, err := f.backends[i].Drain(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(exp.Segments) == 0 {
+		return exp, nil
+	}
+	for j := range f.backends {
+		if j == i || !f.healthy(j) {
+			continue
+		}
+		if _, err := f.backends[j].Import(ctx, exp); err != nil {
+			log.Printf("fleet: drain handoff to shard %d: %v", j, err)
+			continue
+		}
+		return exp, nil
+	}
+	// No healthy target: the state is simply gone, and the sources replay it
+	// on demand — the same contract as a rejected segment.
+	log.Printf("fleet: drain of shard %d found no healthy handoff target; %d segments dropped", i, len(exp.Segments))
+	return exp, nil
+}
+
+// HealthzView aggregates per-shard health for the front-end's /healthz.
+type HealthzView struct {
+	OK     bool              `json:"ok"`
+	Shards []ShardHealthView `json:"shards"`
+}
+
+// ShardHealthView is one backend's health as last observed.
+type ShardHealthView struct {
+	Shard    int    `json:"shard"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	InFlight int    `json:"in_flight"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Healthz probes every backend and aggregates: OK iff at least one shard is
+// healthy and routable.
+func (f *Frontend) Healthz(ctx context.Context) HealthzView {
+	view := HealthzView{}
+	for i, b := range f.backends {
+		sv := ShardHealthView{Shard: i}
+		if c, ok := b.(*Client); ok {
+			sv.Endpoint = c.Endpoint()
+		}
+		hv, err := b.Health(ctx)
+		if err != nil {
+			sv.Error = err.Error()
+			f.setDown(i, true)
+		} else {
+			sv.Healthy = hv.Healthy
+			sv.Draining = hv.Draining
+			sv.InFlight = hv.InFlight
+			f.setDown(i, !hv.Healthy)
+		}
+		if sv.Healthy {
+			view.OK = true
+		}
+		view.Shards = append(view.Shards, sv)
+	}
+	return view
+}
+
+// Stats aggregates the fleet: front-end request counters and placement plus
+// the sum of every reachable shard's engine counters.
+func (f *Frontend) Stats(ctx context.Context) service.Stats {
+	st := service.Stats{Service: f.svc.Snapshot(), Router: f.placer.Stats()}
+	for i, b := range f.backends {
+		bs, err := b.Stats(ctx)
+		if err != nil {
+			log.Printf("fleet: stats from shard %d: %v", i, err)
+			continue
+		}
+		st.Work = st.Work.Add(bs.Work)
+		for _, ss := range bs.Shards {
+			ss.Shard = i
+			st.Shards = append(st.Shards, ss)
+		}
+	}
+	st.Shared = st.SharedSplit()
+	return st
+}
+
+// probeLoop marks backends up/down from periodic health probes.
+func (f *Frontend) probeLoop(interval, timeout time.Duration) {
+	defer f.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+		}
+		for i, b := range f.backends {
+			f.fm.HealthProbes.Inc()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			hv, err := b.Health(ctx)
+			cancel()
+			f.setDown(i, err != nil || !hv.Healthy)
+		}
+	}
+}
+
+// Close stops the prober and releases the backend clients. It does not stop
+// the shard processes — the front-end is stateless and restartable under
+// them.
+func (f *Frontend) Close() error {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+	var errs []error
+	for _, b := range f.backends {
+		if err := b.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

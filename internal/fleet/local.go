@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"context"
+
+	"repro/internal/cq"
+	"repro/internal/service"
+	"repro/internal/state"
+)
+
+// Backend is one shard slot as the front-end sees it: an engine that answers
+// expanded user queries and can hand topic state off. Client speaks to a
+// shard process over HTTP; LocalBackend embeds the engine in-process, which
+// is what the parity tests compare the distributed tier against.
+type Backend interface {
+	// Search executes an expanded user query.
+	Search(ctx context.Context, uq *cq.UQ) (*ResultView, error)
+	// Health probes the shard.
+	Health(ctx context.Context) (HealthView, error)
+	// Stats snapshots the shard's serving and execution counters.
+	Stats(ctx context.Context) (*service.Stats, error)
+	// Export serializes and discards the topic's idle state on the shard.
+	Export(ctx context.Context, keywords []string) (*state.TopicExport, error)
+	// Import stages a migrated export behind the shard's consistency gate.
+	Import(ctx context.Context, exp *state.TopicExport) (ImportCounts, error)
+	// Drain stops the shard's admissions and returns its full resident
+	// handoff.
+	Drain(ctx context.Context) (*state.TopicExport, error)
+	// Close releases client-side resources; it does not stop the shard.
+	Close() error
+}
+
+// LocalBackend adapts an in-process service (normally Shards=1 with the
+// slot's ShardIDOffset) to the Backend interface.
+type LocalBackend struct {
+	Svc *service.Service
+	// Shard is the in-process shard index the backend fronts (0 for a
+	// single-shard service).
+	Shard int
+}
+
+// Search executes the query on the wrapped service.
+func (b *LocalBackend) Search(ctx context.Context, uq *cq.UQ) (*ResultView, error) {
+	res, err := b.Svc.SearchUQ(ctx, uq)
+	if err != nil {
+		return nil, err
+	}
+	return ViewOf(res), nil
+}
+
+// Health reports the wrapped service as healthy; an in-process backend has
+// no transport to fail, and a closed service surfaces through Search.
+func (b *LocalBackend) Health(ctx context.Context) (HealthView, error) {
+	return HealthView{Healthy: true}, nil
+}
+
+// Stats snapshots the wrapped service.
+func (b *LocalBackend) Stats(ctx context.Context) (*service.Stats, error) {
+	st := b.Svc.Stats()
+	return &st, nil
+}
+
+// Export hands the topic's idle state off the wrapped shard.
+func (b *LocalBackend) Export(ctx context.Context, keywords []string) (*state.TopicExport, error) {
+	return b.Svc.ExportTopic(b.Shard, keywords)
+}
+
+// Import stages the export on the wrapped shard.
+func (b *LocalBackend) Import(ctx context.Context, exp *state.TopicExport) (ImportCounts, error) {
+	installed, dropped, rows, err := b.Svc.ImportTopic(b.Shard, exp)
+	return ImportCounts{Installed: installed, Dropped: dropped, Rows: rows}, err
+}
+
+// Drain exports everything the wrapped shard retains.
+func (b *LocalBackend) Drain(ctx context.Context) (*state.TopicExport, error) {
+	return b.Svc.ExportAll(b.Shard)
+}
+
+// Close is a no-op; the wrapped service is owned by the caller.
+func (b *LocalBackend) Close() error { return nil }

@@ -1,0 +1,278 @@
+// Package fleet is the distributed serving tier: it splits the single-process
+// service into a stateless front-end and N shard processes connected by a
+// compact HTTP/JSON RPC surface.
+//
+// The decomposition follows the determinism contract the digest-parity gate
+// pins. The front-end owns everything whose outcome depends on the *order of
+// the whole request stream* — candidate-network expansion with per-user
+// scoring coefficients, UQ id assignment, and shard placement (the PR4
+// affinity router) — and ships fully expanded user queries to shard
+// processes. A shard process owns exactly one engine (plan graph, ATC, query
+// state manager), configured with service.Config.ShardIDOffset so that its
+// RNG streams are byte-identical to the corresponding in-process shard of a
+// single-process service. Result digests are therefore byte-identical whether
+// the shards live in one process or N.
+//
+// RPC surface (all JSON over POST unless noted):
+//
+//	POST /rpc/search          WireUQ → ResultView
+//	GET  /rpc/stats           service.Stats
+//	GET  /rpc/health          HealthView
+//	POST /rpc/migrate/export  exportRequest → state.TopicExport
+//	POST /rpc/migrate/import  state.TopicExport → ImportCounts
+//	POST /rpc/drain           {} → state.TopicExport (full resident handoff)
+//
+// Live topic migration reuses the PR3 spill segment encoding as its wire
+// format; imports are staged behind the same consistency gate as disk
+// revival, so a mismatched segment is dropped and re-derived by source
+// replay — never served wrong.
+package fleet
+
+import (
+	"fmt"
+	"hash"
+	"io"
+
+	"repro/internal/cq"
+	"repro/internal/scoring"
+	"repro/internal/service"
+	"repro/internal/tuple"
+)
+
+// WireValue is the JSON form of a tuple.Value. Kind strings mirror
+// tuple.Kind.String(); float payloads round-trip exactly (encoding/json emits
+// the shortest representation that parses back to the same bits).
+type WireValue struct {
+	Kind  string  `json:"k"`
+	Int   int64   `json:"i,omitempty"`
+	Float float64 `json:"f,omitempty"`
+	Str   string  `json:"s,omitempty"`
+}
+
+func encodeValue(v tuple.Value) WireValue {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return WireValue{Kind: "int", Int: v.AsInt()}
+	case tuple.KindFloat:
+		return WireValue{Kind: "float", Float: v.AsFloat()}
+	case tuple.KindString:
+		return WireValue{Kind: "string", Str: v.AsString()}
+	default:
+		return WireValue{Kind: "null"}
+	}
+}
+
+func decodeValue(w WireValue) (tuple.Value, error) {
+	switch w.Kind {
+	case "int":
+		return tuple.Int(w.Int), nil
+	case "float":
+		return tuple.Float(w.Float), nil
+	case "string":
+		return tuple.String(w.Str), nil
+	case "null", "":
+		return tuple.Null(), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("fleet: unknown value kind %q", w.Kind)
+	}
+}
+
+// WireTerm is one atom argument: a variable id, or a constant when Const is
+// present.
+type WireTerm struct {
+	Var   int        `json:"v"`
+	Const *WireValue `json:"c,omitempty"`
+}
+
+// WireAtom is one relational atom of a conjunctive query.
+type WireAtom struct {
+	Rel  string     `json:"rel"`
+	DB   string     `json:"db"`
+	Args []WireTerm `json:"args"`
+}
+
+// WireModel carries a scoring model. Agg is the raw scoring.Agg ordinal.
+type WireModel struct {
+	Agg     uint8     `json:"agg"`
+	Static  float64   `json:"static"`
+	Weights []float64 `json:"weights"`
+	Label   string    `json:"label"`
+}
+
+// WireCQ is one candidate network of a user query.
+type WireCQ struct {
+	ID       string     `json:"id"`
+	UQID     string     `json:"uq_id"`
+	Atoms    []WireAtom `json:"atoms"`
+	Model    WireModel  `json:"model"`
+	HeadVars []int      `json:"head_vars,omitempty"`
+}
+
+// WireUQ is the fully expanded user query the front-end ships to a shard.
+type WireUQ struct {
+	ID       string   `json:"id"`
+	Keywords []string `json:"keywords"`
+	K        int      `json:"k"`
+	CQs      []WireCQ `json:"cqs"`
+}
+
+// EncodeUQ converts an expanded user query to its wire form.
+func EncodeUQ(uq *cq.UQ) *WireUQ {
+	w := &WireUQ{ID: uq.ID, Keywords: uq.Keywords, K: uq.K}
+	for _, q := range uq.CQs {
+		wq := WireCQ{ID: q.ID, UQID: q.UQID, HeadVars: q.HeadVars}
+		for _, a := range q.Atoms {
+			wa := WireAtom{Rel: a.Rel, DB: a.DB}
+			for _, t := range a.Args {
+				wt := WireTerm{Var: t.Var}
+				if t.IsConst() {
+					v := encodeValue(t.Const)
+					wt.Const = &v
+				}
+				wa.Args = append(wa.Args, wt)
+			}
+			wq.Atoms = append(wq.Atoms, wa)
+		}
+		if q.Model != nil {
+			wq.Model = WireModel{
+				Agg:     uint8(q.Model.AggKind),
+				Static:  q.Model.Static,
+				Weights: q.Model.Weights,
+				Label:   q.Model.Label,
+			}
+		}
+		w.CQs = append(w.CQs, wq)
+	}
+	return w
+}
+
+// DecodeUQ reconstructs the user query and validates every member CQ — a
+// shard process must never admit a structurally broken query from the wire.
+func DecodeUQ(w *WireUQ) (*cq.UQ, error) {
+	if w.ID == "" {
+		return nil, fmt.Errorf("fleet: user query without id")
+	}
+	uq := &cq.UQ{ID: w.ID, Keywords: w.Keywords, K: w.K}
+	for _, wq := range w.CQs {
+		q := &cq.CQ{ID: wq.ID, UQID: wq.UQID, HeadVars: wq.HeadVars}
+		for _, wa := range wq.Atoms {
+			a := &cq.Atom{Rel: wa.Rel, DB: wa.DB}
+			for _, wt := range wa.Args {
+				if wt.Const != nil {
+					v, err := decodeValue(*wt.Const)
+					if err != nil {
+						return nil, fmt.Errorf("fleet: %s: %w", wq.ID, err)
+					}
+					a.Args = append(a.Args, cq.C(v))
+				} else {
+					a.Args = append(a.Args, cq.V(wt.Var))
+				}
+			}
+			q.Atoms = append(q.Atoms, a)
+		}
+		q.Model = &scoring.Model{
+			AggKind: scoring.Agg(wq.Model.Agg),
+			Static:  wq.Model.Static,
+			Weights: wq.Model.Weights,
+			Label:   wq.Model.Label,
+		}
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: wire query rejected: %w", err)
+		}
+		uq.CQs = append(uq.CQs, q)
+	}
+	return uq, nil
+}
+
+// AnswerView is one ranked answer with its base tuples reduced to their
+// qualified identities ("Relation:Identity") — exactly the bytes the result
+// digest is built from, so a view digests identically to the tuples it
+// replaced.
+type AnswerView struct {
+	Rank  int      `json:"rank"`
+	Score float64  `json:"score"`
+	Query string   `json:"query"`
+	IDs   []string `json:"ids"`
+}
+
+// ResultView is a completed search in wire form.
+type ResultView struct {
+	ID                string       `json:"id"`
+	Keywords          []string     `json:"keywords"`
+	Answers           []AnswerView `json:"answers"`
+	CandidateNetworks int          `json:"candidateNetworks"`
+	ExecutedNetworks  int          `json:"executedNetworks"`
+	Shard             int          `json:"shard"`
+	BatchSize         int          `json:"batchSize"`
+	EngineLatencyNS   int64        `json:"engineLatencyNS"`
+	WallLatencyNS     int64        `json:"wallLatencyNS"`
+}
+
+// ViewOf flattens a service result for the wire.
+func ViewOf(res *service.Result) *ResultView {
+	v := &ResultView{
+		ID:                res.ID,
+		Keywords:          res.Keywords,
+		CandidateNetworks: res.CandidateNetworks,
+		ExecutedNetworks:  res.ExecutedNetworks,
+		Shard:             res.Shard,
+		BatchSize:         res.BatchSize,
+		EngineLatencyNS:   int64(res.EngineLatency),
+		WallLatencyNS:     int64(res.WallLatency),
+	}
+	for _, a := range res.Answers {
+		av := AnswerView{Rank: a.Rank, Score: a.Score, Query: a.Query}
+		for _, t := range a.Tuples {
+			av.IDs = append(av.IDs, t.QualifiedIdentity())
+		}
+		v.Answers = append(v.Answers, av)
+	}
+	return v
+}
+
+// DigestView writes the view into a result digest with byte-for-byte the
+// format benchrun applies to in-process results: "id|[kw kw]|n\n" then per
+// answer "rank|score|query|" followed by each tuple's qualified identity and
+// '&'. A multi-process run therefore digests identically to the
+// single-process run it must match.
+func DigestView(h hash.Hash, v *ResultView) {
+	fmt.Fprintf(h, "%s|%v|%d\n", v.ID, v.Keywords, len(v.Answers))
+	for _, a := range v.Answers {
+		fmt.Fprintf(h, "%d|%.9g|%s|", a.Rank, a.Score, a.Query)
+		for _, id := range a.IDs {
+			io.WriteString(h, id)
+			io.WriteString(h, "&")
+		}
+		io.WriteString(h, "\n")
+	}
+}
+
+// HealthView is a shard's self-reported health.
+type HealthView struct {
+	Healthy  bool `json:"healthy"`
+	Draining bool `json:"draining"`
+	InFlight int  `json:"in_flight"`
+}
+
+// ImportCounts reports what a migration import did with its segments:
+// installed behind the consistency gate versus dropped (re-derived by source
+// replay), plus the staged row total.
+type ImportCounts struct {
+	Installed int `json:"installed"`
+	Dropped   int `json:"dropped"`
+	Rows      int `json:"rows"`
+}
+
+// exportRequest asks a shard to serialize and discard one topic's idle state.
+type exportRequest struct {
+	Keywords []string `json:"keywords"`
+}
+
+// wireError is the RPC error envelope. Retryable marks rejections that
+// happened strictly before admission (a draining shard turning a search
+// away), which a client may safely resubmit; anything after admission must
+// not be retried — the request may have executed.
+type wireError struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}

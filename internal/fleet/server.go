@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/state"
+)
+
+// ShardServer exposes one in-process service as a shard of the distributed
+// tier. It owns the drain lifecycle: once draining, searches are turned away
+// with a retryable 503 (they were rejected strictly before admission, so
+// resubmitting elsewhere is safe), in-flight searches run to completion, and
+// the resident state is exported for handoff.
+type ShardServer struct {
+	svc *service.Service
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	// idle is closed when draining has been requested and the last in-flight
+	// search has finished.
+	idle chan struct{}
+}
+
+// NewShardServer wraps a service (normally Shards=1 with the slot's
+// ShardIDOffset) for serving.
+func NewShardServer(svc *service.Service) *ShardServer {
+	return &ShardServer{svc: svc}
+}
+
+// Handler returns the shard's RPC mux.
+func (s *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rpc/search", s.handleSearch)
+	mux.HandleFunc("GET /rpc/stats", s.handleStats)
+	mux.HandleFunc("GET /rpc/health", s.handleHealth)
+	mux.HandleFunc("POST /rpc/migrate/export", s.handleExport)
+	mux.HandleFunc("POST /rpc/migrate/import", s.handleImport)
+	mux.HandleFunc("POST /rpc/drain", s.handleDrain)
+	return mux
+}
+
+// beginSearch claims an in-flight slot unless the shard is draining. The
+// claim and the drain check are one critical section, so no search can slip
+// past a drain that has already counted the in-flight set.
+func (s *ShardServer) beginSearch() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *ShardServer) endSearch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+}
+
+// Draining reports whether the shard has stopped admitting searches.
+func (s *ShardServer) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// InFlight reports the number of searches currently executing.
+func (s *ShardServer) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+func (s *ShardServer) handleSearch(rw http.ResponseWriter, req *http.Request) {
+	if !s.beginSearch() {
+		writeRPCError(rw, http.StatusServiceUnavailable, "shard draining", true)
+		return
+	}
+	defer s.endSearch()
+
+	var wire WireUQ
+	if err := json.NewDecoder(req.Body).Decode(&wire); err != nil {
+		writeRPCError(rw, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	uq, err := DecodeUQ(&wire)
+	if err != nil {
+		writeRPCError(rw, http.StatusUnprocessableEntity, err.Error(), false)
+		return
+	}
+	res, err := s.svc.SearchUQ(req.Context(), uq)
+	if err != nil {
+		switch {
+		case errors.Is(err, service.ErrClosed):
+			// Closed before admission ever happened: safe to resubmit.
+			writeRPCError(rw, http.StatusServiceUnavailable, err.Error(), true)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeRPCError(rw, http.StatusRequestTimeout, err.Error(), false)
+		default:
+			writeRPCError(rw, http.StatusUnprocessableEntity, err.Error(), false)
+		}
+		return
+	}
+	writeRPCJSON(rw, ViewOf(res))
+}
+
+func (s *ShardServer) handleStats(rw http.ResponseWriter, req *http.Request) {
+	st := s.svc.Stats()
+	writeRPCJSON(rw, &st)
+}
+
+func (s *ShardServer) handleHealth(rw http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	hv := HealthView{Healthy: !s.draining, Draining: s.draining, InFlight: s.inflight}
+	s.mu.Unlock()
+	writeRPCJSON(rw, hv)
+}
+
+func (s *ShardServer) handleExport(rw http.ResponseWriter, req *http.Request) {
+	var in exportRequest
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		writeRPCError(rw, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	exp, err := s.svc.ExportTopic(0, in.Keywords)
+	if err != nil {
+		writeRPCError(rw, http.StatusUnprocessableEntity, err.Error(), false)
+		return
+	}
+	writeRPCJSON(rw, exp)
+}
+
+func (s *ShardServer) handleImport(rw http.ResponseWriter, req *http.Request) {
+	var exp state.TopicExport
+	if err := json.NewDecoder(req.Body).Decode(&exp); err != nil {
+		writeRPCError(rw, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	installed, dropped, rows, err := s.svc.ImportTopic(0, &exp)
+	if err != nil {
+		writeRPCError(rw, http.StatusUnprocessableEntity, err.Error(), false)
+		return
+	}
+	writeRPCJSON(rw, ImportCounts{Installed: installed, Dropped: dropped, Rows: rows})
+}
+
+func (s *ShardServer) handleDrain(rw http.ResponseWriter, req *http.Request) {
+	exp, err := s.Drain(req.Context())
+	if err != nil {
+		writeRPCError(rw, http.StatusUnprocessableEntity, err.Error(), false)
+		return
+	}
+	writeRPCJSON(rw, exp)
+}
+
+// drainTimeout bounds how long a drain waits for in-flight searches.
+const drainTimeout = 60 * time.Second
+
+// Drain stops admissions, waits for in-flight searches to finish their
+// merges, and exports the shard's full resident state for handoff. Idempotent
+// on the flag; a second drain exports whatever (typically nothing) remains.
+func (s *ShardServer) Drain(ctx context.Context) (*state.TopicExport, error) {
+	s.mu.Lock()
+	s.draining = true
+	var idle chan struct{}
+	if s.inflight > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.mu.Unlock()
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(drainTimeout):
+			return nil, errors.New("fleet: drain timed out waiting for in-flight searches")
+		}
+	}
+	return s.svc.ExportAll(0)
+}
+
+// Close stops admissions and shuts the wrapped service down, logging — not
+// swallowing — its state-teardown error.
+func (s *ShardServer) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if err := s.svc.Close(); err != nil {
+		log.Printf("fleet: shard close: %v", err)
+	}
+}
+
+func writeRPCJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		log.Printf("fleet: encode response: %v", err)
+	}
+}
+
+func writeRPCError(rw http.ResponseWriter, code int, msg string, retryable bool) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(wireError{Error: msg, Retryable: retryable}) //nolint:errcheck
+}

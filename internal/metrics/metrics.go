@@ -35,6 +35,13 @@ type Counters struct {
 	spillBytesIn  int64
 	revivalSpill  int64
 	revivalSource int64
+
+	migSegsOut  int64
+	migRowsOut  int64
+	migSegsIn   int64
+	migRowsIn   int64
+	migRestores int64
+	migDrops    int64
 }
 
 // AddStreamRead records one streaming-source read of duration d.
@@ -95,6 +102,28 @@ func (c *Counters) AddRevivalFromSpill() { atomic.AddInt64(&c.revivalSpill, 1) }
 // no spill segment, so its state is re-derived by fresh source reads.
 func (c *Counters) AddRevivalFromSource() { atomic.AddInt64(&c.revivalSource, 1) }
 
+// AddMigrationOut records one plan segment exported for live migration to
+// another shard (rows serialized and handed off).
+func (c *Counters) AddMigrationOut(rows int64) {
+	atomic.AddInt64(&c.migSegsOut, 1)
+	atomic.AddInt64(&c.migRowsOut, rows)
+}
+
+// AddMigrationIn records one migrated segment staged on this shard.
+func (c *Counters) AddMigrationIn(rows int64) {
+	atomic.AddInt64(&c.migSegsIn, 1)
+	atomic.AddInt64(&c.migRowsIn, rows)
+}
+
+// AddMigrationRestore counts a staged migrated segment that passed the
+// consistency gate and was reinstalled into a node.
+func (c *Counters) AddMigrationRestore() { atomic.AddInt64(&c.migRestores, 1) }
+
+// AddMigrationDrop counts a migrated segment rejected by the consistency gate
+// (corrupt, structurally stale, or racing locally derived state); its node
+// re-derives by source replay instead.
+func (c *Counters) AddMigrationDrop() { atomic.AddInt64(&c.migDrops, 1) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	StreamTime time.Duration
@@ -118,6 +147,13 @@ type Snapshot struct {
 	SpillBytesRead     int64
 	RevivalsFromSpill  int64
 	RevivalsFromSource int64
+
+	MigrationSegsOut  int64
+	MigrationRowsOut  int64
+	MigrationSegsIn   int64
+	MigrationRowsIn   int64
+	MigrationRestores int64
+	MigrationDrops    int64
 }
 
 // Snapshot returns the current counter values.
@@ -143,6 +179,13 @@ func (c *Counters) Snapshot() Snapshot {
 		SpillBytesRead:     atomic.LoadInt64(&c.spillBytesIn),
 		RevivalsFromSpill:  atomic.LoadInt64(&c.revivalSpill),
 		RevivalsFromSource: atomic.LoadInt64(&c.revivalSource),
+
+		MigrationSegsOut:  atomic.LoadInt64(&c.migSegsOut),
+		MigrationRowsOut:  atomic.LoadInt64(&c.migRowsOut),
+		MigrationSegsIn:   atomic.LoadInt64(&c.migSegsIn),
+		MigrationRowsIn:   atomic.LoadInt64(&c.migRowsIn),
+		MigrationRestores: atomic.LoadInt64(&c.migRestores),
+		MigrationDrops:    atomic.LoadInt64(&c.migDrops),
 	}
 }
 
@@ -176,5 +219,12 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		SpillBytesRead:     s.SpillBytesRead + o.SpillBytesRead,
 		RevivalsFromSpill:  s.RevivalsFromSpill + o.RevivalsFromSpill,
 		RevivalsFromSource: s.RevivalsFromSource + o.RevivalsFromSource,
+
+		MigrationSegsOut:  s.MigrationSegsOut + o.MigrationSegsOut,
+		MigrationRowsOut:  s.MigrationRowsOut + o.MigrationRowsOut,
+		MigrationSegsIn:   s.MigrationSegsIn + o.MigrationSegsIn,
+		MigrationRowsIn:   s.MigrationRowsIn + o.MigrationRowsIn,
+		MigrationRestores: s.MigrationRestores + o.MigrationRestores,
+		MigrationDrops:    s.MigrationDrops + o.MigrationDrops,
 	}
 }

@@ -1,0 +1,120 @@
+package qsm
+
+import (
+	"repro/internal/plangraph"
+	"repro/internal/state"
+)
+
+// Live migration of retained plan state between shard processes (distributed
+// serving tier). Export serializes a set of nodes' state with the spill
+// segment codec and *discards* them locally — after a successful handoff the
+// state lives exactly once, on the target. Import stages the decoded segments
+// with the controller so the normal revival paths reinstall them behind the
+// consistency gate; a segment the gate rejects is dropped and re-derived by
+// source replay on the target, so migration can only ever waste work, never
+// produce wrong results.
+
+// ExportNodes serializes and locally discards the retained state of the named
+// plan nodes (every idle node when keys is nil — the drain path). Only nodes
+// that are structurally evictable and have no pending work export; a node
+// whose consumers are also being exported becomes evictable once they detach,
+// so the sweep iterates to a fixpoint (joins export first, then the streams
+// that fed only them). Probe nodes carry no migratable state and are left
+// for ordinary eviction. The returned export carries the engine's epoch so
+// the importer can rebase its clock past every shipped stamp.
+func (m *Manager) ExportNodes(keys []string) *state.TopicExport {
+	var want map[string]bool
+	if keys != nil {
+		want = make(map[string]bool, len(keys))
+		for _, k := range keys {
+			want[k] = true
+		}
+	}
+	exp := &state.TopicExport{Epoch: m.ATC.Epoch()}
+	for {
+		var victims []*plangraph.Node
+		for _, n := range m.Graph.Nodes() {
+			if want != nil && !want[n.Key] {
+				continue
+			}
+			if n.Kind == plangraph.SourceProbe {
+				continue
+			}
+			x, ok := m.ATC.HasExec(n)
+			if !ok || x.HasWork() || !m.Graph.Evictable(n) {
+				continue
+			}
+			victims = append(victims, n)
+		}
+		if len(victims) == 0 {
+			return exp
+		}
+		for _, n := range victims {
+			x, _ := m.ATC.HasExec(n)
+			snap := m.ATC.ExportNode(n)
+			if snap == nil {
+				continue
+			}
+			data, rows, err := state.EncodeSegment(snap)
+			if err != nil {
+				continue // unserializable: leave it resident for normal eviction
+			}
+			seg := state.TopicSegment{
+				Key: n.Key, ExprKey: n.Expr.Key(), Kind: int(n.Kind),
+				StreamPos: snap.StreamPos, Card: -1, Rows: rows, Data: data,
+			}
+			if n.Kind == plangraph.SourceStream && x.Stream != nil && x.Stream.Exhausted() {
+				seg.Card = float64(x.Stream.Len())
+			}
+			exp.Segments = append(exp.Segments, seg)
+			// Discard locally — the mirror of evict() minus the spill write and
+			// the eviction count: the state is handed off, not reclaimed, and
+			// this shard must stop pricing the streamed prefix as buffered.
+			m.ATC.DropExec(n)
+			if n.Kind == plangraph.SourceStream {
+				m.Cat.ForgetStreamed(n.Expr.Key())
+			}
+			m.Graph.Detach(n)
+			delete(m.lastUse, n)
+			m.ATC.Env.Metrics.AddMigrationOut(int64(rows))
+		}
+	}
+}
+
+// ImportSegments decodes and stages a migrated export, returning how many
+// segments were staged, how many were dropped (decode failure, metadata
+// mismatch, or refused staging — all of which fall back to source replay),
+// and the staged row count. Stream segments also install their catalog
+// deltas — streamed prefix and exhausted-cardinality — so the optimizer here
+// prices the migrated state exactly as the source shard did and picks the
+// same input plans; without that the staged segments would sit unconsumed
+// while fresh source reads re-derive everything. If a staged stream segment
+// later fails the consume-time gate, the controller's SpillLost hook forgets
+// the prefix again.
+func (m *Manager) ImportSegments(exp *state.TopicExport) (installed, dropped, rows int) {
+	resolve := m.DefaultResolver()
+	for _, seg := range exp.Segments {
+		snap, err := state.DecodeSegment(seg.Data, resolve)
+		if err != nil || snap.Key != seg.Key || snap.Kind != seg.Kind {
+			dropped++
+			m.ATC.Env.Metrics.AddMigrationDrop()
+			continue
+		}
+		m.ATC.Env.Metrics.AddMigrationIn(int64(snap.RowCount()))
+		if !m.ATC.StageSegment(snap, len(seg.Data)) {
+			dropped++
+			m.ATC.Env.Metrics.AddMigrationDrop()
+			continue
+		}
+		installed++
+		rows += snap.RowCount()
+		if seg.Kind == int(plangraph.SourceStream) {
+			m.Cat.RecordStreamed(seg.ExprKey, seg.StreamPos)
+			if seg.Card >= 0 {
+				m.Cat.RecordExprCard(seg.ExprKey, seg.Card)
+			}
+		}
+	}
+	m.ATC.AdvanceEpochTo(exp.Epoch)
+	return installed, dropped, rows
+}

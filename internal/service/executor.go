@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/atc"
@@ -54,12 +56,33 @@ type shard struct {
 
 	submitCh chan *request
 	statsCh  chan chan ShardStats
-	stopCh   chan struct{}
-	doneCh   chan struct{}
+	// ctrlCh delivers control closures (topic export/import, drain probes)
+	// into the executor goroutine; every select that serves statsCh serves it
+	// too, so control work interleaves between scheduling rounds and never
+	// races the engine.
+	ctrlCh chan func()
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// topics maps a topic key (canonical keywords joined with NUL) to the
+	// plan-graph node keys its merges touched, recorded at admission from
+	// merge footprints and consumed by topic export. FIFO-bounded; executor
+	// goroutine only.
+	topics     map[string]map[string]bool
+	topicOrder []string
 }
 
+// maxTopicFootprints bounds the per-shard topic→footprint table; the oldest
+// topic's entry falls off first (its export then finds nothing, which is
+// safe — migration degrades to not moving state, never to moving wrong
+// state).
+const maxTopicFootprints = 1024
+
 func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, arb *state.Arbiter) *shard {
-	rng := dist.New(cfg.Seed + uint64(id)*7919 + 1)
+	// eid is the shard's engine identity: equal to id in-process, offset in a
+	// distributed fleet so shard process i reproduces in-process shard i.
+	eid := cfg.ShardIDOffset + id
+	rng := dist.New(cfg.Seed + uint64(eid)*7919 + 1)
 	var clock simclock.Clock
 	if cfg.RealTime {
 		clock = simclock.NewReal()
@@ -84,7 +107,7 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		mgr.State.SetBudgetFn(func() int { return arb.Allot(id, ledger.Total()) })
 	}
 	if cfg.SpillDir != "" {
-		dir := filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%d", id))
+		dir := filepath.Join(cfg.SpillDir, fmt.Sprintf("shard-%d", eid))
 		if err := mgr.EnableSpill(dir, mgr.DefaultResolver()); err != nil {
 			panic("service: " + err.Error())
 		}
@@ -96,7 +119,7 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		// Component-scheduled parallel rounds inside this shard. The seed
 		// salt matches the shard's RNG derivation so per-node delay models
 		// differ across shards like everything else seeded does.
-		ctrl.EnableParallel(cfg.Workers, cfg.Seed+uint64(id)*7919+2)
+		ctrl.EnableParallel(cfg.Workers, cfg.Seed+uint64(eid)*7919+2)
 	}
 	sh := &shard{
 		id:       id,
@@ -110,8 +133,10 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		cat:      cat,
 		submitCh: make(chan *request, cfg.MaxQueue),
 		statsCh:  make(chan chan ShardStats),
+		ctrlCh:   make(chan func()),
 		stopCh:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
+		topics:   map[string]map[string]bool{},
 	}
 	go sh.run()
 	return sh
@@ -139,6 +164,8 @@ func (sh *shard) run() {
 				sh.accept(&pending, &windowStart, r)
 			case req := <-sh.statsCh:
 				req <- sh.snapshot()
+			case fn := <-sh.ctrlCh:
+				fn()
 			case <-sh.stopCh:
 				stopping = true
 			}
@@ -150,6 +177,8 @@ func (sh *shard) run() {
 				sh.accept(&pending, &windowStart, r)
 			case req := <-sh.statsCh:
 				req <- sh.snapshot()
+			case fn := <-sh.ctrlCh:
+				fn()
 			case <-timer.C:
 			case <-sh.stopCh:
 				stopping = true
@@ -266,6 +295,8 @@ func (sh *shard) drainNonblocking(pending *[]*request, windowStart *time.Time) {
 			sh.accept(pending, windowStart, r)
 		case req := <-sh.statsCh:
 			req <- sh.snapshot()
+		case fn := <-sh.ctrlCh:
+			fn()
 		default:
 			return
 		}
@@ -312,12 +343,14 @@ func (sh *shard) admit(batch []*request, waiters map[string]*request) {
 		return
 	}
 	for _, r := range batch {
-		if m := sh.ctrl.MergeByUQ(r.uq.ID); m == nil {
+		m := sh.ctrl.MergeByUQ(r.uq.ID)
+		if m == nil {
 			sh.respond(r, nil, fmt.Errorf("service: query %s not registered", r.uq.ID))
 			continue
 		}
 		r.batchSize = len(batch)
 		waiters[r.uq.ID] = r
+		sh.noteTopic(r.uq.Keywords, m.Footprint())
 	}
 }
 
@@ -398,5 +431,87 @@ func (sh *shard) stats() ShardStats {
 		return <-req
 	case <-sh.doneCh:
 		return sh.snapshot()
+	}
+}
+
+// topicKey names a topic for footprint tracking: the canonical keyword set
+// joined with NUL (the router's memo key for the same set).
+func topicKey(keywords []string) string {
+	return strings.Join(CanonicalKeywords(keywords), "\x00")
+}
+
+// noteTopic folds a newly admitted merge's plan-graph footprint into its
+// topic's node-key set. Executor goroutine only.
+func (sh *shard) noteTopic(keywords []string, nodeKeys []string) {
+	key := topicKey(keywords)
+	if key == "" || len(nodeKeys) == 0 {
+		return
+	}
+	set := sh.topics[key]
+	if set == nil {
+		if len(sh.topicOrder) >= maxTopicFootprints {
+			delete(sh.topics, sh.topicOrder[0])
+			sh.topicOrder = sh.topicOrder[1:]
+		}
+		set = map[string]bool{}
+		sh.topics[key] = set
+		sh.topicOrder = append(sh.topicOrder, key)
+	}
+	for _, k := range nodeKeys {
+		set[k] = true
+	}
+}
+
+// exportTopic serializes and discards the topic's idle retained state.
+// Executor goroutine only (callers go through exec). The footprint entry is
+// consumed: the nodes it named are gone from this shard, and any that were
+// not exportable (still feeding other topics) will be re-recorded by the
+// next admission that touches them.
+func (sh *shard) exportTopic(keywords []string) *state.TopicExport {
+	canon := CanonicalKeywords(keywords)
+	key := strings.Join(canon, "\x00")
+	set := sh.topics[key]
+	if len(set) == 0 {
+		return &state.TopicExport{Keywords: canon, Epoch: sh.ctrl.Epoch()}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	exp := sh.mgr.ExportNodes(keys)
+	exp.Keywords = canon
+	delete(sh.topics, key)
+	for i, k := range sh.topicOrder {
+		if k == key {
+			sh.topicOrder = append(sh.topicOrder[:i], sh.topicOrder[i+1:]...)
+			break
+		}
+	}
+	return exp
+}
+
+// exportAll serializes and discards every idle evictable node the shard
+// retains, whatever topic it belongs to — the drain handoff. Executor
+// goroutine only (callers go through exec). Topic footprints are cleared:
+// the nodes they named are gone.
+func (sh *shard) exportAll() *state.TopicExport {
+	exp := sh.mgr.ExportNodes(nil)
+	sh.topics = map[string]map[string]bool{}
+	sh.topicOrder = nil
+	return exp
+}
+
+// exec runs fn on the executor goroutine and waits for it, falling back to a
+// direct call once the executor has exited (the engine is quiescent then, so
+// the call is safe from any goroutine).
+func (sh *shard) exec(fn func()) {
+	done := make(chan struct{})
+	wrapped := func() { defer close(done); fn() }
+	select {
+	case sh.ctrlCh <- wrapped:
+		<-done
+	case <-sh.doneCh:
+		fn()
 	}
 }

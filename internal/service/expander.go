@@ -1,0 +1,68 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/candidates"
+	"repro/internal/cq"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// Expander is the front-desk half of query admission: it turns (user,
+// keywords, k) into a fully expanded user query — candidate networks plus
+// the user's personal scoring coefficients (§2.1) — and assigns the UQ id.
+// It is the only mutable state that must live in exactly one place for a
+// deterministic run: the per-user RNGs consume workload-dependent draws, so
+// whoever expands must see the whole request stream. A single-process
+// service embeds one; a distributed front-end owns one and ships the
+// expanded UQs to shard processes, whose engines never expand anything.
+type Expander struct {
+	genCfg candidates.Config
+	seed   uint64
+	k      int
+
+	mu     sync.Mutex
+	users  map[string]*dist.RNG
+	nextUQ int
+}
+
+// NewExpander builds an expander for a workload. Expansion follows the way
+// the workload's own query suite was built (path lengths, match fan-out,
+// scoring family); Config.MaxCQs overrides the candidate-network cap and
+// Config.K the default answer count.
+func NewExpander(w *workload.Workload, cfg Config) *Expander {
+	cfg = cfg.withDefaults()
+	genCfg := w.Gen
+	genCfg.Graph = w.Schema
+	genCfg.Catalog = w.Catalog
+	if cfg.MaxCQs > 0 {
+		genCfg.MaxCQs = cfg.MaxCQs
+	}
+	return &Expander{genCfg: genCfg, seed: cfg.Seed, k: cfg.K, users: map[string]*dist.RNG{}}
+}
+
+// Expand generates the user query under the front-desk lock. k <= 0 uses the
+// configured default.
+func (e *Expander) Expand(user string, keywords []string, k int) (*cq.UQ, error) {
+	if k <= 0 {
+		k = e.k
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rng, ok := e.users[user]
+	if !ok {
+		// The seed is a function of the user's name alone: a user's scoring
+		// coefficients (§2.1) must be the same in every run, whatever order
+		// the users happened to arrive in.
+		h := fnv.New64a()
+		h.Write([]byte(user))
+		rng = dist.New(e.seed + 1000 + h.Sum64()*77)
+		e.users[user] = rng
+	}
+	e.nextUQ++
+	id := fmt.Sprintf("UQ%d", e.nextUQ)
+	return candidates.Generate(e.genCfg, id, keywords, k, rng)
+}

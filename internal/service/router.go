@@ -35,13 +35,14 @@ func ParseRouter(name string) (string, error) {
 	return "", fmt.Errorf("service: unknown router %q (want %s or %s)", name, RouterHash, RouterAffinity)
 }
 
-// canonicalKeywords reduces a keyword list to its canonical routing form:
+// CanonicalKeywords reduces a keyword list to its canonical routing form:
 // case-folded, whitespace-trimmed, empty tokens dropped, deduplicated and
-// sorted. Every routing decision — hash or affinity — goes through this one
-// helper, so ["Apple", "apple"], ["apple", ""] and ["apple"] are the same
-// query as far as shard placement is concerned (the sharing contract:
-// overlapping searches must meet on one plan graph).
-func canonicalKeywords(keywords []string) []string {
+// sorted. Every routing decision — hash or affinity, in-process or across the
+// distributed tier — goes through this one helper, so ["Apple", "apple"],
+// ["apple", ""] and ["apple"] are the same query as far as shard placement is
+// concerned (the sharing contract: overlapping searches must meet on one plan
+// graph). A canonical set also names a *topic* for live migration.
+func CanonicalKeywords(keywords []string) []string {
 	canon := make([]string, 0, len(keywords))
 	seen := make(map[string]bool, len(keywords))
 	for _, kw := range keywords {
@@ -132,10 +133,19 @@ func newRouter(mode string, shards int, svc *metrics.Service) *router {
 // back into the affinity index. Safe for concurrent use; decisions are
 // serialized so score-then-record is atomic and identical queries converge
 // on one shard.
-func (rt *router) route(canon []string) int {
+//
+// healthy, when non-nil, marks which shards may take new queries (the
+// distributed tier routes around probes-failed and draining shards): a memo
+// pin to an unhealthy shard is ignored, unhealthy shards score zero, and the
+// hash fallback scans forward to the first healthy shard. The second return
+// reports whether an unhealthy shard forced the placement away from where it
+// would otherwise have gone. With healthy nil every shard is eligible.
+func (rt *router) route(canon []string, healthy func(int) bool) (int, bool) {
 	if rt.shards == 1 {
-		return 0
+		return 0, false
 	}
+	ok := func(s int) bool { return healthy == nil || healthy(s) }
+	redirected := false
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.tick++
@@ -152,10 +162,13 @@ func (rt *router) route(canon []string) int {
 	// its retained plan state lives there, which is the strongest possible
 	// affinity signal.
 	if rt.mode == RouterAffinity {
-		if e, ok := rt.memo[memoKey]; ok && rt.tick-e.tick <= routerMemoTTL {
-			rt.svc.RouteAffinity.Inc()
-			rt.observe(memoKey, e.shard, canon)
-			return e.shard
+		if e, pinned := rt.memo[memoKey]; pinned && rt.tick-e.tick <= routerMemoTTL {
+			if ok(e.shard) {
+				rt.svc.RouteAffinity.Inc()
+				rt.observe(memoKey, e.shard, canon)
+				return e.shard, false
+			}
+			redirected = true
 		}
 	}
 
@@ -184,6 +197,10 @@ func (rt *router) route(canon []string) int {
 		if sim < rt.minSim {
 			continue
 		}
+		if !ok(s) {
+			redirected = true
+			continue
+		}
 		score := rt.aff.Mass(s, canon) * (1 - routerLoadPenalty*rt.aff.Load(s)/(totalLoad+1))
 		if bestShard < 0 || score > bestScore {
 			bestShard, bestScore = s, score
@@ -196,6 +213,18 @@ func (rt *router) route(canon []string) int {
 		rt.svc.RouteAffinity.Inc()
 	} else {
 		chosen = hashShard(canon, rt.shards)
+		// The hash is the placement of last resort; when it lands on an
+		// unhealthy shard, scan forward (deterministically) to the nearest
+		// healthy one rather than refuse the query.
+		if !ok(chosen) {
+			redirected = true
+			for d := 1; d < rt.shards; d++ {
+				if c := (chosen + d) % rt.shards; ok(c) {
+					chosen = c
+					break
+				}
+			}
+		}
 		rt.svc.RouteHash.Inc()
 	}
 	// A sharing miss: some shard already held this query's topic, yet the
@@ -208,7 +237,38 @@ func (rt *router) route(canon []string) int {
 		rt.svc.RouteSharingMiss.Inc()
 	}
 	rt.observe(memoKey, chosen, canon)
-	return chosen
+	return chosen, redirected
+}
+
+// rehome re-pins a canonical set's exact-repeat memo to the shard its
+// retained state migrated to, and moves the matching affinity mass with it.
+// Callers invoke it after a successful topic migration; without the re-pin
+// the memo would keep sending exact repeats to the old shard, which no
+// longer holds the state.
+func (rt *router) rehome(canon []string, from, to int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.memo[strings.Join(canon, "\x00")] = memoEntry{shard: to, tick: rt.tick}
+	rt.aff.Transfer(from, to, canon)
+}
+
+// suggestRehome reports whether the canonical set's pinned shard has drifted
+// away from where the topic's admission mass now concentrates (see
+// cluster.Affinity.ShouldRehome). Only memo-pinned sets are considered: a pin
+// is the router's claim that exact repeats will keep landing on that shard,
+// which is exactly the claim a migration should follow.
+func (rt *router) suggestRehome(canon []string, factor float64) (from, to int, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e, pinned := rt.memo[strings.Join(canon, "\x00")]
+	if !pinned || rt.tick-e.tick > routerMemoTTL {
+		return 0, 0, false
+	}
+	to, moved := rt.aff.ShouldRehome(e.shard, canon, factor)
+	if !moved {
+		return e.shard, e.shard, false
+	}
+	return e.shard, to, true
 }
 
 // observe feeds a placement back into the affinity index and the exact-set
@@ -265,4 +325,46 @@ func (rt *router) stats() RouterStats {
 		st.Shards = append(st.Shards, RouterShardStats{Shard: s, Keywords: rt.aff.Size(s), Load: rt.aff.Load(s)})
 	}
 	return st
+}
+
+// Placer is the shard-placement half of the service, exported for the
+// distributed serving tier: a front-end process runs the same affinity
+// router — canonicalization, decaying resident keyword sets, exact-set
+// memo — against remote shard endpoints that it runs in-process against
+// local shards, so a query lands on the same shard index either way.
+type Placer struct {
+	rt *router
+}
+
+// NewPlacer builds a placer over n shard slots. mode is a Router mode name
+// (ParseRouter); svc receives the per-decision routing counters.
+func NewPlacer(mode string, shards int, svc *metrics.Service) (*Placer, error) {
+	m, err := ParseRouter(mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Placer{rt: newRouter(m, shards, svc)}, nil
+}
+
+// Route places a keyword set, skipping shards healthy reports false for
+// (nil admits all). It returns the shard index and whether an unhealthy
+// shard forced the placement away from the router's preference.
+func (p *Placer) Route(keywords []string, healthy func(int) bool) (int, bool) {
+	return p.rt.route(CanonicalKeywords(keywords), healthy)
+}
+
+// Stats snapshots the placer's routing state.
+func (p *Placer) Stats() RouterStats { return p.rt.stats() }
+
+// SuggestRehome reports whether the keyword set's topic should migrate: it
+// is memo-pinned to shard from, yet another shard's decayed admission mass
+// on its keywords exceeds the pin's by factor (hysteresis; ≥ 2 is sensible).
+func (p *Placer) SuggestRehome(keywords []string, factor float64) (from, to int, ok bool) {
+	return p.rt.suggestRehome(CanonicalKeywords(keywords), factor)
+}
+
+// CommitRehome records a completed migration: exact repeats of the keyword
+// set now route to shard to, and the matching affinity mass moves with them.
+func (p *Placer) CommitRehome(keywords []string, from, to int) {
+	p.rt.rehome(CanonicalKeywords(keywords), from, to)
 }

@@ -19,8 +19,8 @@ func TestCanonicalKeywords(t *testing.T) {
 		{[]string{"", "  "}, []string{}},
 	}
 	for _, c := range cases {
-		if got := canonicalKeywords(c.in); !reflect.DeepEqual(got, c.want) {
-			t.Errorf("canonicalKeywords(%q) = %q, want %q", c.in, got, c.want)
+		if got := CanonicalKeywords(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("CanonicalKeywords(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }
@@ -55,7 +55,7 @@ func TestAffinityRouterGroupsOverlap(t *testing.T) {
 	svc := &metrics.Service{}
 	rt := newRouter(RouterAffinity, 5, svc)
 
-	first := rt.route([]string{"metabolism", "protein"})
+	first, _ := rt.route([]string{"metabolism", "protein"}, nil)
 	if got := svc.RouteHash.Value(); got != 1 {
 		t.Fatalf("first decision should hash-fall-back (no affinity anywhere); hash routes = %d", got)
 	}
@@ -65,7 +65,7 @@ func TestAffinityRouterGroupsOverlap(t *testing.T) {
 		{"protein", "metabolism"},
 		{"gene", "protein"},
 	} {
-		if got := rt.route(kw); got != first {
+		if got, _ := rt.route(kw, nil); got != first {
 			t.Errorf("%q routed to shard %d, want topic shard %d", kw, got, first)
 		}
 	}
@@ -75,7 +75,7 @@ func TestAffinityRouterGroupsOverlap(t *testing.T) {
 	// A disjoint topic has no meaningful affinity: fixed hash decides.
 	disjoint := []string{"quartz", "basalt"}
 	want := hashShard(disjoint, 5)
-	if got := rt.route(disjoint); got != want {
+	if got, _ := rt.route(disjoint, nil); got != want {
 		t.Errorf("disjoint topic routed to %d, want hash shard %d", got, want)
 	}
 	st := rt.stats()
@@ -104,11 +104,11 @@ func TestHashRouterEstimatesSharingMisses(t *testing.T) {
 		{"metabolism", "plasma"},
 		{"metabolism", "kinase"},
 	}
-	home := rt.route(base)
+	home, _ := rt.route(base, nil)
 	missed := false
 	for _, kw := range overlapping {
-		if hashShard(canonicalKeywords(kw), 4) != home {
-			rt.route(kw)
+		if hashShard(CanonicalKeywords(kw), 4) != home {
+			rt.route(kw, nil)
 			missed = true
 			break
 		}

@@ -36,15 +36,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/atc"
-	"repro/internal/candidates"
 	"repro/internal/cq"
-	"repro/internal/dist"
 	"repro/internal/metrics"
 	"repro/internal/plangraph"
 	"repro/internal/state"
@@ -114,6 +111,13 @@ type Config struct {
 	// (closed-loop backpressure) until the executor drains or their context
 	// expires. Default 1024.
 	MaxQueue int
+	// ShardIDOffset offsets the engine identity of this service's shards:
+	// shard i seeds its RNGs (engine, delays, parallel executor) as engine
+	// ShardIDOffset+i. A shard *process* serving slot i of a distributed
+	// fleet runs Shards=1 with ShardIDOffset=i, which makes its engine
+	// byte-identical to shard i of a single-process service with the same
+	// Seed — the invariant the multi-process digest parity gate pins.
+	ShardIDOffset int
 
 	// RealTime makes engine delays actually sleep (live serving); the default
 	// virtual clock simulates them, which is what the load generator and the
@@ -260,33 +264,21 @@ func (st Stats) SharedSplit() SharedSplit {
 type Service struct {
 	cfg    Config
 	svc    *metrics.Service
-	genCfg candidates.Config
+	exp    *Expander
 	shards []*shard
 	router *router
 
 	mu     sync.Mutex
-	users  map[string]*dist.RNG
-	nextUQ int
 	closed bool
 }
 
 // New builds a service over a workload and starts its shard executors.
 func New(w *workload.Workload, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	// Expand ad hoc searches the way the workload's own query suite was
-	// built (path lengths, match fan-out, scoring family); Config.MaxCQs
-	// overrides the cap when set explicitly.
-	genCfg := w.Gen
-	genCfg.Graph = w.Schema
-	genCfg.Catalog = w.Catalog
-	if cfg.MaxCQs > 0 {
-		genCfg.MaxCQs = cfg.MaxCQs
-	}
 	s := &Service{
-		cfg:    cfg,
-		svc:    &metrics.Service{},
-		genCfg: genCfg,
-		users:  map[string]*dist.RNG{},
+		cfg: cfg,
+		svc: &metrics.Service{},
+		exp: NewExpander(w, cfg),
 	}
 	mode, err := ParseRouter(cfg.Router)
 	if err != nil {
@@ -311,15 +303,28 @@ func New(w *workload.Workload, cfg Config) *Service {
 // into shared admissions. Each distinct user keeps their own scoring-function
 // coefficients across calls (§2.1). k <= 0 uses the configured default.
 func (s *Service) Search(ctx context.Context, user string, keywords []string, k int) (*Result, error) {
-	if k <= 0 {
-		k = s.cfg.K
+	if s.isClosed() {
+		return nil, ErrClosed
 	}
-	uq, err := s.expand(user, keywords, k)
+	uq, err := s.exp.Expand(user, keywords, k)
 	if err != nil {
 		return nil, err
 	}
+	return s.SearchUQ(ctx, uq)
+}
+
+// SearchUQ admits an already-expanded user query, bypassing candidate
+// generation. The distributed serving tier depends on it: the front-end owns
+// expansion — per-user scoring coefficients and UQ ids are front-desk state —
+// and ships the complete UQ to a shard process, whose engine must consume
+// exactly the query the single-process engine would have, or result digests
+// diverge.
+func (s *Service) SearchUQ(ctx context.Context, uq *cq.UQ) (*Result, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
 	s.svc.Requests.Inc()
-	sh := s.shards[s.route(keywords)]
+	sh := s.shards[s.route(uq.Keywords)]
 	r := &request{uq: uq, enqueued: time.Now(), ctx: ctx, resp: make(chan response, 1)}
 	select {
 	case sh.submitCh <- r:
@@ -354,28 +359,11 @@ func (s *Service) Search(ctx context.Context, user string, keywords []string, k 
 	}
 }
 
-// expand generates the user query (candidate networks + per-user scoring
-// coefficients) under the front-desk lock: the per-user RNG and UQ counter
-// are the only cross-shard mutable state.
-func (s *Service) expand(user string, keywords []string, k int) (*cq.UQ, error) {
+// isClosed reports whether Close has begun.
+func (s *Service) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	rng, ok := s.users[user]
-	if !ok {
-		// The seed is a function of the user's name alone: a user's scoring
-		// coefficients (§2.1) must be the same in every run, whatever order
-		// the users happened to arrive in.
-		h := fnv.New64a()
-		h.Write([]byte(user))
-		rng = dist.New(s.cfg.Seed + 1000 + h.Sum64()*77)
-		s.users[user] = rng
-	}
-	s.nextUQ++
-	id := fmt.Sprintf("UQ%d", s.nextUQ)
-	return candidates.Generate(s.genCfg, id, keywords, k, rng)
+	return s.closed
 }
 
 // route picks the shard for a keyword set. The set is canonicalized first —
@@ -387,7 +375,8 @@ func (s *Service) route(keywords []string) int {
 	if len(s.shards) == 1 {
 		return 0
 	}
-	return s.router.route(canonicalKeywords(keywords))
+	sh, _ := s.router.route(CanonicalKeywords(keywords), nil)
+	return sh
 }
 
 // Stats snapshots the service. Engine-side numbers are fetched through each
@@ -404,24 +393,31 @@ func (s *Service) Stats() Stats {
 }
 
 // Close stops accepting new searches, lets every enqueued and in-flight query
-// run to completion, and shuts the shard executors down. It is idempotent.
-func (s *Service) Close() {
+// run to completion, and shuts the shard executors down. It is idempotent and
+// returns the joined per-shard state-teardown errors (spill directories that
+// failed to remove, …) — previously swallowed, now surfaced so a serving
+// process can log disk problems instead of silently leaking segments.
+func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
 	for _, sh := range s.shards {
 		close(sh.stopCh)
 	}
+	var errs []error
 	for _, sh := range s.shards {
 		<-sh.doneCh
 		// The executor has exited; release the shard's parallel workers and
 		// reclaim its spill segments so no run leaves goroutines or disk
 		// state behind.
 		sh.ctrl.Close()
-		sh.mgr.State.Close() //nolint:errcheck
+		if err := sh.mgr.State.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("service: shard %d state teardown: %w", sh.id, err))
+		}
 	}
+	return errors.Join(errs...)
 }
