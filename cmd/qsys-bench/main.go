@@ -6,7 +6,7 @@
 //	qsys-bench [-full] [-only table4|fig7|fig8|fig9|fig10|fig11|fig12]
 //	qsys-bench -bench [-bench-out BENCH_PR5.json] [-bench-baseline prev.json]
 //	           [-bench-rounds N] [-bench-experiments=false] [-bench-budget N]
-//	           [-bench-routing N] [-bench-parallel N]
+//	           [-bench-routing N] [-bench-parallel N] [-bench-saturation N]
 //	qsys-bench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
 // -cpuprofile / -memprofile write standard Go pprof profiles covering the
@@ -48,6 +48,7 @@ func main() {
 	benchRouting := flag.Int("bench-routing", 0, "shard count of the hash-vs-affinity routing profile (0 = default; negative skips the profile)")
 	benchParallel := flag.Int("bench-parallel", 0, "worker count of the serial-vs-parallel executor profile (0 = default; negative skips the profile)")
 	benchFleet := flag.Int("bench-fleet", 0, "shard-slot count of the single-vs-multi-process fleet parity profile (0 = default; negative skips the profile)")
+	benchSaturation := flag.Int("bench-saturation", 0, "arrival count of the open-loop overload-control profile (0 = default; negative skips the profile)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	if *bench {
-		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel, *benchFleet); err != nil {
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel, *benchFleet, *benchSaturation); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,7 +132,7 @@ func main() {
 }
 
 // runBench measures one trajectory point and writes it as JSON.
-func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers, fleetShards int) error {
+func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers, fleetShards, saturationRequests int) error {
 	if outPath == "" {
 		// Derived from the label so a future PR's bare run cannot silently
 		// clobber an earlier checked-in trajectory point.
@@ -141,7 +142,7 @@ func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool
 	// Defaults only replaces zero, and Run's positivity guards leave the
 	// profile out. (Zeroing them here used to be undone when Run re-applied
 	// Defaults, silently resurrecting the skipped profiles.)
-	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers, FleetShards: fleetShards}
+	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers, FleetShards: fleetShards, SaturationRequests: saturationRequests}
 
 	var baseline *benchrun.Point
 	if baselinePath != "" {

@@ -47,7 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -57,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/dist"
 	"repro/internal/fleet"
 	"repro/internal/service"
@@ -83,10 +86,46 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "spill evicted plan segments to per-shard dirs under this path instead of discarding (removed on close)")
 	target := flag.String("target", "", "drive a running qsys-serve (single-process or front-end) at this base URL over HTTP instead of an in-process service; transient rejections (503, connection refused) are retried with jittered backoff and reported")
 	digest := flag.Bool("digest", false, "with -target: print the sha256 result digest of the run (deterministic with -users 1; the multi-process parity gate compares it across serving modes)")
+	rate := flag.Float64("rate", 0, "open-loop mode: offered arrival rate in searches/sec (Poisson arrivals from a seeded schedule, independent of completions); 0 = closed loop")
+	burst := flag.Int("burst", 1, "open-loop burstiness: arrivals come in clusters of this size at each Poisson epoch (offered rate unchanged)")
+	arrivals := flag.Int("arrivals", 0, "open-loop arrival count (0 = users*requests)")
+	deadline := flag.Duration("deadline", 0, "per-request latency budget: in-process it configures admission deadline shedding; with -target it bounds each request context")
+	maxPending := flag.Int("max-pending", 0, "in-process admission: bound each shard's queue, shedding beyond it (0 = unbounded)")
+	userRate := flag.Float64("user-rate", 0, "in-process admission: per-user token-bucket rate in searches/sec (0 = off)")
+	totalRate := flag.Float64("total-rate", 0, "in-process admission: global admission rate, fair-arbitrated across active users (0 = off)")
+	adaptiveWindow := flag.Bool("adaptive-window", false, "in-process admission: replace the fixed batch window with the queue/latency control loop")
+	maxInFlight := flag.Int("max-inflight", 0, "in-process admission: bound concurrently executing merges per shard; excess stays queued (0 = unbounded)")
+	userPerRequest := flag.Bool("user-per-request", false, "with -users 1: name a fresh user per request, pinning each request's scoring coefficients independently of arrival interleaving — makes adigest comparable between closed-loop and open-loop runs even when Poisson arrivals overlap")
 	flag.Parse()
 
+	adm := admission.Config{
+		UserRate:       *userRate,
+		TotalRate:      *totalRate,
+		MaxPending:     *maxPending,
+		Deadline:       *deadline,
+		MaxInFlight:    *maxInFlight,
+		AdaptiveWindow: *adaptiveWindow,
+	}
+
+	if *rate > 0 {
+		n := *arrivals
+		if n <= 0 {
+			n = *users * *requests
+		}
+		runOpenLoop(openLoopConfig{
+			target: *target, wl: *wl, instance: *instance,
+			rate: *rate, burst: *burst, arrivals: n, users: *users, k: *k,
+			seed: *seed, overlap: *overlap, digest: *digest,
+			userPerRequest: *userPerRequest,
+			deadline:       *deadline, adm: adm,
+			window: firstWindow(*windows), batch: *batch, shards: *shards,
+			workers: *workers, router: *routerMode, budget: *budget, policy: *policy,
+		})
+		return
+	}
+
 	if *target != "" {
-		runTarget(*target, *wl, *instance, *users, *requests, *k, *seed, *overlap, *digest)
+		runTarget(*target, *wl, *instance, *users, *requests, *k, *seed, *overlap, *digest, *userPerRequest)
 		return
 	}
 
@@ -292,7 +331,7 @@ const targetRetries = 5
 // admission — 503 from a draining/closed shard, connection refused from a
 // restarting one — are retried with jittered exponential backoff; any other
 // failure counts as an error, since the query may already have executed.
-func runTarget(target, wl string, instance, users, requests, k int, seed uint64, overlap, digest bool) {
+func runTarget(target, wl string, instance, users, requests, k int, seed uint64, overlap, digest, userPerRequest bool) {
 	w, err := workload.ByName(wl, instance)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -313,6 +352,7 @@ func runTarget(target, wl string, instance, users, requests, k int, seed uint64,
 		retries  int
 	)
 	h := sha256.New()
+	ah := sha256.New()
 	start := time.Now()
 	for u := 0; u < users; u++ {
 		wg.Add(1)
@@ -323,8 +363,12 @@ func runTarget(target, wl string, instance, users, requests, k int, seed uint64,
 			zipf := dist.NewZipf(rng, len(pool), 0.8)
 			for i := 0; i < requests; i++ {
 				kw := pool[zipf.Next()]
+				name := fmt.Sprintf("user%d", u)
+				if userPerRequest && users == 1 {
+					name = fmt.Sprintf("u%d", i)
+				}
 				t0 := time.Now()
-				view, tries, err := searchHTTP(client, target, fmt.Sprintf("user%d", u), kw, k, backoffRNG)
+				view, tries, err := searchHTTP(client, target, name, kw, k, backoffRNG)
 				d := time.Since(t0)
 				mu.Lock()
 				retries += tries
@@ -334,6 +378,9 @@ func runTarget(target, wl string, instance, users, requests, k int, seed uint64,
 					lats = append(lats, d)
 					if digest {
 						fleet.DigestView(h, view)
+						if users == 1 {
+							foldAnswers(ah, view)
+						}
 					}
 				}
 				mu.Unlock()
@@ -355,6 +402,9 @@ func runTarget(target, wl string, instance, users, requests, k int, seed uint64,
 		qps, errCount, retries, rep.p(0.50), rep.p(0.95), rep.p(0.99))
 	if digest {
 		fmt.Printf("digest=%s\n", hex.EncodeToString(h.Sum(nil)))
+		if users == 1 {
+			fmt.Printf("adigest=%s\n", hex.EncodeToString(ah.Sum(nil)))
+		}
 	}
 	if errCount > 0 {
 		os.Exit(1)
@@ -412,6 +462,332 @@ func overlapPool(pool [][]string) [][]string {
 		out = append(out, workload.OverlapVariants(base)...)
 	}
 	return out
+}
+
+// firstWindow parses the first entry of the -windows list; open-loop runs
+// drive a single admission-window setting.
+func firstWindow(spec string) time.Duration {
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if s == "0" {
+			return 0
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad window %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		return d
+	}
+	return 0
+}
+
+// foldAnswers folds one served result into an answers-only run digest: the
+// per-result fleet.DigestAnswers hash, folded in arrival order. Because the
+// UQ prefix is stripped and sheds renumber nothing the client sees, a
+// below-saturation open-loop run folds to the same adigest as the closed-loop
+// run that issued the same keyword stream — the byte-identity half of the
+// degradation contract, checked by CI across serving modes.
+func foldAnswers(run hash.Hash, view *fleet.ResultView) {
+	sub := sha256.New()
+	fleet.DigestAnswers(sub, view)
+	io.WriteString(run, hex.EncodeToString(sub.Sum(nil)))
+}
+
+// openLoopConfig carries one open-loop run's knobs.
+type openLoopConfig struct {
+	target   string
+	wl       string
+	instance int
+	rate     float64 // offered arrivals/sec
+	burst    int     // arrivals per Poisson epoch
+	arrivals int
+	users    int
+	k        int
+	seed     uint64
+	overlap  bool
+	digest   bool
+	// userPerRequest names a fresh user per arrival (users == 1 only), so
+	// each arrival's scoring coefficients are a function of its index alone
+	// and the adigest is independent of how concurrent arrivals interleave.
+	userPerRequest bool
+	deadline       time.Duration
+	adm            admission.Config
+	// in-process service shape
+	window  time.Duration
+	batch   int
+	shards  int
+	workers int
+	router  string
+	budget  int
+	policy  string
+}
+
+// arrivalOutcome records one arrival's fate. Exactly one of ok/shed/err holds.
+type arrivalOutcome struct {
+	ok     bool
+	shed   bool
+	reason string // shed reason, or "" / error class
+	lat    time.Duration
+	view   *fleet.ResultView
+}
+
+// runOpenLoop offers load on a fixed seeded schedule, independent of
+// completions: Poisson epochs (optionally carrying -burst arrivals each) fire
+// whether or not earlier requests finished, which is what makes saturation
+// visible — a closed loop self-throttles at capacity, an open loop keeps
+// offering and forces the server to shed. Each arrival is a single attempt:
+// retrying inside the generator would convert offered load into closed-loop
+// feedback and hide the shed rate being measured.
+func runOpenLoop(cfg openLoopConfig) {
+	w, err := workload.ByName(cfg.wl, cfg.instance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pool := keywordPool(w)
+	if len(pool) == 0 {
+		fmt.Fprintf(os.Stderr, "workload %s has no keyword suite\n", cfg.wl)
+		os.Exit(1)
+	}
+	if cfg.overlap {
+		pool = overlapPool(pool)
+	}
+	if cfg.users < 1 {
+		cfg.users = 1
+	}
+	burst := cfg.burst
+	if burst < 1 {
+		burst = 1
+	}
+	n := cfg.arrivals
+
+	// The whole schedule is precomputed from seeded streams before the first
+	// request fires, so identical flags replay identical offered load: epoch
+	// gaps are exponential with mean burst/rate (burst arrivals per epoch
+	// keeps the offered rate at -rate while clustering it), and the keyword
+	// stream is drawn in arrival order — with one user it is byte-identical
+	// to the closed-loop user0 stream, which is what lets adigest compare
+	// across loop disciplines.
+	sched := dist.New(cfg.seed + 11)
+	times := make([]time.Duration, n)
+	var clock float64 // seconds
+	for i := 0; i < n; i++ {
+		if i%burst == 0 {
+			clock += -math.Log(1-sched.Float64()) / (cfg.rate / float64(burst))
+		}
+		times[i] = time.Duration(clock * float64(time.Second))
+	}
+	kwRNG := dist.New(cfg.seed + 3)
+	zipf := dist.NewZipf(kwRNG, len(pool), 0.8)
+	kws := make([][]string, n)
+	for i := range kws {
+		kws[i] = pool[zipf.Next()]
+	}
+
+	var attempt func(ctx context.Context, user string, kw []string) (*fleet.ResultView, *admission.ShedError, error)
+	var svc *service.Service
+	if cfg.target != "" {
+		attempt = openTargetAttempt(cfg)
+	} else {
+		if _, err := state.ParsePolicy(cfg.policy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := service.ParseRouter(cfg.router); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		svc = service.New(w, service.Config{
+			K:            cfg.k,
+			Seed:         cfg.seed,
+			BatchWindow:  cfg.window,
+			BatchSize:    cfg.batch,
+			Shards:       cfg.shards,
+			Workers:      cfg.workers,
+			Router:       cfg.router,
+			MemoryBudget: cfg.budget,
+			EvictPolicy:  cfg.policy,
+			Admission:    cfg.adm,
+		})
+		defer svc.Close()
+		attempt = func(ctx context.Context, user string, kw []string) (*fleet.ResultView, *admission.ShedError, error) {
+			res, err := svc.Search(ctx, user, kw, cfg.k)
+			if err != nil {
+				var shed *admission.ShedError
+				if errors.As(err, &shed) {
+					return nil, shed, nil
+				}
+				return nil, nil, err
+			}
+			return fleet.ViewOf(res), nil, nil
+		}
+	}
+
+	outs := make([]arrivalOutcome, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Until(start.Add(times[i])))
+			ctx := context.Background()
+			if cfg.target != "" && cfg.deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+				defer cancel()
+			}
+			t0 := time.Now()
+			name := fmt.Sprintf("user%d", i%cfg.users)
+			if cfg.userPerRequest && cfg.users == 1 {
+				name = fmt.Sprintf("u%d", i)
+			}
+			view, shed, err := attempt(ctx, name, kws[i])
+			d := time.Since(t0)
+			switch {
+			case shed != nil:
+				outs[i] = arrivalOutcome{shed: true, reason: shed.Reason, lat: d}
+			case errors.Is(err, context.DeadlineExceeded):
+				// The client-side budget expired: same fate as a server-side
+				// deadline shed, observed from the other end of the wire.
+				outs[i] = arrivalOutcome{shed: true, reason: admission.ReasonDeadline, lat: d}
+			case err != nil:
+				outs[i] = arrivalOutcome{reason: err.Error(), lat: d}
+			default:
+				outs[i] = arrivalOutcome{ok: true, lat: d, view: view}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Aggregate in arrival order so the adigest fold is deterministic.
+	var (
+		served, shedCount, errCount int
+		lats                        []time.Duration
+		reasons                     = map[string]int{}
+		firstErrs                   []string
+	)
+	ah := sha256.New()
+	for i := range outs {
+		o := &outs[i]
+		switch {
+		case o.ok:
+			served++
+			lats = append(lats, o.lat)
+			if cfg.digest && cfg.users == 1 {
+				foldAnswers(ah, o.view)
+			}
+		case o.shed:
+			shedCount++
+			reasons[o.reason]++
+		default:
+			errCount++
+			if len(firstErrs) < 3 {
+				firstErrs = append(firstErrs, fmt.Sprintf("arrival %d: %s", i, o.reason))
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep := &report{latencies: lats}
+
+	mode := "in-process"
+	if cfg.target != "" {
+		mode = cfg.target
+	}
+	fmt.Printf("open-loop load: rate=%.1f/s burst=%d arrivals=%d users=%d k=%d workload=%s target=%s\n",
+		cfg.rate, burst, n, cfg.users, cfg.k, cfg.wl, mode)
+	span := times[n-1]
+	achieved := 0.0
+	if span > 0 {
+		achieved = float64(n-1) / span.Seconds()
+	}
+	goodput := 0.0
+	if wall > 0 {
+		goodput = float64(served) / wall.Seconds()
+	}
+	fmt.Printf("offered=%.1f/s achieved=%.1f/s wall=%v\n", cfg.rate, achieved, wall.Round(time.Millisecond))
+	shedPct := 0.0
+	if n > 0 {
+		shedPct = 100 * float64(shedCount) / float64(n)
+	}
+	fmt.Printf("served=%d goodput=%.1f/s shed=%d (%.1f%%) errors=%d\n", served, goodput, shedCount, shedPct, errCount)
+	if len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for r := range reasons {
+			keys = append(keys, r)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, r := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, reasons[r]))
+		}
+		fmt.Printf("shed reasons: %s\n", strings.Join(parts, " "))
+	}
+	for _, e := range firstErrs {
+		fmt.Printf("error: %s\n", e)
+	}
+	fmt.Printf("latency served: p50=%v p95=%v p99=%v max=%v\n",
+		rep.p(0.50), rep.p(0.95), rep.p(0.99), rep.p(1))
+	if svc != nil {
+		ss := svc.Stats().Service
+		fmt.Printf("admission: shed=%d user-rate=%d queue-full=%d deadline-canceled=%d\n",
+			ss.Shed, ss.ShedUserRate, ss.ShedQueueFull, ss.DeadlineCanceled)
+	}
+	if cfg.digest && cfg.users == 1 {
+		fmt.Printf("adigest=%s\n", hex.EncodeToString(ah.Sum(nil)))
+	}
+	if served == 0 {
+		fmt.Fprintln(os.Stderr, "open-loop run served nothing")
+		os.Exit(1)
+	}
+}
+
+// openTargetAttempt builds the single-attempt HTTP searcher for -target mode:
+// one POST, no retries (the generator must not convert offered load into
+// closed-loop feedback), 503 decoded into its admission shed reason.
+func openTargetAttempt(cfg openLoopConfig) func(ctx context.Context, user string, kw []string) (*fleet.ResultView, *admission.ShedError, error) {
+	target := strings.TrimRight(cfg.target, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+	return func(ctx context.Context, user string, kw []string) (*fleet.ResultView, *admission.ShedError, error) {
+		body, _ := json.Marshal(map[string]any{"user": user, "keywords": kw, "k": cfg.k})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/search", bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			shed := &admission.ShedError{Reason: "unavailable"}
+			var we struct {
+				Reason       string `json:"reason"`
+				RetryAfterMS int64  `json:"retry_after_ms"`
+			}
+			if json.Unmarshal(data, &we) == nil && we.Reason != "" {
+				shed.Reason = we.Reason
+				shed.RetryAfter = time.Duration(we.RetryAfterMS) * time.Millisecond
+			}
+			return nil, shed, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return nil, nil, fmt.Errorf("search: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		var view fleet.ResultView
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return nil, nil, err
+		}
+		return &view, nil, nil
+	}
 }
 
 // keywordPool collects the searches the load draws from: the workload's

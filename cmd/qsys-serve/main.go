@@ -20,6 +20,15 @@
 //	           [-router affinity|hash] [-k 50] [-memory-budget 0]
 //	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
 //	           [-fleet URL,URL,...] [-probe-interval 2s] [-rehome-factor 0]
+//	           [-user-rate 0] [-total-rate 0] [-max-pending 0]
+//	           [-deadline 0] [-adaptive-window]
+//
+// The admission flags enable overload control: per-user token buckets with
+// fair arbitration under a global rate (shed as retryable 503 + Retry-After),
+// a bounded per-shard queue, deadline shedding that cancels merges past the
+// budget, and an adaptive batch window driven by queue depth and recent
+// latency. In front-end mode the rate limits run at this process's front desk
+// while queue/deadline control runs inside each shard process.
 //
 // Endpoints:
 //
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/service"
@@ -70,7 +80,23 @@ func main() {
 	fleetList := flag.String("fleet", "", "comma-separated qsys-shard endpoints; enables front-end mode (this process runs no engine)")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second, "front-end health-probe period (0 disables background probing)")
 	rehome := flag.Float64("rehome-factor", 0, "front-end live-migration hysteresis: migrate a topic when another shard's affinity mass exceeds its home's by this factor (0 disables; >= 2 sensible)")
+	userRate := flag.Float64("user-rate", 0, "admission: per-user token-bucket rate in searches/sec, shed as retryable 503 + Retry-After beyond it (0 = off)")
+	totalRate := flag.Float64("total-rate", 0, "admission: global rate fair-arbitrated across active users (0 = off)")
+	maxPending := flag.Int("max-pending", 0, "admission: bound each shard's queue, shedding beyond it as retryable 503 (0 = unbounded)")
+	deadline := flag.Duration("deadline", 0, "admission: per-search latency budget; a search past it is canceled mid-merge and shed non-retryably (0 = off)")
+	adaptiveWindow := flag.Bool("adaptive-window", false, "admission: replace the fixed batch window with a control loop over queue depth and recent latency (bounded by -window)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission: bound concurrently executing merges per shard so deadline shedding can trim the queue while admitted searches still finish in budget (0 = unbounded)")
 	flag.Parse()
+
+	adm := admission.Config{
+		UserRate:       *userRate,
+		TotalRate:      *totalRate,
+		MaxPending:     *maxPending,
+		Deadline:       *deadline,
+		MaxInFlight:    *maxInFlight,
+		AdaptiveWindow: *adaptiveWindow,
+		WindowMax:      *window,
+	}
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,7 +134,7 @@ func main() {
 			backends = append(backends, fleet.NewClient(ep, fleet.ClientConfig{Metrics: fm}))
 		}
 		fr, err := fleet.NewFrontend(w, fleet.FrontendConfig{
-			Service:       service.Config{K: *k, Seed: *seed, Router: *routerMode},
+			Service:       service.Config{K: *k, Seed: *seed, Router: *routerMode, Admission: adm},
 			ProbeInterval: *probeEvery,
 			RehomeFactor:  *rehome,
 			Metrics:       fm,
@@ -138,6 +164,7 @@ func main() {
 			EvictPolicy:  *policy,
 			SpillDir:     *spillDir,
 			RealTime:     *realtime,
+			Admission:    adm,
 		})
 		api = &localAPI{svc: svc, shards: *shards}
 		teardown = func() {
@@ -168,6 +195,14 @@ func main() {
 		}
 		view, err := api.Search(req.Context(), in.User, in.Keywords, in.K)
 		if err != nil {
+			if shed := shedOf(err); shed != nil {
+				// Overload sheds keep their provenance end to end: reason,
+				// Retry-After and the retryable claim reach the public client
+				// whether the shed happened at this process's front desk or
+				// deep in a shard of the fleet.
+				fleet.WriteShedError(rw, shed)
+				return
+			}
 			httpError(rw, searchStatus(err), err)
 			return
 		}
@@ -266,6 +301,21 @@ func (a *frontendAPI) Search(ctx context.Context, user string, keywords []string
 func (a *frontendAPI) Stats(ctx context.Context) service.Stats { return a.fr.Stats(ctx) }
 
 func (a *frontendAPI) Healthz(ctx context.Context) fleet.HealthzView { return a.fr.Healthz(ctx) }
+
+// shedOf extracts the admission shed behind a search failure, if any: either
+// the local controller's *admission.ShedError, or a shard's shed relayed by
+// the front-end as an *fleet.RPCError that kept the reason and hint.
+func shedOf(err error) *admission.ShedError {
+	var shed *admission.ShedError
+	if errors.As(err, &shed) {
+		return shed
+	}
+	var rpcErr *fleet.RPCError
+	if errors.As(err, &rpcErr) && rpcErr.Shed() {
+		return &admission.ShedError{Reason: rpcErr.Reason, RetryAfter: rpcErr.RetryAfter}
+	}
+	return nil
+}
 
 func searchStatus(err error) int {
 	var rpcErr *fleet.RPCError

@@ -14,6 +14,8 @@
 //	           [-instance 1] [-seed 1] [-window 25ms] [-batch 5]
 //	           [-workers 0] [-k 50] [-memory-budget 0]
 //	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
+//	           [-max-pending 0] [-deadline 0] [-adaptive-window]
+//	           [-drain-deadline 0]
 //
 // Endpoints:
 //
@@ -41,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/state"
@@ -62,6 +65,11 @@ func main() {
 	policy := flag.String("evict-policy", "lru", "eviction policy under the budget: lru or benefit")
 	spillDir := flag.String("spill-dir", "", "spill evicted plan segments under this path instead of discarding (removed on shutdown)")
 	realtime := flag.Bool("realtime", false, "sleep simulated delays for real")
+	maxPending := flag.Int("max-pending", 0, "admission: bound this shard's queue, shedding beyond it as retryable 503 + Retry-After (0 = unbounded)")
+	deadline := flag.Duration("deadline", 0, "admission: per-search latency budget; a search past it is canceled mid-merge and shed non-retryably (0 = off)")
+	adaptiveWindow := flag.Bool("adaptive-window", false, "admission: replace the fixed batch window with a control loop over queue depth and recent latency (bounded by -window)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission: bound concurrently executing merges so deadline shedding can trim the queue while admitted searches still finish in budget (0 = unbounded)")
+	drainDeadline := flag.Duration("drain-deadline", 0, "bound the drain's wait for in-flight searches; past it they are aborted so the state handoff completes (0 = 60s default)")
 	flag.Parse()
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
@@ -96,8 +104,16 @@ func main() {
 		EvictPolicy:   *policy,
 		SpillDir:      *spillDir,
 		RealTime:      *realtime,
+		Admission: admission.Config{
+			MaxPending:     *maxPending,
+			Deadline:       *deadline,
+			MaxInFlight:    *maxInFlight,
+			AdaptiveWindow: *adaptiveWindow,
+			WindowMax:      *window,
+		},
 	})
 	shard := fleet.NewShardServer(svc)
+	shard.DrainDeadline = *drainDeadline
 
 	server := &http.Server{Addr: *addr, Handler: shard.Handler()}
 	go func() {

@@ -6,11 +6,16 @@
 package batcher
 
 import (
+	"errors"
 	"sort"
 	"time"
 
 	"repro/internal/cq"
 )
+
+// ErrNoTrigger reports a Batcher with neither a size nor a window trigger:
+// such a batcher would collect submissions forever and release nothing.
+var ErrNoTrigger = errors.New("batcher: need a size or window trigger")
 
 // Submission is one user query with its arrival time.
 type Submission struct {
@@ -46,10 +51,12 @@ type Batcher struct {
 }
 
 // Plan groups a known set of submissions (the offline form used by the
-// experiment harness — arrival times are part of the workload).
-func (b *Batcher) Plan(subs []Submission) []Batch {
+// experiment harness — arrival times are part of the workload). A batcher
+// with neither trigger returns ErrNoTrigger: a bad flag combination must
+// surface as a configuration error, not kill the serving process.
+func (b *Batcher) Plan(subs []Submission) ([]Batch, error) {
 	if b.Size <= 0 && b.Window <= 0 {
-		panic("batcher: need a size or window trigger")
+		return nil, ErrNoTrigger
 	}
 	sorted := append([]Submission(nil), subs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
@@ -82,5 +89,5 @@ func (b *Batcher) Plan(subs []Submission) []Batch {
 		}
 		flush(at)
 	}
-	return out
+	return out, nil
 }

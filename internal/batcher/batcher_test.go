@@ -1,6 +1,7 @@
 package batcher
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -13,10 +14,13 @@ func sub(at time.Duration, id string) Submission {
 
 func TestSizeTriggeredBatches(t *testing.T) {
 	b := &Batcher{Size: 2}
-	batches := b.Plan([]Submission{
+	batches, err := b.Plan([]Submission{
 		sub(0, "a"), sub(time.Second, "b"), sub(2*time.Second, "c"),
 		sub(3*time.Second, "d"), sub(4*time.Second, "e"),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(batches) != 3 {
 		t.Fatalf("batches = %d, want 3", len(batches))
 	}
@@ -34,10 +38,13 @@ func TestSizeTriggeredBatches(t *testing.T) {
 
 func TestWindowTriggeredBatches(t *testing.T) {
 	b := &Batcher{Size: 100, Window: 3 * time.Second}
-	batches := b.Plan([]Submission{
+	batches, err := b.Plan([]Submission{
 		sub(0, "a"), sub(time.Second, "b"),
 		sub(10*time.Second, "c"),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(batches) != 2 {
 		t.Fatalf("batches = %d, want 2", len(batches))
 	}
@@ -51,25 +58,35 @@ func TestWindowTriggeredBatches(t *testing.T) {
 
 func TestPlanSortsArrivals(t *testing.T) {
 	b := &Batcher{Size: 2}
-	batches := b.Plan([]Submission{sub(5*time.Second, "late"), sub(0, "early")})
+	batches, err := b.Plan([]Submission{sub(5*time.Second, "late"), sub(0, "early")})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if batches[0].Submissions[0].UQ.ID != "early" {
 		t.Error("arrivals not sorted")
 	}
 }
 
 func TestBatcherNeedsTrigger(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no trigger should panic")
-		}
-	}()
-	(&Batcher{}).Plan([]Submission{sub(0, "a")})
+	// A batcher with neither trigger used to panic, which could kill a
+	// serving process over a bad flag combination; it must now return a
+	// configuration error.
+	batches, err := (&Batcher{}).Plan([]Submission{sub(0, "a")})
+	if !errors.Is(err, ErrNoTrigger) {
+		t.Fatalf("err = %v, want ErrNoTrigger", err)
+	}
+	if batches != nil {
+		t.Fatalf("batches = %v, want nil on configuration error", batches)
+	}
 }
 
 func TestReleaseNeverBeforeLastMember(t *testing.T) {
 	b := &Batcher{Size: 5, Window: 6 * time.Second}
 	subs := []Submission{sub(0, "a"), sub(time.Second, "b"), sub(2*time.Second, "c")}
-	batches := b.Plan(subs)
+	batches, err := b.Plan(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, batch := range batches {
 		for _, s := range batch.Submissions {
 			if batch.ReleasedAt < s.At {

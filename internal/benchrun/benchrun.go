@@ -68,6 +68,13 @@ type Config struct {
 	// digests byte-for-byte, plus a live topic-migration probe that must cost
 	// zero extra source-stream tuples. 0 skips the profile.
 	FleetShards int `json:"fleet_shards,omitempty"`
+	// SaturationRequests is the overload-control profile's arrival count: an
+	// unloaded control run fixes per-arrival answers and the capacity knee,
+	// then seeded open-loop Poisson arrivals are offered at 0.5x and 2x the
+	// knee under admission control, gating the degradation contract (no
+	// wrong answers, goodput holds, served p99 bounded by the deadline).
+	// 0 skips the profile.
+	SaturationRequests int `json:"saturation_requests,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -95,6 +102,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.FleetShards == 0 {
 		c.FleetShards = DefaultRoutingShards
+	}
+	if c.SaturationRequests == 0 {
+		c.SaturationRequests = DefaultSaturationRequests
 	}
 	return c
 }
@@ -200,14 +210,15 @@ type Experiment struct {
 // Point is one measured trajectory point: serving numbers, the §7 pass, the
 // bounded-budget state-lifecycle profile and the shard-routing profile.
 type Point struct {
-	GoVersion   string           `json:"go_version"`
-	Config      Config           `json:"config"`
-	Serving     Serving          `json:"serving"`
-	Experiments []Experiment     `json:"experiments,omitempty"`
-	Budget      *BudgetProfile   `json:"budget,omitempty"`
-	Routing     *RoutingProfile  `json:"routing,omitempty"`
-	Parallel    *ParallelProfile `json:"parallel,omitempty"`
-	Fleet       *FleetProfile    `json:"fleet,omitempty"`
+	GoVersion   string             `json:"go_version"`
+	Config      Config             `json:"config"`
+	Serving     Serving            `json:"serving"`
+	Experiments []Experiment       `json:"experiments,omitempty"`
+	Budget      *BudgetProfile     `json:"budget,omitempty"`
+	Routing     *RoutingProfile    `json:"routing,omitempty"`
+	Parallel    *ParallelProfile   `json:"parallel,omitempty"`
+	Fleet       *FleetProfile      `json:"fleet,omitempty"`
+	Saturation  *SaturationProfile `json:"saturation,omitempty"`
 }
 
 // Delta summarizes current against baseline (negative = improvement).
@@ -409,6 +420,13 @@ func Run(cfg Config) (*Point, error) {
 		}
 		p.Fleet = flt
 	}
+	if cfg.SaturationRequests > 0 {
+		sat, err := RunSaturation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Saturation = sat
+	}
 	return p, nil
 }
 
@@ -494,6 +512,9 @@ func (r *Report) Summary() string {
 	}
 	if r.Current.Fleet != nil {
 		s += r.Current.Fleet.Summary()
+	}
+	if r.Current.Saturation != nil {
+		s += r.Current.Saturation.Summary()
 	}
 	return s
 }

@@ -1,0 +1,308 @@
+package benchrun
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/dist"
+	"repro/internal/fleet"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// DefaultSaturationRequests is the canonical arrival count of the saturation
+// profile: enough requests that the open-loop runs see steady-state queueing,
+// few enough that the profile adds seconds, not minutes. Keep stable across
+// PRs.
+const DefaultSaturationRequests = 120
+
+// SaturationRun is one open-loop run of the saturation profile: a fixed
+// seeded Poisson arrival schedule offered at OfferedQPS, each arrival a
+// single attempt with no retries.
+type SaturationRun struct {
+	OfferedQPS float64 `json:"offered_qps"`
+	Served     int     `json:"served"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+
+	// Admission counters from the service after the run.
+	ShedUserRate     int64 `json:"shed_user_rate"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	DeadlineCanceled int64 `json:"deadline_canceled"`
+
+	// GoodputQPS is served searches per wall second — the open-loop measure a
+	// closed loop cannot produce, because a closed loop self-throttles at
+	// capacity instead of forcing the server to shed.
+	GoodputQPS float64 `json:"goodput_qps"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+
+	// DigestMismatches counts served arrivals whose answers differed from the
+	// unloaded control at the same arrival index. The degradation contract
+	// demands zero: overload may cost answers (sheds), never wrong ones.
+	DigestMismatches int `json:"digest_mismatches"`
+}
+
+// SaturationProfile is the open-loop overload-control profile checked into
+// the trajectory. An unloaded sequential control run fixes each arrival's
+// expected answers and the closed-loop capacity ("knee"); then the same
+// seeded arrival sequence is offered open-loop at 0.5× the knee (admission on,
+// nothing should shed, every answer byte-identical to control) and at 2× the
+// knee (the server must shed its way to survival: goodput stays near the
+// knee instead of collapsing, served latency stays bounded by the deadline,
+// and every served answer still matches control).
+type SaturationProfile struct {
+	Requests       int     `json:"requests"`
+	KneeQPS        float64 `json:"knee_qps"`
+	UnloadedMeanNS int64   `json:"unloaded_mean_ns"`
+	DeadlineNS     int64   `json:"deadline_ns"`
+
+	Below SaturationRun `json:"below"`
+	Above SaturationRun `json:"above"`
+
+	// BelowDigestEqual gates the easy half of the contract: below saturation
+	// every arrival is served and byte-identical to the unloaded run.
+	BelowDigestEqual bool `json:"below_saturation_digest_equal"`
+	// GoodputVsKnee is the overloaded run's goodput as a fraction of the
+	// knee. Open-loop overload with admission control should hold this near
+	// 1.0; without shedding it would collapse toward 0 as queues grow.
+	GoodputVsKnee float64 `json:"goodput_vs_knee"`
+	// P99WithinDeadline reports whether the overloaded run's served p99 is
+	// bounded by the admission deadline (2x slop: deadline checks run at
+	// batch boundaries, so a served search can modestly overshoot).
+	P99WithinDeadline bool `json:"p99_within_deadline"`
+}
+
+// satService builds a fresh single-shard serial service for one saturation
+// run. A fresh workload per run keeps the comparison honest (no run inherits
+// another's materialised source views); serial single-shard keeps the knee a
+// property of the engine, not the measuring machine's core count.
+func satService(cfg Config, adm admission.Config) (*service.Service, [][]string, error) {
+	w, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		return nil, nil, err
+	}
+	var pool [][]string
+	for _, sub := range w.Submissions {
+		if len(sub.UQ.Keywords) > 0 {
+			pool = append(pool, sub.UQ.Keywords)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("benchrun: workload has no keyword suite")
+	}
+	svc := service.New(w, service.Config{
+		Seed:        cfg.Seed,
+		K:           cfg.K,
+		Shards:      1,
+		Workers:     1,
+		BatchWindow: 0,
+		Admission:   adm,
+	})
+	return svc, pool, nil
+}
+
+// satDigest reduces one result to its answers-only digest (fleet.DigestAnswers
+// semantics: UQ numbering stripped), so a loaded run that shed some arrivals
+// still compares per index against the unloaded control.
+func satDigest(res *service.Result) string {
+	h := sha256.New()
+	fleet.DigestAnswers(h, fleet.ViewOf(res))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// satUser names arrival i's user. One user per arrival index pins each
+// arrival's scoring coefficients independently of execution order: the
+// expander seeds a user's coefficient RNG from the name alone, so index i
+// draws the same coefficients whether the run is sequential or racing under
+// overload — which is what makes per-index digest comparison exact.
+func satUser(i int) string { return fmt.Sprintf("sat-u%d", i) }
+
+// satOpenLoop offers the n-arrival schedule at rate req/sec against svc and
+// compares each served arrival against the control digests.
+func satOpenLoop(svc *service.Service, pool [][]string, control []string, cfg Config, rate float64, k int) SaturationRun {
+	n := len(control)
+	kwRNG := dist.New(cfg.Seed + 3)
+	zipf := dist.NewZipf(kwRNG, len(pool), 0.8)
+	kws := make([][]string, n)
+	for i := range kws {
+		kws[i] = pool[zipf.Next()]
+	}
+	sched := dist.New(cfg.Seed + 11)
+	times := make([]time.Duration, n)
+	var clock float64
+	for i := range times {
+		clock += -math.Log(1-sched.Float64()) / rate
+		times[i] = time.Duration(clock * float64(time.Second))
+	}
+
+	type outcome struct {
+		ok, shed bool
+		reason   string
+		lat      time.Duration
+		digest   string
+	}
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Until(start.Add(times[i])))
+			t0 := time.Now()
+			res, err := svc.Search(context.Background(), satUser(i), kws[i], k)
+			d := time.Since(t0)
+			var shed *admission.ShedError
+			switch {
+			case err == nil:
+				outs[i] = outcome{ok: true, lat: d, digest: satDigest(res)}
+			case errors.As(err, &shed):
+				outs[i] = outcome{shed: true, reason: shed.Reason, lat: d}
+			default:
+				outs[i] = outcome{reason: err.Error(), lat: d}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	run := SaturationRun{OfferedQPS: rate}
+	var lats []time.Duration
+	for i := range outs {
+		o := &outs[i]
+		switch {
+		case o.ok:
+			run.Served++
+			lats = append(lats, o.lat)
+			if o.digest != control[i] {
+				run.DigestMismatches++
+			}
+		case o.shed:
+			run.Shed++
+		default:
+			run.Errors++
+		}
+	}
+	if wall > 0 {
+		run.GoodputQPS = float64(run.Served) / wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(lats))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return int64(lats[i])
+	}
+	run.P50NS = pct(0.50)
+	run.P99NS = pct(0.99)
+	ss := svc.Stats().Service
+	run.ShedUserRate = ss.ShedUserRate
+	run.ShedQueueFull = ss.ShedQueueFull
+	run.DeadlineCanceled = ss.DeadlineCanceled
+	return run
+}
+
+// RunSaturation measures the saturation profile at cfg.SaturationRequests
+// arrivals.
+func RunSaturation(cfg Config) (*SaturationProfile, error) {
+	cfg = cfg.Defaults()
+	n := cfg.SaturationRequests
+	if n <= 0 {
+		return nil, fmt.Errorf("benchrun: saturation profile needs > 0 requests, got %d", n)
+	}
+	prof := &SaturationProfile{Requests: n}
+
+	// Unloaded sequential control: fixes per-index answers and the knee. The
+	// keyword stream is the same seeded zipf draw the open-loop runs replay.
+	svc, pool, err := satService(cfg, admission.Config{})
+	if err != nil {
+		return nil, err
+	}
+	kwRNG := dist.New(cfg.Seed + 3)
+	zipf := dist.NewZipf(kwRNG, len(pool), 0.8)
+	control := make([]string, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		res, err := svc.Search(context.Background(), satUser(i), pool[zipf.Next()], cfg.K)
+		if err != nil {
+			svc.Close()
+			return nil, fmt.Errorf("benchrun: saturation control search %d: %w", i, err)
+		}
+		control[i] = satDigest(res)
+	}
+	wall := time.Since(start)
+	svc.Close()
+	if wall <= 0 {
+		return nil, fmt.Errorf("benchrun: saturation control run took no time")
+	}
+	prof.KneeQPS = float64(n) / wall.Seconds()
+	mean := wall / time.Duration(n)
+	prof.UnloadedMeanNS = int64(mean)
+
+	// The admission deadline scales with the measured engine: generous enough
+	// that below-saturation queueing never trips it, tight enough that at 2x
+	// the knee it sheds the queue instead of letting latency run away.
+	deadline := 25 * mean
+	if deadline < 100*time.Millisecond {
+		deadline = 100 * time.Millisecond
+	}
+	if deadline > 2*time.Second {
+		deadline = 2 * time.Second
+	}
+	prof.DeadlineNS = int64(deadline)
+	// MaxInFlight 1 commits the engine to one merge at a time: admission
+	// (plan-graph optimize + graft) is the engine's serial bottleneck, so
+	// every release is a sunk ~mean-sized spend and the cheapest overload
+	// policy is to re-check deadlines between every commit. MaxPending 64
+	// converts a runaway backlog into queue-full sheds.
+	adm := admission.Config{MaxPending: 64, Deadline: deadline, MaxInFlight: 1}
+
+	svc, pool, err = satService(cfg, adm)
+	if err != nil {
+		return nil, err
+	}
+	prof.Below = satOpenLoop(svc, pool, control, cfg, 0.5*prof.KneeQPS, cfg.K)
+	svc.Close()
+
+	svc, pool, err = satService(cfg, adm)
+	if err != nil {
+		return nil, err
+	}
+	prof.Above = satOpenLoop(svc, pool, control, cfg, 2*prof.KneeQPS, cfg.K)
+	svc.Close()
+
+	prof.BelowDigestEqual = prof.Below.Served == n && prof.Below.DigestMismatches == 0
+	if prof.KneeQPS > 0 {
+		prof.GoodputVsKnee = prof.Above.GoodputQPS / prof.KneeQPS
+	}
+	prof.P99WithinDeadline = prof.Above.P99NS <= 2*prof.DeadlineNS
+	return prof, nil
+}
+
+// Summary renders the profile for the CLI.
+func (p *SaturationProfile) Summary() string {
+	line := func(name string, r SaturationRun) string {
+		return fmt.Sprintf("  %-6s offered=%.1f/s served=%d shed=%d (queue=%d deadline=%d) errors=%d goodput=%.1f/s p99=%v mismatches=%d\n",
+			name, r.OfferedQPS, r.Served, r.Shed, r.ShedQueueFull, r.DeadlineCanceled, r.Errors,
+			r.GoodputQPS, time.Duration(r.P99NS).Round(time.Microsecond), r.DigestMismatches)
+	}
+	s := fmt.Sprintf("saturation profile (%d arrivals, knee=%.1f/s, deadline=%v):\n",
+		p.Requests, p.KneeQPS, time.Duration(p.DeadlineNS))
+	s += line("below", p.Below) + line("above", p.Above)
+	s += fmt.Sprintf("  below digest == control: %v; goodput at 2x knee: %.2fx knee; served p99 within deadline: %v\n",
+		p.BelowDigestEqual, p.GoodputVsKnee, p.P99WithinDeadline)
+	return s
+}

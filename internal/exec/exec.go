@@ -168,7 +168,10 @@ func (r *Report) ByUQ(id string) *UQReport {
 func Run(fleet *remotedb.Fleet, cat *catalog.Catalog, subs []batcher.Submission, opts Options) (*Report, error) {
 	opts = opts.Defaults()
 	b := &batcher.Batcher{Size: opts.BatchSize, Window: opts.BatchWindow}
-	globalBatches := b.Plan(subs)
+	globalBatches, err := b.Plan(subs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
 	groups := groupSubmissions(subs, opts)
 	report := &Report{Strategy: opts.Strategy}
 	for gi, gsubs := range groups {

@@ -1,0 +1,110 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// TestBreakerHalfOpenSingleProbe pins the half-open contract under
+// concurrency: once the cooloff passes, exactly ONE caller is admitted as the
+// probe — the open window is extended so every concurrent competitor keeps
+// failing fast with ErrCircuitOpen — and a successful probe closes the
+// circuit for everyone.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var phase atomic.Int32 // 0: fail everything; 1: half-open probe phase
+	var probeArrivals atomic.Int32
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		switch phase.Load() {
+		case 0:
+			http.Error(rw, "shard on fire", http.StatusInternalServerError)
+		default:
+			probeArrivals.Add(1)
+			<-release
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(fleet.HealthView{Healthy: true}) //nolint:errcheck
+		}
+	}))
+	defer srv.Close()
+
+	const cooloff = 100 * time.Millisecond
+	c := fleet.NewClient(srv.URL, fleet.ClientConfig{
+		MaxRetries:       1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooloff:   cooloff,
+	})
+	defer c.Close() //nolint:errcheck
+
+	ctx := context.Background()
+	// Trip the breaker: threshold consecutive 5xx failures.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Health(ctx); err == nil {
+			t.Fatal("expected failure while server is failing")
+		}
+	}
+	// Open circuit fails fast without touching the network.
+	if _, err := c.Health(ctx); !errors.Is(err, fleet.ErrCircuitOpen) {
+		t.Fatalf("expected ErrCircuitOpen while open, got %v", err)
+	}
+
+	// Enter the probe phase and wait out the cooloff.
+	phase.Store(1)
+	time.Sleep(cooloff + 20*time.Millisecond)
+
+	// A stampede of concurrent calls: one probe, the rest fail fast.
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Health(ctx)
+		}(i)
+	}
+	// Give the losers time to bounce off the extended open window while the
+	// probe is parked in the handler, then let the probe finish.
+	deadline := time.Now().Add(2 * time.Second)
+	for probeArrivals.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no probe reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := probeArrivals.Load(); got != 1 {
+		t.Errorf("half-open admitted %d probes, want exactly 1", got)
+	}
+	var probeOK, fastFails int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			probeOK++
+		case errors.Is(err, fleet.ErrCircuitOpen):
+			fastFails++
+		default:
+			t.Errorf("unexpected error kind: %v", err)
+		}
+	}
+	if probeOK != 1 || fastFails != callers-1 {
+		t.Errorf("got %d successes and %d fast-fails, want 1 and %d", probeOK, fastFails, callers-1)
+	}
+
+	// The successful probe closed the circuit: the next call goes through.
+	if _, err := c.Health(ctx); err != nil {
+		t.Errorf("circuit should be closed after successful probe: %v", err)
+	}
+}

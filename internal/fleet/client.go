@@ -21,12 +21,21 @@ import (
 )
 
 // RPCError is a non-2xx response from a shard. Retryable is the shard's own
-// claim that the request was rejected strictly before admission.
+// claim that the request was rejected strictly before admission. Reason, when
+// set, is the admission shed reason (admission.Reason* constants): the shard
+// turned the request away because it is saturated or the request blew its
+// latency budget — not because the shard is down. RetryAfter is the shard's
+// hint on when to try again.
 type RPCError struct {
-	Status    int
-	Msg       string
-	Retryable bool
+	Status     int
+	Msg        string
+	Retryable  bool
+	Reason     string
+	RetryAfter time.Duration
 }
+
+// Shed reports whether the error is an overload shed rather than a failure.
+func (e *RPCError) Shed() bool { return e.Reason != "" }
 
 func (e *RPCError) Error() string {
 	return fmt.Sprintf("fleet: rpc status %d: %s", e.Status, e.Msg)
@@ -51,6 +60,9 @@ type ClientConfig struct {
 	// probe attempt is let through (default 2s).
 	BreakerThreshold int
 	BreakerCooloff   time.Duration
+	// Transport, when non-nil, replaces the default HTTP transport — the
+	// fault-injection seam (see the chaos package). Production leaves it nil.
+	Transport http.RoundTripper
 	// Metrics receives RPC and breaker counters; nil disables.
 	Metrics *metrics.Fleet
 }
@@ -102,7 +114,7 @@ func NewClient(endpoint string, cfg ClientConfig) *Client {
 	return &Client{
 		base: strings.TrimRight(endpoint, "/"),
 		cfg:  cfg,
-		http: &http.Client{Timeout: cfg.Timeout},
+		http: &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
 		rng:  rand.New(rand.NewSource(int64(len(endpoint)) + time.Now().UnixNano())),
 	}
 }
@@ -203,8 +215,15 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 		if c.cfg.Metrics != nil {
 			c.cfg.Metrics.RPCRetries.Inc()
 		}
+		// A shed's Retry-After hint floors the backoff: retrying into a
+		// saturated shard before its bucket refills just sheds again.
+		wait := c.backoff(attempt)
+		var rpcErr *RPCError
+		if errors.As(err, &rpcErr) && rpcErr.RetryAfter > wait {
+			wait = rpcErr.RetryAfter
+		}
 		select {
-		case <-time.After(c.backoff(attempt)):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return lastErr
 		}
@@ -214,11 +233,13 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 // terminalTransport reports whether the failure should count against the
 // circuit breaker: transport-level errors and 5xx responses, but not
 // application rejections (4xx) — a malformed query says nothing about the
-// shard's health.
+// shard's health — and not overload sheds, which mean the shard is saturated
+// and alive; opening the circuit on sheds would turn backpressure into an
+// outage.
 func terminalTransport(err error) bool {
 	var rpcErr *RPCError
 	if errors.As(err, &rpcErr) {
-		return rpcErr.Status >= 500
+		return rpcErr.Status >= 500 && !rpcErr.Shed()
 	}
 	return true
 }
@@ -263,7 +284,13 @@ func (c *Client) once(ctx context.Context, path string, in, out any) error {
 		if json.Unmarshal(data, &we) != nil || we.Error == "" {
 			we.Error = strings.TrimSpace(string(data))
 		}
-		return &RPCError{Status: resp.StatusCode, Msg: we.Error, Retryable: we.Retryable}
+		return &RPCError{
+			Status:     resp.StatusCode,
+			Msg:        we.Error,
+			Retryable:  we.Retryable,
+			Reason:     we.Reason,
+			RetryAfter: time.Duration(we.RetryAfterMS) * time.Millisecond,
+		}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/state"
@@ -47,6 +48,7 @@ type Frontend struct {
 	placer   *service.Placer
 	svc      *metrics.Service
 	fm       *metrics.Fleet
+	adm      *admission.Controller // nil unless rate limits are configured
 	backends []Backend
 	rehome   float64
 
@@ -81,6 +83,7 @@ func NewFrontend(w *workload.Workload, cfg FrontendConfig, backends []Backend) (
 		placer:   placer,
 		svc:      svc,
 		fm:       fm,
+		adm:      admission.NewController(svcCfg.Admission),
 		backends: backends,
 		rehome:   cfg.RehomeFactor,
 		down:     make([]bool, len(backends)),
@@ -122,8 +125,15 @@ func (f *Frontend) setDown(i int, down bool) {
 // rejection that outlived the client's retries), the backend is marked down
 // and the search fails over to the next healthy placement; an error after
 // the query may have been admitted is surfaced instead — resubmitting it
-// could execute the query twice.
+// could execute the query twice. An overload shed — the front-desk rate
+// limiter here, or a shard answering with a shed reason — is surfaced
+// without marking anything down: saturation is backpressure, not failure.
 func (f *Frontend) Search(ctx context.Context, user string, keywords []string, k int) (*ResultView, error) {
+	if shed := f.adm.Admit(user, time.Now()); shed != nil {
+		f.svc.Shed.Inc()
+		f.svc.ShedUserRate.Inc()
+		return nil, shed
+	}
 	uq, err := f.exp.Expand(user, keywords, k)
 	if err != nil {
 		return nil, err
@@ -147,6 +157,15 @@ func (f *Frontend) Search(ctx context.Context, user string, keywords []string, k
 			view.Shard = sh
 			f.maybeRehome(ctx, keywords)
 			return view, nil
+		}
+		var rpcErr *RPCError
+		if errors.As(err, &rpcErr) && rpcErr.Shed() && rpcErr.Reason != admission.ReasonDrain {
+			// The shard shed the search under overload (rate, queue, or
+			// deadline). It is saturated, not down — failing over would
+			// defeat the rate limit and mask the saturation signal, so the
+			// shed is surfaced to the caller with its retryability intact.
+			f.fm.ShardSheds.Inc()
+			return nil, err
 		}
 		if !retryable(err) && !errors.Is(err, ErrCircuitOpen) {
 			return nil, err

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"strings"
 
 	"repro/internal/cq"
 	"repro/internal/scoring"
@@ -247,6 +248,28 @@ func DigestView(h hash.Hash, v *ResultView) {
 	}
 }
 
+// DigestAnswers folds only the view's ranked answers — rank, score,
+// candidate network with the UQ prefix stripped ("UQ7.CQ2" → "CQ2"), base
+// tuple identities. Two runs that issued the same logical queries compare
+// equal even when their UQ numbering diverged (a run that shed some arrivals
+// still numbers every expansion), which makes this the digest of the
+// degradation contract: an overloaded run must answer each query it serves
+// byte-identically to the unloaded run.
+func DigestAnswers(h hash.Hash, v *ResultView) {
+	for _, a := range v.Answers {
+		q := a.Query
+		if i := strings.Index(q, "."); i >= 0 {
+			q = q[i+1:]
+		}
+		fmt.Fprintf(h, "%d|%.9g|%s|", a.Rank, a.Score, q)
+		for _, id := range a.IDs {
+			io.WriteString(h, id)
+			io.WriteString(h, "&")
+		}
+		io.WriteString(h, "\n")
+	}
+}
+
 // HealthView is a shard's self-reported health.
 type HealthView struct {
 	Healthy  bool `json:"healthy"`
@@ -270,9 +293,15 @@ type exportRequest struct {
 
 // wireError is the RPC error envelope. Retryable marks rejections that
 // happened strictly before admission (a draining shard turning a search
-// away), which a client may safely resubmit; anything after admission must
-// not be retried — the request may have executed.
+// away, an overload shed at the rate limiter or the bounded queue), which a
+// client may safely resubmit; anything after admission must not be retried —
+// the request may have executed. Reason carries the admission shed reason
+// (admission.Reason* constants) so the front-end can tell saturation from
+// failure: a shed shard is busy, not down. RetryAfterMS is the shed's
+// Retry-After hint in milliseconds.
 type wireError struct {
-	Error     string `json:"error"`
-	Retryable bool   `json:"retryable,omitempty"`
+	Error        string `json:"error"`
+	Retryable    bool   `json:"retryable,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/service"
 	"repro/internal/state"
 )
@@ -20,6 +22,11 @@ import (
 // the resident state is exported for handoff.
 type ShardServer struct {
 	svc *service.Service
+
+	// DrainDeadline bounds how long a drain waits for in-flight searches
+	// before aborting them so the state handoff can complete (0 = the 60s
+	// default). Set before serving.
+	DrainDeadline time.Duration
 
 	mu       sync.Mutex
 	draining bool
@@ -103,7 +110,13 @@ func (s *ShardServer) handleSearch(rw http.ResponseWriter, req *http.Request) {
 	}
 	res, err := s.svc.SearchUQ(req.Context(), uq)
 	if err != nil {
+		var shed *admission.ShedError
 		switch {
+		case errors.As(err, &shed):
+			// A load shed is a 503 that keeps its provenance: the reason and
+			// Retry-After hint ride the envelope, and the retryable flag is
+			// exactly the shed's pre-admission claim.
+			WriteShedError(rw, shed)
 		case errors.Is(err, service.ErrClosed):
 			// Closed before admission ever happened: safe to resubmit.
 			writeRPCError(rw, http.StatusServiceUnavailable, err.Error(), true)
@@ -169,9 +182,20 @@ func (s *ShardServer) handleDrain(rw http.ResponseWriter, req *http.Request) {
 // drainTimeout bounds how long a drain waits for in-flight searches.
 const drainTimeout = 60 * time.Second
 
+// drainAbortGrace bounds the post-abort re-wait: aborted handlers only need
+// to observe their settled response channels and return.
+const drainAbortGrace = 5 * time.Second
+
 // Drain stops admissions, waits for in-flight searches to finish their
 // merges, and exports the shard's full resident state for handoff. Idempotent
 // on the flag; a second drain exports whatever (typically nothing) remains.
+//
+// The idle wait is bounded by DrainDeadline: a merge that never converges
+// (the engine turns non-convergent rounds into per-merge errors, but a
+// pathological one can still grind for a long time) must not wedge the drain
+// forever. Past the deadline every in-flight search is aborted with a
+// non-retryable drain shed — their merges canceled and unlinked — and the
+// export handoff proceeds over the now-quiescent engine.
 func (s *ShardServer) Drain(ctx context.Context) (*state.TopicExport, error) {
 	s.mu.Lock()
 	s.draining = true
@@ -184,12 +208,26 @@ func (s *ShardServer) Drain(ctx context.Context) (*state.TopicExport, error) {
 	}
 	s.mu.Unlock()
 	if idle != nil {
+		deadline := s.DrainDeadline
+		if deadline <= 0 {
+			deadline = drainTimeout
+		}
 		select {
 		case <-idle:
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(drainTimeout):
-			return nil, errors.New("fleet: drain timed out waiting for in-flight searches")
+		case <-time.After(deadline):
+			n := s.svc.AbortInFlight(&admission.ShedError{Reason: admission.ReasonDrain})
+			log.Printf("fleet: drain deadline after %v: aborted %d in-flight searches", deadline, n)
+			// The aborted handlers just need to deliver their 503s and
+			// return; give them a short grace before exporting regardless —
+			// the engine itself is already quiescent.
+			select {
+			case <-idle:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(drainAbortGrace):
+			}
 		}
 	}
 	return s.svc.ExportAll(0)
@@ -217,4 +255,23 @@ func writeRPCError(rw http.ResponseWriter, code int, msg string, retryable bool)
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(code)
 	json.NewEncoder(rw).Encode(wireError{Error: msg, Retryable: retryable}) //nolint:errcheck
+}
+
+// WriteShedError maps a load shed to its wire form: 503 with the reason, the
+// shed's own retryable claim, and the Retry-After hint both in the envelope
+// (milliseconds) and as the standard header (whole seconds, rounded up, for
+// generic HTTP clients).
+func WriteShedError(rw http.ResponseWriter, shed *admission.ShedError) {
+	rw.Header().Set("Content-Type", "application/json")
+	if shed.RetryAfter > 0 {
+		secs := (shed.RetryAfter + time.Second - 1) / time.Second
+		rw.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	rw.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(rw).Encode(wireError{ //nolint:errcheck
+		Error:        shed.Error(),
+		Retryable:    shed.Retryable(),
+		Reason:       shed.Reason,
+		RetryAfterMS: shed.RetryAfter.Milliseconds(),
+	})
 }

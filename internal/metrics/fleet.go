@@ -23,6 +23,10 @@ type Fleet struct {
 	// unhealthy or draining.
 	CircuitOpens   Counter
 	RouteUnhealthy Counter
+	// ShardSheds counts searches a shard turned away with an overload shed
+	// (rate/queue/deadline). A shed means the shard is saturated, not down:
+	// the front-end surfaces it without marking the shard unhealthy.
+	ShardSheds Counter
 
 	// Migrations counts topic migrations executed; MigrationSegs/Rows the
 	// segments and rows shipped; MigrationDrops the segments the target's
@@ -44,6 +48,7 @@ type FleetSnapshot struct {
 	HealthTrips    int64 `json:"health_trips"`
 	CircuitOpens   int64 `json:"circuit_opens"`
 	RouteUnhealthy int64 `json:"route_unhealthy"`
+	ShardSheds     int64 `json:"shard_sheds"`
 
 	Migrations     int64 `json:"migrations"`
 	MigrationSegs  int64 `json:"migration_segs"`
@@ -62,6 +67,7 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 		HealthTrips:    f.HealthTrips.Value(),
 		CircuitOpens:   f.CircuitOpens.Value(),
 		RouteUnhealthy: f.RouteUnhealthy.Value(),
+		ShardSheds:     f.ShardSheds.Value(),
 		Migrations:     f.Migrations.Value(),
 		MigrationSegs:  f.MigrationSegs.Value(),
 		MigrationRows:  f.MigrationRows.Value(),

@@ -180,6 +180,17 @@ type Service struct {
 	Canceled  Counter
 	Rejected  Counter
 
+	// Overload-control outcomes. Shed totals the pre-admission load sheds,
+	// split by cause into ShedUserRate (per-user/fair-share token bucket) and
+	// ShedQueueFull (shard admission queue at MaxPending); both are safely
+	// retryable — the query never reached admission. DeadlineCanceled counts
+	// admitted queries whose merge was canceled past its latency budget;
+	// those are NOT retryable and are not part of Shed.
+	Shed             Counter
+	ShedUserRate     Counter
+	ShedQueueFull    Counter
+	DeadlineCanceled Counter
+
 	// Batches counts admission batches released to the optimizer;
 	// BatchOccupancy records how many queries each carried (>1 means the
 	// batch was multi-query-optimized together, §3).
@@ -214,6 +225,11 @@ type ServiceSnapshot struct {
 	Rejected  int64
 	Batches   int64
 
+	Shed             int64
+	ShedUserRate     int64
+	ShedQueueFull    int64
+	DeadlineCanceled int64
+
 	RouteAffinity    int64
 	RouteHash        int64
 	RouteSharingMiss int64
@@ -233,6 +249,10 @@ func (s *Service) Snapshot() ServiceSnapshot {
 		Canceled:         s.Canceled.Value(),
 		Rejected:         s.Rejected.Value(),
 		Batches:          s.Batches.Value(),
+		Shed:             s.Shed.Value(),
+		ShedUserRate:     s.ShedUserRate.Value(),
+		ShedQueueFull:    s.ShedQueueFull.Value(),
+		DeadlineCanceled: s.DeadlineCanceled.Value(),
 		RouteAffinity:    s.RouteAffinity.Value(),
 		RouteHash:        s.RouteHash.Value(),
 		RouteSharingMiss: s.RouteSharingMiss.Value(),

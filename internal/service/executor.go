@@ -2,12 +2,15 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/atc"
 	"repro/internal/batcher"
 	"repro/internal/catalog"
@@ -28,9 +31,16 @@ import (
 type request struct {
 	uq        *cq.UQ
 	enqueued  time.Time
+	deadline  time.Time // zero = no latency budget
+	admitted  time.Time // set at admission; feeds the merge-time estimate
 	ctx       context.Context
 	resp      chan response
 	batchSize int // set at admission
+}
+
+// expired reports whether the request's latency budget has run out.
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && now.After(r.deadline)
 }
 
 type response struct {
@@ -53,6 +63,32 @@ type shard struct {
 	ctrl  *atc.ATC
 	mgr   *qsm.Manager
 	cat   *catalog.Catalog
+
+	// pending is the current admission window in arrival order; windowStart
+	// is the wall arrival of pending[0]; waiters holds admitted, unfinished
+	// requests by UQ id. All three are executor-goroutine state (promoted to
+	// fields so drain/abort control closures can reach them).
+	pending     []*request
+	windowStart time.Time
+	waiters     map[string]*request
+
+	// depth mirrors the shard's admission-queue occupancy (accepted but not
+	// yet admitted) for the queue-full shed check, which runs on caller
+	// goroutines and therefore cannot read pending directly.
+	depth atomic.Int64
+
+	// win, when non-nil, replaces the fixed BatchWindow with the adaptive
+	// admission window control loop. Only the executor goroutine reads it
+	// during scheduling; its own mutex makes the Observe calls safe.
+	win *admission.WindowController
+
+	// mergeEWMA tracks recent admission-to-completion time (EWMA/4), the
+	// executor's estimate of what starting one more merge costs. Deadline
+	// shedding uses it to drop queued requests that could no longer finish
+	// in budget — canceling a doomed merge mid-flight refunds nothing, so
+	// the cheap place to shed is before the engine ever sees it. Executor
+	// goroutine only.
+	mergeEWMA time.Duration
 
 	submitCh chan *request
 	statsCh  chan chan ShardStats
@@ -131,6 +167,7 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		ctrl:     ctrl,
 		mgr:      mgr,
 		cat:      cat,
+		waiters:  map[string]*request{},
 		submitCh: make(chan *request, cfg.MaxQueue),
 		statsCh:  make(chan chan ShardStats),
 		ctrlCh:   make(chan func()),
@@ -138,8 +175,21 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		doneCh:   make(chan struct{}),
 		topics:   map[string]map[string]bool{},
 	}
+	if cfg.Admission.AdaptiveWindow {
+		sh.win = admission.NewWindowController(
+			cfg.Admission.WindowMin, cfg.Admission.WindowMax, cfg.Admission.Deadline)
+	}
 	go sh.run()
 	return sh
+}
+
+// window is the current admission-window length: the adaptive controller's
+// output when configured, the fixed BatchWindow otherwise.
+func (sh *shard) window() time.Duration {
+	if sh.win != nil {
+		return sh.win.Window()
+	}
+	return sh.cfg.BatchWindow
 }
 
 // run is the executor loop: collect an admission window, admit it into the
@@ -148,20 +198,17 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 // the graph mid-execution (§6.2).
 func (sh *shard) run() {
 	defer close(sh.doneCh)
-	var pending []*request           // current admission window, arrival order
-	var windowStart time.Time        // wall arrival of pending[0]
-	waiters := map[string]*request{} // admitted, unfinished; by UQ id
 	stopping := false
 
 	for {
 		// Intake: block when idle, poll when busy.
 		switch {
 		case stopping:
-			sh.drainNonblocking(&pending, &windowStart)
-		case len(pending) == 0 && len(waiters) == 0:
+			sh.drainNonblocking()
+		case len(sh.pending) == 0 && len(sh.waiters) == 0:
 			select {
 			case r := <-sh.submitCh:
-				sh.accept(&pending, &windowStart, r)
+				sh.accept(r)
 			case req := <-sh.statsCh:
 				req <- sh.snapshot()
 			case fn := <-sh.ctrlCh:
@@ -169,12 +216,12 @@ func (sh *shard) run() {
 			case <-sh.stopCh:
 				stopping = true
 			}
-		case len(waiters) == 0 && sh.windowOpen(pending, windowStart):
+		case len(sh.waiters) == 0 && sh.windowOpen():
 			// Nothing executing; sleep until the window closes or news.
-			timer := time.NewTimer(time.Until(windowStart.Add(sh.cfg.BatchWindow)))
+			timer := time.NewTimer(time.Until(sh.windowStart.Add(sh.window())))
 			select {
 			case r := <-sh.submitCh:
-				sh.accept(&pending, &windowStart, r)
+				sh.accept(r)
 			case req := <-sh.statsCh:
 				req <- sh.snapshot()
 			case fn := <-sh.ctrlCh:
@@ -185,7 +232,7 @@ func (sh *shard) run() {
 			}
 			timer.Stop()
 		default:
-			sh.drainNonblocking(&pending, &windowStart)
+			sh.drainNonblocking()
 			select {
 			case <-sh.stopCh:
 				stopping = true
@@ -193,8 +240,9 @@ func (sh *shard) run() {
 			}
 		}
 
-		// Drop pending requests whose caller has given up.
-		pending = sh.pruneCanceled(pending)
+		// Drop pending requests whose caller has given up or whose latency
+		// budget ran out while still queued.
+		sh.pruneCanceled()
 
 		// Release the admission window when due (size, time, no-window, or
 		// shutdown flush), in chunks of at most BatchSize: optimization cost
@@ -202,46 +250,86 @@ func (sh *shard) run() {
 		// in at once is still optimized in paper-sized groups. With no window
 		// configured every query is optimized alone — Figure 9's SINGLE-OPT
 		// baseline — even when arrivals queued up simultaneously.
-		if len(pending) > 0 && (stopping || !sh.windowOpen(pending, windowStart)) {
+		if len(sh.pending) > 0 && (stopping || !sh.windowOpen()) {
 			chunk := 1
-			if sh.cfg.BatchWindow > 0 {
+			if sh.window() > 0 {
 				chunk = sh.cfg.BatchSize
 				if chunk <= 0 {
-					chunk = len(pending)
+					chunk = len(sh.pending)
 				}
 			}
-			for len(pending) > 0 {
-				n := len(pending)
+			// MaxInFlight holds excess releases in the queue: the engine
+			// processor-shares rounds across every admitted merge, so an
+			// unbounded in-flight set under overload drags them all past any
+			// deadline together. A stopping shard flushes regardless — its
+			// requests settle via the drain path, not the engine.
+			limit := 0
+			if !stopping {
+				limit = sh.cfg.Admission.MaxInFlight
+			}
+			for len(sh.pending) > 0 {
+				n := len(sh.pending)
 				if n > chunk {
 					n = chunk
 				}
-				sh.admit(pending[:n], waiters)
-				pending = pending[n:]
+				if limit > 0 {
+					room := limit - len(sh.waiters)
+					if room <= 0 {
+						break
+					}
+					if n > room {
+						n = room
+					}
+				}
+				sh.admit(sh.pending[:n])
+				sh.pending = sh.pending[n:]
 			}
-			pending = nil
+			if len(sh.pending) == 0 {
+				sh.pending = nil
+			}
 		}
 
-		// Cancel admitted queries whose caller has given up: unlink their
-		// plan segments so no further work is spent on them.
-		for id, r := range waiters {
-			if r.ctx.Err() != nil {
+		// Cancel admitted queries whose caller has given up, and shed those
+		// past their latency budget: both unlink their plan segments so no
+		// further work is spent on them. A deadline shed here is
+		// post-admission — the merge may have partially executed — so the
+		// error is non-retryable by construction.
+		now := time.Now()
+		for id, r := range sh.waiters {
+			switch {
+			case r.ctx.Err() != nil:
 				sh.ctrl.CancelMerge(id)
 				sh.ctrl.Forget(id)
-				delete(waiters, id)
+				delete(sh.waiters, id)
 				sh.respond(r, nil, r.ctx.Err())
+			case r.expired(now):
+				// Feed the time already invested back into the merge-time
+				// EWMA as a lower-bound sample: canceled merges are exactly
+				// the slow ones, and without this the estimate only ever
+				// learns from survivors and stays too optimistic to keep
+				// doomed work out of the engine.
+				if !r.admitted.IsZero() {
+					if d := now.Sub(r.admitted); d > sh.mergeEWMA {
+						sh.mergeEWMA += (d - sh.mergeEWMA) / 4
+					}
+				}
+				sh.ctrl.CancelMerge(id)
+				sh.ctrl.Forget(id)
+				delete(sh.waiters, id)
+				sh.respond(r, nil, &admission.ShedError{Reason: admission.ReasonDeadline})
 			}
 		}
 
 		// One scheduling round; dispatch whatever finished.
-		if len(waiters) > 0 {
+		if len(sh.waiters) > 0 {
 			sh.ctrl.RunRound()
 			finished := false
-			for id, r := range waiters {
+			for id, r := range sh.waiters {
 				m := sh.ctrl.MergeByUQ(id)
 				if m == nil || !m.Done {
 					continue
 				}
-				delete(waiters, id)
+				delete(sh.waiters, id)
 				if m.Err != nil {
 					// The merge failed inside the engine (non-convergent
 					// round or recovered operator panic): the caller gets a
@@ -260,39 +348,41 @@ func (sh *shard) run() {
 			}
 		}
 
-		if stopping && len(pending) == 0 && len(waiters) == 0 && len(sh.submitCh) == 0 {
+		if stopping && len(sh.pending) == 0 && len(sh.waiters) == 0 && len(sh.submitCh) == 0 {
 			return
 		}
 	}
 }
 
 // windowOpen reports whether the admission window should keep collecting.
-func (sh *shard) windowOpen(pending []*request, windowStart time.Time) bool {
-	if len(pending) == 0 {
+func (sh *shard) windowOpen() bool {
+	if len(sh.pending) == 0 {
 		return false
 	}
-	if sh.cfg.BatchWindow <= 0 {
+	win := sh.window()
+	if win <= 0 {
 		return false
 	}
-	if sh.cfg.BatchSize > 0 && len(pending) >= sh.cfg.BatchSize {
+	if sh.cfg.BatchSize > 0 && len(sh.pending) >= sh.cfg.BatchSize {
 		return false
 	}
-	return time.Now().Before(windowStart.Add(sh.cfg.BatchWindow))
+	return time.Now().Before(sh.windowStart.Add(win))
 }
 
-func (sh *shard) accept(pending *[]*request, windowStart *time.Time, r *request) {
-	if len(*pending) == 0 {
-		*windowStart = time.Now()
+func (sh *shard) accept(r *request) {
+	if len(sh.pending) == 0 {
+		sh.windowStart = time.Now()
 	}
-	*pending = append(*pending, r)
+	sh.pending = append(sh.pending, r)
+	sh.depth.Add(1)
 	sh.svc.Queued.Inc()
 }
 
-func (sh *shard) drainNonblocking(pending *[]*request, windowStart *time.Time) {
+func (sh *shard) drainNonblocking() {
 	for {
 		select {
 		case r := <-sh.submitCh:
-			sh.accept(pending, windowStart, r)
+			sh.accept(r)
 		case req := <-sh.statsCh:
 			req <- sh.snapshot()
 		case fn := <-sh.ctrlCh:
@@ -303,22 +393,38 @@ func (sh *shard) drainNonblocking(pending *[]*request, windowStart *time.Time) {
 	}
 }
 
-func (sh *shard) pruneCanceled(pending []*request) []*request {
-	kept := pending[:0]
-	for _, r := range pending {
-		if r.ctx.Err() != nil {
+// pruneCanceled drops pending requests whose caller has given up, and sheds
+// those whose latency budget expired — or provably will before a merge could
+// finish (remaining budget below the observed merge time) — while still
+// queued. Shedding doomed work here, before admission, is what keeps goodput
+// near capacity under overload: a merge canceled mid-flight has already
+// burned engine rounds nothing refunds.
+func (sh *shard) pruneCanceled() {
+	now := time.Now()
+	kept := sh.pending[:0]
+	for _, r := range sh.pending {
+		doomed := !r.deadline.IsZero() && sh.mergeEWMA > 0 &&
+			now.Add(sh.mergeEWMA).After(r.deadline)
+		switch {
+		case r.ctx.Err() != nil:
+			sh.depth.Add(-1)
 			sh.svc.Queued.Dec()
 			sh.respond(r, nil, r.ctx.Err())
-			continue
+		case r.expired(now) || doomed:
+			sh.depth.Add(-1)
+			sh.svc.Queued.Dec()
+			sh.respond(r, nil, &admission.ShedError{Reason: admission.ReasonDeadline})
+		default:
+			kept = append(kept, r)
 		}
-		kept = append(kept, r)
 	}
-	return kept
+	sh.pending = kept
 }
 
 // admit grafts a released batch into the running plan graph and registers its
 // callers as waiters.
-func (sh *shard) admit(batch []*request, waiters map[string]*request) {
+func (sh *shard) admit(batch []*request) {
+	waiters := sh.waiters
 	now := sh.env.Clock.Now()
 	subs := make([]batcher.Submission, len(batch))
 	maxK := 0
@@ -327,7 +433,14 @@ func (sh *shard) admit(batch []*request, waiters map[string]*request) {
 		if r.uq.K > maxK {
 			maxK = r.uq.K
 		}
+		sh.depth.Add(-1)
 		sh.svc.Queued.Dec()
+	}
+	if sh.win != nil {
+		// Feed the control loop the backlog left behind by this release: a
+		// deep queue argues for a wider window (bigger shared batches), an
+		// empty one for snappier admission.
+		sh.win.ObserveQueue(len(sh.submitCh)+int(sh.depth.Load()), len(batch))
 	}
 	sh.mgr.SyncCatalog()
 	sh.svc.Batches.Inc()
@@ -342,6 +455,7 @@ func (sh *shard) admit(batch []*request, waiters map[string]*request) {
 		}
 		return
 	}
+	wallNow := time.Now()
 	for _, r := range batch {
 		m := sh.ctrl.MergeByUQ(r.uq.ID)
 		if m == nil {
@@ -349,6 +463,7 @@ func (sh *shard) admit(batch []*request, waiters map[string]*request) {
 			continue
 		}
 		r.batchSize = len(batch)
+		r.admitted = wallNow
 		waiters[r.uq.ID] = r
 		sh.noteTopic(r.uq.Keywords, m.Footprint())
 	}
@@ -382,18 +497,51 @@ func (sh *shard) result(r *request, m *atc.MergeState) *Result {
 // request-lifecycle metrics.
 func (sh *shard) respond(r *request, res *Result, err error) {
 	sh.svc.InFlight.Dec()
-	if err != nil {
-		if r.ctx.Err() != nil {
-			sh.svc.Canceled.Inc()
-		} else {
-			sh.svc.Rejected.Inc()
-		}
-	} else {
+	var shed *admission.ShedError
+	switch {
+	case err == nil:
 		sh.svc.Completed.Inc()
 		sh.svc.WallLatency.Observe(res.WallLatency)
 		sh.svc.EngineLatency.Observe(res.EngineLatency)
+		if sh.win != nil {
+			sh.win.ObserveLatency(res.WallLatency)
+		}
+		if !r.admitted.IsZero() {
+			d := time.Since(r.admitted)
+			sh.mergeEWMA += (d - sh.mergeEWMA) / 4
+		}
+	case errors.As(err, &shed) && shed.Reason == admission.ReasonDeadline:
+		sh.svc.DeadlineCanceled.Inc()
+	case r.ctx.Err() != nil:
+		sh.svc.Canceled.Inc()
+	default:
+		sh.svc.Rejected.Inc()
 	}
 	r.resp <- response{res: res, err: err}
+}
+
+// abort settles every pending and admitted request with reason, canceling
+// merges and unlinking plan segments. Executor goroutine only (callers go
+// through exec); the drain deadline uses it to guarantee the export handoff
+// completes even when a merge never converges. Returns the number aborted.
+func (sh *shard) abort(reason error) int {
+	sh.drainNonblocking()
+	n := 0
+	for _, r := range sh.pending {
+		sh.depth.Add(-1)
+		sh.svc.Queued.Dec()
+		sh.respond(r, nil, reason)
+		n++
+	}
+	sh.pending = nil
+	for id, r := range sh.waiters {
+		sh.ctrl.CancelMerge(id)
+		sh.ctrl.Forget(id)
+		delete(sh.waiters, id)
+		sh.respond(r, nil, reason)
+		n++
+	}
+	return n
 }
 
 // snapshot reads the engine state; only ever called from the executor

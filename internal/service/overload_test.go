@@ -1,0 +1,201 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/service"
+)
+
+// TestUserRateShed: with a per-user admission rate of ~1 query/sec and burst
+// 1, a user's second immediate search is shed with a retryable user-rate
+// ShedError and a Retry-After hint, and the shed counters record it.
+func TestUserRateShed(t *testing.T) {
+	s := newBioService(t, service.Config{
+		K:         5,
+		Admission: admission.Config{UserRate: 1, UserBurst: 1},
+	})
+	defer s.Close()
+
+	if _, err := s.Search(context.Background(), "alice", bioKeywords[0], 5); err != nil {
+		t.Fatalf("first search: %v", err)
+	}
+	_, err := s.Search(context.Background(), "alice", bioKeywords[1], 5)
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("second search: got %v, want ShedError", err)
+	}
+	if shed.Reason != admission.ReasonUserRate {
+		t.Errorf("reason = %q, want %q", shed.Reason, admission.ReasonUserRate)
+	}
+	if !shed.Retryable() {
+		t.Error("pre-admission rate shed must be retryable")
+	}
+	if shed.RetryAfter <= 0 {
+		t.Error("rate shed carries no Retry-After hint")
+	}
+	// A different user still has a full bucket.
+	if _, err := s.Search(context.Background(), "bob", bioKeywords[0], 5); err != nil {
+		t.Fatalf("other user: %v", err)
+	}
+	st := s.Stats().Service
+	if st.Shed != 1 || st.ShedUserRate != 1 {
+		t.Errorf("shed counters = %d/%d, want 1/1", st.Shed, st.ShedUserRate)
+	}
+}
+
+// TestQueueFullShed: with MaxPending 1 and a long admission window, a second
+// arrival finds the shard's queue full and is shed immediately instead of
+// blocking its caller.
+func TestQueueFullShed(t *testing.T) {
+	s := newBioService(t, service.Config{
+		K:           5,
+		BatchSize:   8,
+		BatchWindow: 300 * time.Millisecond,
+		Admission:   admission.Config{MaxPending: 1},
+	})
+	defer s.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Search(context.Background(), "alice", bioKeywords[0], 5)
+		first <- err
+	}()
+	// Wait until the first search occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Service.Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first search never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := s.Search(context.Background(), "bob", bioKeywords[1], 5)
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("second search: got %v, want ShedError", err)
+	}
+	if shed.Reason != admission.ReasonQueueFull {
+		t.Errorf("reason = %q, want %q", shed.Reason, admission.ReasonQueueFull)
+	}
+	if !shed.Retryable() {
+		t.Error("queue-full shed must be retryable")
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first search: %v", err)
+	}
+	st := s.Stats().Service
+	if st.ShedQueueFull != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+}
+
+// TestDeadlineShed: a request whose latency budget expires while it is still
+// collecting in the admission window is shed with a non-retryable deadline
+// ShedError and counted as DeadlineCanceled, not as a pre-admission shed.
+func TestDeadlineShed(t *testing.T) {
+	s := newBioService(t, service.Config{
+		K:           5,
+		BatchSize:   8,
+		BatchWindow: 150 * time.Millisecond,
+		Admission:   admission.Config{Deadline: 10 * time.Millisecond},
+	})
+	defer s.Close()
+
+	_, err := s.Search(context.Background(), "alice", bioKeywords[0], 5)
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("got %v, want ShedError", err)
+	}
+	if shed.Reason != admission.ReasonDeadline {
+		t.Errorf("reason = %q, want %q", shed.Reason, admission.ReasonDeadline)
+	}
+	if shed.Retryable() {
+		t.Error("deadline shed must not be retryable")
+	}
+	st := s.Stats().Service
+	if st.DeadlineCanceled != 1 {
+		t.Errorf("DeadlineCanceled = %d, want 1", st.DeadlineCanceled)
+	}
+	if st.Shed != 0 {
+		t.Errorf("Shed = %d, want 0 (deadline sheds are post-admission)", st.Shed)
+	}
+}
+
+// TestAbortInFlight: a drain abort settles a queued search with the given
+// reason and reports how many requests it cut loose; the service keeps
+// serving afterwards.
+func TestAbortInFlight(t *testing.T) {
+	s := newBioService(t, service.Config{
+		K:           5,
+		BatchSize:   8,
+		BatchWindow: time.Second,
+	})
+	defer s.Close()
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := s.Search(context.Background(), "alice", bioKeywords[0], 5)
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Service.Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("search never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	n := s.AbortInFlight(&admission.ShedError{Reason: admission.ReasonDrain})
+	if n != 1 {
+		t.Errorf("aborted %d requests, want 1", n)
+	}
+	err := <-got
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) || shed.Reason != admission.ReasonDrain {
+		t.Fatalf("got %v, want drain ShedError", err)
+	}
+	if shed.Retryable() {
+		t.Error("drain shed must not be retryable")
+	}
+	// The shard survives the abort and serves new work.
+	if _, err := s.Search(context.Background(), "bob", bioKeywords[1], 5); err != nil {
+		t.Fatalf("search after abort: %v", err)
+	}
+}
+
+// TestAdaptiveWindowServes: with the adaptive admission window enabled the
+// service behaves like a (variable-window) batching service — concurrent
+// searches all complete with answers.
+func TestAdaptiveWindowServes(t *testing.T) {
+	s := newBioService(t, service.Config{
+		K:         5,
+		BatchSize: 4,
+		Admission: admission.Config{
+			AdaptiveWindow: true,
+			WindowMax:      20 * time.Millisecond,
+			Deadline:       5 * time.Second,
+		},
+	})
+	defer s.Close()
+
+	const n = 12
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			res, err := s.Search(context.Background(), "alice", bioKeywords[i%len(bioKeywords)], 5)
+			if err == nil && len(res.Answers) == 0 {
+				err = errors.New("no answers")
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("search %d: %v", i, err)
+		}
+	}
+}

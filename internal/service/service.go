@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/atc"
 	"repro/internal/cq"
 	"repro/internal/metrics"
@@ -124,6 +125,14 @@ type Config struct {
 	// tests use.
 	RealTime bool
 
+	// Admission configures the overload-control layer (PR7): per-user
+	// token-bucket rate limits with fair arbitration, bounded-queue shedding
+	// (MaxPending), per-request latency budgets (Deadline) that cancel
+	// merges past them, and the adaptive admission window that replaces the
+	// fixed BatchWindow with a control loop. The zero value keeps the
+	// closed-loop behavior: senders block on the shard queue, nothing sheds.
+	Admission admission.Config
+
 	// JointOptimize runs one multi-query optimization over each whole
 	// admission batch (§5.1's BATCH-OPT) instead of the default per-query
 	// optimization into the shared graph. Joint search cost grows steeply
@@ -149,6 +158,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
 	}
+	c.Admission = c.Admission.Normalized()
 	return c
 }
 
@@ -265,6 +275,7 @@ type Service struct {
 	cfg    Config
 	svc    *metrics.Service
 	exp    *Expander
+	adm    *admission.Controller // nil unless rate limits are configured
 	shards []*shard
 	router *router
 
@@ -279,6 +290,7 @@ func New(w *workload.Workload, cfg Config) *Service {
 		cfg: cfg,
 		svc: &metrics.Service{},
 		exp: NewExpander(w, cfg),
+		adm: admission.NewController(cfg.Admission),
 	}
 	mode, err := ParseRouter(cfg.Router)
 	if err != nil {
@@ -302,9 +314,18 @@ func New(w *workload.Workload, cfg Config) *Service {
 // to call from many goroutines; concurrently arriving searches are batched
 // into shared admissions. Each distinct user keeps their own scoring-function
 // coefficients across calls (§2.1). k <= 0 uses the configured default.
+//
+// Under a configured admission rate the user's token bucket is consulted
+// before any expansion work is spent; a shed returns *admission.ShedError
+// (retryable — the query never reached admission) with a Retry-After hint.
 func (s *Service) Search(ctx context.Context, user string, keywords []string, k int) (*Result, error) {
 	if s.isClosed() {
 		return nil, ErrClosed
+	}
+	if shed := s.adm.Admit(user, time.Now()); shed != nil {
+		s.svc.Shed.Inc()
+		s.svc.ShedUserRate.Inc()
+		return nil, shed
 	}
 	uq, err := s.exp.Expand(user, keywords, k)
 	if err != nil {
@@ -325,7 +346,24 @@ func (s *Service) SearchUQ(ctx context.Context, uq *cq.UQ) (*Result, error) {
 	}
 	s.svc.Requests.Inc()
 	sh := s.shards[s.route(uq.Keywords)]
+	// Bounded-queue shed: when MaxPending is configured, an arrival that
+	// finds the shard's admission queue full is turned away immediately
+	// (retryable — it never reached admission) instead of blocking its
+	// caller into the closed loop.
+	if maxp := s.cfg.Admission.MaxPending; maxp > 0 {
+		if int(sh.depth.Load())+len(sh.submitCh) >= maxp {
+			s.svc.Shed.Inc()
+			s.svc.ShedQueueFull.Inc()
+			return nil, &admission.ShedError{
+				Reason:     admission.ReasonQueueFull,
+				RetryAfter: s.cfg.Admission.RetryAfter,
+			}
+		}
+	}
 	r := &request{uq: uq, enqueued: time.Now(), ctx: ctx, resp: make(chan response, 1)}
+	if d := s.cfg.Admission.Deadline; d > 0 {
+		r.deadline = r.enqueued.Add(d)
+	}
 	select {
 	case sh.submitCh <- r:
 		s.svc.InFlight.Inc()
@@ -357,6 +395,19 @@ func (s *Service) SearchUQ(ctx context.Context, uq *cq.UQ) (*Result, error) {
 			return nil, ErrClosed
 		}
 	}
+}
+
+// AbortInFlight settles every queued and admitted search on every shard with
+// reason, canceling their merges and unlinking their plan segments. It is
+// the drain deadline's escape hatch: a merge that never converges (or a
+// backlog that outlives the drain budget) must not block the state handoff
+// forever. Returns how many requests were aborted.
+func (s *Service) AbortInFlight(reason error) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.exec(func() { n += sh.abort(reason) })
+	}
+	return n
 }
 
 // isClosed reports whether Close has begun.
