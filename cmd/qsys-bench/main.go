@@ -7,6 +7,8 @@
 //	qsys-bench -bench [-bench-out BENCH_PR5.json] [-bench-baseline prev.json]
 //	           [-bench-rounds N] [-bench-experiments=false] [-bench-budget N]
 //	           [-bench-routing N] [-bench-parallel N] [-bench-saturation N]
+//	           [-batch-rows N] [-bench-batch-sweep]
+//	           [-bench-gate-wall-speedup X] [-bench-gate-max-ns-ratio X]
 //	qsys-bench [-cpuprofile cpu.out] [-memprofile mem.out] ...
 //
 // -cpuprofile / -memprofile write standard Go pprof profiles covering the
@@ -49,6 +51,10 @@ func main() {
 	benchParallel := flag.Int("bench-parallel", 0, "worker count of the serial-vs-parallel executor profile (0 = default; negative skips the profile)")
 	benchFleet := flag.Int("bench-fleet", 0, "shard-slot count of the single-vs-multi-process fleet parity profile (0 = default; negative skips the profile)")
 	benchSaturation := flag.Int("bench-saturation", 0, "arrival count of the open-loop overload-control profile (0 = default; negative skips the profile)")
+	batchRows := flag.Int("batch-rows", 0, "executor mini-batch row target for the serving profile (0 = engine default, 1 = exact per-row path); digests and counters are identical at any value")
+	benchBatchSweep := flag.Bool("bench-batch-sweep", false, "add the batch-size sweep profile: the serving workload at batch targets 1/8/64/256, gating batch=1 byte-identical")
+	benchGateWallSpeedup := flag.Float64("bench-gate-wall-speedup", 0, "CI gate: exit nonzero unless the parallel profile's multi-topic wall speedup reaches this factor (0 disables)")
+	benchGateMaxNSRatio := flag.Float64("bench-gate-max-ns-ratio", 0, "CI gate: exit nonzero when serving ns/row exceeds baseline times this ratio (needs -bench-baseline; 1.0 = no regression allowed; 0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -84,7 +90,23 @@ func main() {
 	}
 
 	if *bench {
-		if err := runBench(*benchOut, *benchBaseline, *benchPR, *benchRounds, *benchExperiments, *benchBudget, *benchRouting, *benchParallel, *benchFleet, *benchSaturation); err != nil {
+		// Negative budget/routing/... values flow through as explicit skips:
+		// Defaults only replaces zero, and Run's positivity guards leave the
+		// profile out. (Zeroing them here used to be undone when Run re-applied
+		// Defaults, silently resurrecting the skipped profiles.)
+		cfg := benchrun.Config{
+			Rounds:             *benchRounds,
+			Experiments:        *benchExperiments,
+			BudgetRows:         *benchBudget,
+			RoutingShards:      *benchRouting,
+			ParallelWorkers:    *benchParallel,
+			FleetShards:        *benchFleet,
+			SaturationRequests: *benchSaturation,
+			BatchRows:          *batchRows,
+			BatchSweep:         *benchBatchSweep,
+		}
+		gates := benchGates{wallSpeedup: *benchGateWallSpeedup, maxNSRatio: *benchGateMaxNSRatio}
+		if err := runBench(*benchOut, *benchBaseline, *benchPR, cfg, gates); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,18 +153,25 @@ func main() {
 	}
 }
 
+// benchGates are the optional hard pass/fail thresholds applied after a
+// -bench run, so CI can turn trajectory numbers into exit codes.
+type benchGates struct {
+	// wallSpeedup is the minimum multi-topic wall-clock speedup the parallel
+	// profile's best worker count must reach over serial (0 disables). Only
+	// meaningful on a multi-core runner.
+	wallSpeedup float64
+	// maxNSRatio is the maximum allowed current/baseline serving ns/row
+	// ratio (0 disables; 1.0 forbids any regression).
+	maxNSRatio float64
+}
+
 // runBench measures one trajectory point and writes it as JSON.
-func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool, budgetRows, routingShards, parallelWorkers, fleetShards, saturationRequests int) error {
+func runBench(outPath, baselinePath, pr string, cfg benchrun.Config, gates benchGates) error {
 	if outPath == "" {
 		// Derived from the label so a future PR's bare run cannot silently
 		// clobber an earlier checked-in trajectory point.
 		outPath = fmt.Sprintf("BENCH_%s.json", pr)
 	}
-	// Negative budget/routing values flow through as explicit skips:
-	// Defaults only replaces zero, and Run's positivity guards leave the
-	// profile out. (Zeroing them here used to be undone when Run re-applied
-	// Defaults, silently resurrecting the skipped profiles.)
-	cfg := benchrun.Config{Rounds: rounds, Experiments: withExperiments, BudgetRows: budgetRows, RoutingShards: routingShards, ParallelWorkers: parallelWorkers, FleetShards: fleetShards, SaturationRequests: saturationRequests}
 
 	var baseline *benchrun.Point
 	if baselinePath != "" {
@@ -178,5 +207,40 @@ func runBench(outPath, baselinePath, pr string, rounds int, withExperiments bool
 	}
 	fmt.Print(report.Summary())
 	fmt.Printf("(point measured in %v, written to %s)\n", time.Since(start).Round(time.Millisecond), outPath)
+	return applyGates(report, gates)
+}
+
+// applyGates checks the CI thresholds against a finished report. The point
+// is already written when this runs, so a failing gate still leaves the
+// numbers on disk for the workflow to upload.
+func applyGates(report *benchrun.Report, gates benchGates) error {
+	if gates.wallSpeedup > 0 {
+		p := report.Current.Parallel
+		if p == nil {
+			return fmt.Errorf("gate: -bench-gate-wall-speedup needs the parallel profile (enable -bench-parallel)")
+		}
+		if !p.DigestsEqual || !p.CountersEqual {
+			return fmt.Errorf("gate: parallel profile semantics diverged (digests_equal=%v counters_equal=%v)", p.DigestsEqual, p.CountersEqual)
+		}
+		// MultiTopicSpeedup is the serial/best ns-per-row ratio; with equal
+		// counters the row counts match, so it is exactly the wall ratio.
+		best := p.MultiTopic[len(p.MultiTopic)-1]
+		if p.MultiTopicSpeedup < gates.wallSpeedup {
+			return fmt.Errorf("gate: multi-topic wall speedup %.2fx at workers=%d < required %.2fx (cpus=%d gomaxprocs=%d)",
+				p.MultiTopicSpeedup, best.Workers, gates.wallSpeedup, p.Machine.CPUs, p.Machine.GOMAXPROCS)
+		}
+		fmt.Printf("gate ok: multi-topic wall speedup %.2fx at workers=%d >= %.2fx\n", p.MultiTopicSpeedup, best.Workers, gates.wallSpeedup)
+	}
+	if gates.maxNSRatio > 0 {
+		if report.Baseline == nil {
+			return fmt.Errorf("gate: -bench-gate-max-ns-ratio needs -bench-baseline")
+		}
+		ratio := report.Current.Serving.NSPerRow / report.Baseline.Serving.NSPerRow
+		if ratio > gates.maxNSRatio {
+			return fmt.Errorf("gate: serving ns/row %.1f is %.3fx baseline %.1f > allowed %.3fx",
+				report.Current.Serving.NSPerRow, ratio, report.Baseline.Serving.NSPerRow, gates.maxNSRatio)
+		}
+		fmt.Printf("gate ok: serving ns/row ratio %.3fx <= %.3fx\n", ratio, gates.maxNSRatio)
+	}
 	return nil
 }

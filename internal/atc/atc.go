@@ -103,6 +103,10 @@ type ATC struct {
 	// bound (SetDriveBound; tests only).
 	driveBound int
 
+	// batchRows, when nonzero, overrides every exec's mini-batch target
+	// (SetBatchRows); 0 leaves operator.DefaultBatchRows in effect.
+	batchRows int
+
 	// ledger, when bound, accounts every exec's and endpoint's resident
 	// state incrementally (§6.3); spill, when bound, is the disk tier evicted
 	// segments serialize to and revival restores from. Both are bound once by
@@ -145,6 +149,17 @@ func New(g *plangraph.Graph, env *operator.Env, fleet *remotedb.Fleet) *ATC {
 func (a *ATC) BindState(ledger *state.Ledger, spill *state.Spill) {
 	a.ledger = ledger
 	a.spill = spill
+}
+
+// SetBatchRows sets the executor's mini-batch target for every current and
+// future exec (n <= 1 disables batching — the exact per-row engine; 0
+// restores the default). Purely a grouping knob: digests and work counters
+// are byte-identical at any value.
+func (a *ATC) SetBatchRows(n int) {
+	a.batchRows = n
+	for _, x := range a.execs {
+		x.SetBatchRows(n)
+	}
 }
 
 // Epoch returns the current epoch (§6.2's logical timestamp).
@@ -228,6 +243,9 @@ func (a *ATC) Exec(n *plangraph.Node) (*operator.NodeExec, error) {
 	x := operator.NewNodeExec(n)
 	if a.ledger != nil {
 		x.SetAccount(a.ledger.NewAccount(n.Key))
+	}
+	if a.batchRows != 0 {
+		x.SetBatchRows(a.batchRows)
 	}
 	switch n.Kind {
 	case plangraph.SourceStream:
@@ -578,6 +596,10 @@ func (a *ATC) park(x *operator.NodeExec) {
 		return
 	}
 	x.HistoryComplete = false
+	// A parked node runs no cascades until revival: hand its pooled scratch
+	// (free-listed part vectors, batch buffers) back and settle the ledger's
+	// scratch dimension so idle segments hold no hidden memory.
+	x.ReleaseScratch()
 	for _, e := range x.Node.Inputs {
 		px, ok := a.execs[e.From]
 		if !ok {

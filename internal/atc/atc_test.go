@@ -264,9 +264,9 @@ func TestSharedSubexpressionAgreement(t *testing.T) {
 	// Isolated runs.
 	for _, uq := range []*cq.UQ{uq1, uq2} {
 		solo := newHarness(t, seed, 40, 120, 30, false)
-		cp := *uq.CQs[0]
+		cp := uq.CQs[0].Clone()
 		cp.ID += "-solo"
-		soloUQ := &cq.UQ{ID: uq.ID + "-solo", K: uq.K, CQs: []*cq.CQ{&cp}}
+		soloUQ := &cq.UQ{ID: uq.ID + "-solo", K: uq.K, CQs: []*cq.CQ{cp}}
 		got := solo.run(t, soloUQ)
 		want := sharedRes[uq.ID]
 		if len(got) != len(want) {

@@ -1,0 +1,78 @@
+package benchrun
+
+import (
+	"fmt"
+
+	"repro/internal/service"
+)
+
+// BatchSweepSizes are the executor mini-batch targets the sweep measures:
+// the exact per-row path, a small batch, the engine default, and an
+// oversized batch beyond most operators' natural flush points. Keep stable
+// across PRs so sweep points stay comparable.
+var BatchSweepSizes = []int{1, 8, 64, 256}
+
+// BatchRun is the seeded serving workload measured at one fixed executor
+// mini-batch target.
+type BatchRun struct {
+	BatchRows    int      `json:"batch_rows"`
+	WallNS       int64    `json:"wall_ns"`
+	NSPerRow     float64  `json:"ns_per_row"`
+	AllocsPerRow float64  `json:"allocs_per_row"`
+	Counters     Counters `json:"counters"`
+	ResultDigest string   `json:"result_digest"`
+}
+
+// BatchProfile is the batch-size sweep: the serving workload re-run at each
+// BatchSweepSizes target. The batch=1 run takes the exact per-row delivery
+// path, so the gates pin every batched run byte-identical to row-at-a-time
+// execution — batching changes cost, never which rows flow or how they rank.
+type BatchProfile struct {
+	Machine Machine    `json:"machine"`
+	Runs    []BatchRun `json:"runs"`
+
+	// DigestsEqual / CountersEqual gate every run against the batch=1 run.
+	DigestsEqual  bool `json:"digests_equal"`
+	CountersEqual bool `json:"counters_equal"`
+}
+
+// RunBatchSweep measures the batch-size sweep profile.
+func RunBatchSweep(cfg Config) (*BatchProfile, error) {
+	cfg = cfg.Defaults()
+	prof := &BatchProfile{Machine: machineOf()}
+	for _, n := range BatchSweepSizes {
+		s, _, err := runServingWith(cfg, service.Config{BatchRows: n})
+		if err != nil {
+			return nil, fmt.Errorf("benchrun: batch=%d run: %w", n, err)
+		}
+		prof.Runs = append(prof.Runs, BatchRun{
+			BatchRows:    n,
+			WallNS:       s.WallNS,
+			NSPerRow:     s.NSPerRow,
+			AllocsPerRow: s.AllocsPerRow,
+			Counters:     s.Counters,
+			ResultDigest: s.ResultDigest,
+		})
+	}
+	base := prof.Runs[0] // batch=1: the exact per-row path
+	prof.DigestsEqual, prof.CountersEqual = true, true
+	for _, r := range prof.Runs[1:] {
+		if r.ResultDigest != base.ResultDigest {
+			prof.DigestsEqual = false
+		}
+		if r.Counters != base.Counters {
+			prof.CountersEqual = false
+		}
+	}
+	return prof, nil
+}
+
+// Summary renders the profile for the CLI.
+func (p *BatchProfile) Summary() string {
+	s := fmt.Sprintf("batch sweep (%d cpus, gomaxprocs %d):\n", p.Machine.CPUs, p.Machine.GOMAXPROCS)
+	for _, r := range p.Runs {
+		s += fmt.Sprintf("  batch=%-4d %8.1f ns/row  %7.3f allocs/row\n", r.BatchRows, r.NSPerRow, r.AllocsPerRow)
+	}
+	s += fmt.Sprintf("  digests_equal=%v counters_equal=%v (vs batch=1 per-row path)\n", p.DigestsEqual, p.CountersEqual)
+	return s
+}

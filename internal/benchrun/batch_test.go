@@ -1,0 +1,111 @@
+package benchrun
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestBatchEquivalenceAcrossWorkers is the PR's engine-level equivalence
+// gate for the batched executor: on both parallelism-profile workloads
+// (multi-topic disjoint components and the high-overlap single component),
+// result digests and work counters must be byte-identical at batch targets
+// 1, 8 and 64 crossed with 1 and 4 workers. Batch 1 is the exact per-row
+// engine and workers 1 the serial scheduler, so every batched/parallel
+// combination is pinned against row-at-a-time serial execution. The
+// high-overlap workload at 4 workers additionally exercises the
+// component-aware work-stealing path (one component, many merges), which the
+// gate requires to have actually engaged.
+func TestBatchEquivalenceAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence gate is a 12-run workload matrix")
+	}
+	seedW, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}.Defaults()
+	multi := parallelTopics(seedW, 8, cfg.Seed, cfg.K)
+	if len(multi) < 2 {
+		t.Fatalf("found only %d disjoint topics — gate is vacuous", len(multi))
+	}
+	workloads := []struct {
+		name   string
+		topics [][]string
+	}{
+		{"multi-topic", multi},
+		{"high-overlap", overlapTopics(seedW)},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			ref := ParallelRun{}
+			haveRef := false
+			stolen := int64(0)
+			for _, batch := range []int{1, 8, 64} {
+				for _, workers := range []int{1, 4} {
+					c := cfg
+					c.BatchRows = batch
+					run, err := runParallelWorkload(c, wl.topics, workers)
+					if err != nil {
+						t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+					}
+					stolen += run.StolenMerges
+					if !haveRef {
+						ref, haveRef = run, true
+						continue
+					}
+					if run.ResultDigest != ref.ResultDigest {
+						t.Errorf("batch=%d workers=%d digest %s != batch=1 workers=1 digest %s",
+							batch, workers, run.ResultDigest, ref.ResultDigest)
+					}
+					if run.Counters != ref.Counters {
+						t.Errorf("batch=%d workers=%d counters diverge:\n got %+v\nwant %+v",
+							batch, workers, run.Counters, ref.Counters)
+					}
+				}
+			}
+			// One component and a wave of merges at 4 workers must engage the
+			// stealing scheduler; disjoint components must never need it.
+			if wl.name == "high-overlap" && stolen == 0 {
+				t.Error("work stealing never engaged on the one-component workload")
+			}
+			if wl.name == "multi-topic" && stolen != 0 {
+				t.Errorf("work stealing engaged %d merges on disjoint components", stolen)
+			}
+		})
+	}
+}
+
+// TestBatchSweepGate runs the batch-size sweep profile at reduced rounds and
+// asserts its shape and semantics gates: one run per canonical size, and
+// every batched run byte-identical to the batch=1 per-row run.
+func TestBatchSweepGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch sweep is a multi-run workload")
+	}
+	p, err := RunBatchSweep(Config{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Runs) != len(BatchSweepSizes) {
+		t.Fatalf("sweep measured %d runs, want %d", len(p.Runs), len(BatchSweepSizes))
+	}
+	for i, r := range p.Runs {
+		if r.BatchRows != BatchSweepSizes[i] {
+			t.Fatalf("run %d measured batch=%d, want %d", i, r.BatchRows, BatchSweepSizes[i])
+		}
+		if r.NSPerRow <= 0 || r.Counters.Rows() == 0 {
+			t.Fatalf("run batch=%d measured nothing: %+v", r.BatchRows, r)
+		}
+	}
+	if !p.DigestsEqual {
+		t.Error("batched runs' digests diverged from the batch=1 per-row path")
+	}
+	if !p.CountersEqual {
+		t.Error("batched runs' counters diverged from the batch=1 per-row path")
+	}
+	if p.Machine.CPUs <= 0 || p.Machine.GOMAXPROCS <= 0 {
+		t.Errorf("profile recorded no machine context: %+v", p.Machine)
+	}
+}

@@ -75,6 +75,14 @@ type Config struct {
 	// wrong answers, goodput holds, served p99 bounded by the deadline).
 	// 0 skips the profile.
 	SaturationRequests int `json:"saturation_requests,omitempty"`
+	// BatchRows overrides the executor's mini-batch row target for the
+	// serving run (0 = engine default; 1 = exact per-row path). Digests and
+	// counters are identical at any value, so this knob only moves cost.
+	BatchRows int `json:"batch_rows,omitempty"`
+	// BatchSweep adds the batch-size sweep profile: the serving workload
+	// re-measured at each BatchSweepSizes target, with the batch=1 per-row
+	// run pinned byte-identical to every batched run.
+	BatchSweep bool `json:"batch_sweep,omitempty"`
 }
 
 // Defaults fills zero fields with the canonical trajectory configuration.
@@ -159,6 +167,20 @@ func (c Counters) Rows() int64 {
 	return c.StreamTuples + c.ProbeTuples + c.JoinInserts + c.ReplayTuples
 }
 
+// Machine records the hardware context a profile block was measured on:
+// runtime.NumCPU and the scheduler's GOMAXPROCS at measurement time. Every
+// profile block carries one, because wall-clock numbers are only comparable
+// between points taken on like machines; digests and counters are
+// machine-independent, so a mismatch here never weakens a semantics gate.
+type Machine struct {
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+func machineOf() Machine {
+	return Machine{CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
 // Latency is the JSON form of an engine-latency distribution.
 type Latency struct {
 	Count  int64 `json:"count"`
@@ -188,6 +210,9 @@ type Serving struct {
 	AllocsPerRow float64 `json:"allocs_per_row"`
 	BytesPerRow  float64 `json:"bytes_per_row"`
 
+	// Machine is zero when decoded from a point older than the field.
+	Machine Machine `json:"machine"`
+
 	Searches      int      `json:"searches"`
 	Counters      Counters `json:"counters"`
 	EngineLatency Latency  `json:"engine_latency"`
@@ -214,6 +239,7 @@ type Point struct {
 	Config      Config             `json:"config"`
 	Serving     Serving            `json:"serving"`
 	Experiments []Experiment       `json:"experiments,omitempty"`
+	Batch       *BatchProfile      `json:"batch_sweep,omitempty"`
 	Budget      *BudgetProfile     `json:"budget,omitempty"`
 	Routing     *RoutingProfile    `json:"routing,omitempty"`
 	Parallel    *ParallelProfile   `json:"parallel,omitempty"`
@@ -263,6 +289,10 @@ func runServingWith(cfg Config, override service.Config) (*Serving, *service.Sta
 	if err != nil {
 		return nil, nil, err
 	}
+	batchRows := override.BatchRows
+	if batchRows == 0 {
+		batchRows = cfg.BatchRows
+	}
 	svc := service.New(w, service.Config{
 		Seed:   cfg.Seed,
 		K:      cfg.K,
@@ -281,6 +311,9 @@ func runServingWith(cfg Config, override service.Config) (*Serving, *service.Sta
 		MemoryBudget: override.MemoryBudget,
 		EvictPolicy:  override.EvictPolicy,
 		SpillDir:     override.SpillDir,
+		// The executor batch target: the override (batch-sweep runs) wins,
+		// then the config knob, then the engine default.
+		BatchRows: batchRows,
 	})
 	defer svc.Close()
 
@@ -316,6 +349,7 @@ func runServingWith(cfg Config, override service.Config) (*Serving, *service.Sta
 		NSPerRow:      float64(wall) / float64(rows),
 		AllocsPerRow:  float64(after.Mallocs-before.Mallocs) / float64(rows),
 		BytesPerRow:   float64(after.TotalAlloc-before.TotalAlloc) / float64(rows),
+		Machine:       machineOf(),
 		Searches:      searches,
 		Counters:      counters,
 		EngineLatency: latencyOf(st.Service.EngineLatency),
@@ -391,6 +425,13 @@ func Run(cfg Config) (*Point, error) {
 			return nil, err
 		}
 		p.Experiments = exps
+	}
+	if cfg.BatchSweep {
+		sweep, err := RunBatchSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Batch = sweep
 	}
 	if cfg.BudgetRows > 0 {
 		budget, err := RunBudget(cfg)
@@ -500,6 +541,9 @@ func (r *Report) Summary() string {
 			b.NSPerRow, b.AllocsPerRow, 100*r.Delta.NSPerRow, 100*r.Delta.AllocsPerRow)
 		s += fmt.Sprintf("semantics: counters_equal=%v result_digest_equal=%v experiment_digests_equal=%v\n",
 			r.Delta.CountersEqual, r.Delta.DigestsEqual, r.Delta.ExperimentsSame)
+	}
+	if r.Current.Batch != nil {
+		s += r.Current.Batch.Summary()
 	}
 	if r.Current.Budget != nil {
 		s += r.Current.Budget.Summary()

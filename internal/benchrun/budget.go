@@ -32,8 +32,9 @@ type BudgetRun struct {
 // than the discard run — eviction bounded the memory, the disk tier kept the
 // work shared.
 type BudgetProfile struct {
-	BudgetRows int    `json:"budget_rows"`
-	Policy     string `json:"policy"`
+	BudgetRows int     `json:"budget_rows"`
+	Policy     string  `json:"policy"`
+	Machine    Machine `json:"machine"`
 
 	Unbounded BudgetRun `json:"unbounded"`
 	Discard   BudgetRun `json:"discard"`
@@ -57,7 +58,7 @@ func RunBudget(cfg Config) (*BudgetProfile, error) {
 	if cfg.BudgetRows <= 0 {
 		return nil, fmt.Errorf("benchrun: budget profile needs a positive BudgetRows")
 	}
-	prof := &BudgetProfile{BudgetRows: cfg.BudgetRows, Policy: "lru"}
+	prof := &BudgetProfile{BudgetRows: cfg.BudgetRows, Policy: "lru", Machine: machineOf()}
 
 	run := func(mode string, override service.Config) (BudgetRun, error) {
 		serving, stats, err := runServingWith(cfg, override)

@@ -52,9 +52,10 @@ type MigrationProbe struct {
 // processes around, not semantics. The migration probe additionally pins the
 // live topic-migration path.
 type FleetProfile struct {
-	Shards   int `json:"shards"`
-	Topics   int `json:"topics"`
-	Searches int `json:"searches"`
+	Shards   int     `json:"shards"`
+	Topics   int     `json:"topics"`
+	Searches int     `json:"searches"`
+	Machine  Machine `json:"machine"`
 
 	SingleProcess FleetRun `json:"single_process"`
 	MultiProcess  FleetRun `json:"multi_process"`
@@ -88,7 +89,7 @@ func RunFleet(cfg Config) (*FleetProfile, error) {
 	if shards < 2 {
 		return nil, fmt.Errorf("benchrun: fleet profile needs >= 2 shards, got %d", shards)
 	}
-	prof := &FleetProfile{Shards: shards}
+	prof := &FleetProfile{Shards: shards, Machine: machineOf()}
 
 	// Single-process control: one service owning every shard engine, the
 	// exact configuration of the routing profile's affinity run.

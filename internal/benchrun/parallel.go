@@ -55,6 +55,10 @@ type ParallelRun struct {
 	// serial (-workers 1) run, which never computes components.
 	MaxRoundComponents int64   `json:"max_round_components,omitempty"`
 	Utilization        float64 `json:"utilization,omitempty"`
+	// StolenMerges counts merges executed by the component-aware
+	// work-stealing scheduler (rounds with fewer components than workers);
+	// zero when every round had enough components to keep the pool busy.
+	StolenMerges int64 `json:"stolen_merges,omitempty"`
 }
 
 // ParallelProfile is the intra-shard parallel-executor comparison checked
@@ -67,10 +71,12 @@ type ParallelRun struct {
 type ParallelProfile struct {
 	Workers int `json:"workers"`
 	// CPUs is runtime.NumCPU() at measurement time — the hardware context
-	// every wall-clock delta below must be read against.
-	CPUs   int `json:"cpus"`
-	Topics int `json:"topics"`
-	Rounds int `json:"rounds"`
+	// every wall-clock delta below must be read against. Machine repeats it
+	// together with GOMAXPROCS in the shape every profile block shares.
+	CPUs    int     `json:"cpus"`
+	Machine Machine `json:"machine"`
+	Topics  int     `json:"topics"`
+	Rounds  int     `json:"rounds"`
 
 	// MultiTopic runs a low-overlap workload — topics chosen so their
 	// candidate networks touch pairwise-disjoint relation sets, so every
@@ -177,7 +183,7 @@ func runParallelWorkload(cfg Config, topics [][]string, workers int) (ParallelRu
 	if err != nil {
 		return ParallelRun{}, err
 	}
-	p := core.NewPipeline(w.Fleet, w.Catalog, core.Options{Mode: qsm.ShareAll, Seed: cfg.Seed})
+	p := core.NewPipeline(w.Fleet, w.Catalog, core.Options{Mode: qsm.ShareAll, Seed: cfg.Seed, BatchRows: cfg.BatchRows})
 	p.Manager.Unit = qsm.UnitUQ
 	if workers > 1 {
 		p.ATC.EnableParallel(workers, cfg.Seed)
@@ -232,6 +238,7 @@ func runParallelWorkload(cfg Config, topics [][]string, workers int) (ParallelRu
 	if ps := p.ATC.ParallelStats(); ps.Workers > 0 {
 		run.MaxRoundComponents = ps.Components.Max
 		run.Utilization = ps.Utilization
+		run.StolenMerges = ps.StolenMerges
 	}
 	return run, nil
 }
@@ -282,6 +289,7 @@ func RunParallel(cfg Config) (*ParallelProfile, error) {
 	prof := &ParallelProfile{
 		Workers: workers,
 		CPUs:    runtime.NumCPU(),
+		Machine: machineOf(),
 		Topics:  len(topics),
 		Rounds:  parallelRounds,
 	}

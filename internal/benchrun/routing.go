@@ -44,9 +44,10 @@ type RoutingRun struct {
 // ran, not what the queries answered, and co-locating overlapping topics
 // turned cross-shard sharing misses into replays.
 type RoutingProfile struct {
-	Shards   int `json:"shards"`
-	Topics   int `json:"topics"`
-	Searches int `json:"searches"`
+	Shards   int     `json:"shards"`
+	Topics   int     `json:"topics"`
+	Searches int     `json:"searches"`
+	Machine  Machine `json:"machine"`
 
 	Hash     RoutingRun `json:"hash"`
 	Affinity RoutingRun `json:"affinity"`
@@ -85,7 +86,7 @@ func RunRouting(cfg Config) (*RoutingProfile, error) {
 	if shards < 2 {
 		return nil, fmt.Errorf("benchrun: routing profile needs >= 2 shards, got %d", shards)
 	}
-	prof := &RoutingProfile{Shards: shards}
+	prof := &RoutingProfile{Shards: shards, Machine: machineOf()}
 
 	run := func(mode string) (RoutingRun, error) {
 		// A fresh workload per mode keeps the comparison honest: no run

@@ -61,6 +61,7 @@ type SaturationRun struct {
 // and every served answer still matches control).
 type SaturationProfile struct {
 	Requests       int     `json:"requests"`
+	Machine        Machine `json:"machine"`
 	KneeQPS        float64 `json:"knee_qps"`
 	UnloadedMeanNS int64   `json:"unloaded_mean_ns"`
 	DeadlineNS     int64   `json:"deadline_ns"`
@@ -223,7 +224,7 @@ func RunSaturation(cfg Config) (*SaturationProfile, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("benchrun: saturation profile needs > 0 requests, got %d", n)
 	}
-	prof := &SaturationProfile{Requests: n}
+	prof := &SaturationProfile{Requests: n, Machine: machineOf()}
 
 	// Unloaded sequential control: fixes per-index answers and the knee. The
 	// keyword stream is the same seeded zipf draw the open-loop runs replay.

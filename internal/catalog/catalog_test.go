@@ -72,9 +72,11 @@ func TestEstimateCardJoin(t *testing.T) {
 	if got := c.EstimateCard(e); math.Abs(got-200) > 1e-9 {
 		t.Errorf("join estimate = %v, want 200", got)
 	}
-	// With a selection on term: /2.
-	q.Atoms[0].Args[1] = cq.C(tuple.String("x"))
-	e2, _ := q.SubExpr([]int{0, 1})
+	// With a selection on term: /2. A fresh query — atoms are immutable once
+	// canonicalized (CQ.SubExpr memoizes per index set).
+	q2 := joinAB()
+	q2.Atoms[0].Args[1] = cq.C(tuple.String("x"))
+	e2, _ := q2.SubExpr([]int{0, 1})
 	if got := c.EstimateCard(e2); math.Abs(got-100) > 1e-9 {
 		t.Errorf("selected estimate = %v, want 100", got)
 	}

@@ -187,6 +187,25 @@ func (m *Model) JoinRebuildCost(rows int) float64 {
 	return float64(rows) * m.Params.JoinCost
 }
 
+// Scratch holds AssignmentCost's working maps so a caller that prices
+// assignments in a tight loop (the plan search calls it at every leaf) can
+// reuse them instead of allocating three maps per call. A Scratch must not
+// be shared across goroutines.
+type Scratch struct {
+	streams map[string]int
+	depths  map[string]float64
+	byCQ    map[string][]*Input
+}
+
+// NewScratch builds an empty reusable Scratch.
+func NewScratch() *Scratch {
+	return &Scratch{
+		streams: map[string]int{},
+		depths:  map[string]float64{},
+		byCQ:    map[string][]*Input{},
+	}
+}
+
 // AssignmentCost prices a complete, valid input assignment for query set qs
 // with per-query result target k.
 //
@@ -194,8 +213,15 @@ func (m *Model) JoinRebuildCost(rows int) float64 {
 //	     + Σ_queries Σ_probedInputs probes·ProbeCost                 (per CQ)
 //	     + Σ_queries joinWork·JoinCost
 func (m *Model) AssignmentCost(qs []*cq.CQ, inputs []*Input, k int) float64 {
+	return m.AssignmentCostScratch(qs, inputs, k, NewScratch())
+}
+
+// AssignmentCostScratch is AssignmentCost with caller-owned working state;
+// the result is identical for any Scratch contents.
+func (m *Model) AssignmentCostScratch(qs []*cq.CQ, inputs []*Input, k int, sc *Scratch) float64 {
 	// Count streamed inputs per CQ (for depth estimation).
-	streamsPerCQ := map[string]int{}
+	streamsPerCQ := sc.streams
+	clear(streamsPerCQ)
 	for _, in := range inputs {
 		if in.Mode != Stream {
 			continue
@@ -205,7 +231,8 @@ func (m *Model) AssignmentCost(qs []*cq.CQ, inputs []*Input, k int) float64 {
 		}
 	}
 	total := 0.0
-	depths := make(map[string]float64, len(inputs))
+	depths := sc.depths
+	clear(depths)
 	for _, in := range inputs {
 		if in.Mode != Stream {
 			continue
@@ -216,8 +243,12 @@ func (m *Model) AssignmentCost(qs []*cq.CQ, inputs []*Input, k int) float64 {
 		eff := math.Max(0, depth-free)
 		total += eff * m.Params.StreamCost
 	}
-	// Per-query probe and join work.
-	byCQ := map[string][]*Input{}
+	// Per-query probe and join work. Buckets are truncated, not deleted, so
+	// steady-state reuse appends into retained capacity.
+	byCQ := sc.byCQ
+	for id, v := range byCQ {
+		byCQ[id] = v[:0]
+	}
 	for _, in := range inputs {
 		for cqID := range in.Uses {
 			byCQ[cqID] = append(byCQ[cqID], in)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/scoring"
 	"repro/internal/tuple"
@@ -79,13 +80,28 @@ type CQ struct {
 	ID string
 	// UQID names the user query this CQ helps answer.
 	UQID string
-	// Atoms is the query body.
+	// Atoms is the query body. Treat it as immutable once any subexpression
+	// has been extracted: SubExpr memoizes canonical forms per index set.
 	Atoms []*Atom
 	// Model scores result rows; Model.Arity() == len(Atoms).
 	Model *scoring.Model
 	// HeadVars lists the projected variables (display only; the engine
 	// returns whole rows so any head can be projected afterwards).
 	HeadVars []int
+
+	// SubExpr memo (see expr.go). subMu guards it: admission-side group
+	// optimization may canonicalize one query's subexpressions from several
+	// goroutines.
+	subMu   sync.Mutex
+	subMemo map[string]subEntry
+	subKey  []byte
+}
+
+// Clone returns a copy sharing the atoms, model and head vars but none of
+// the memo state — the way to duplicate a query (a value copy would copy the
+// memo's mutex).
+func (q *CQ) Clone() *CQ {
+	return &CQ{ID: q.ID, UQID: q.UQID, Atoms: q.Atoms, Model: q.Model, HeadVars: q.HeadVars}
 }
 
 // Validate checks internal consistency (arity of model, var usage).

@@ -102,11 +102,50 @@ func (e *Expr) String() string { return e.key }
 // of q (which must be connected). The second result maps each canonical atom
 // position back to its index in q.Atoms, so consumers can translate rows and
 // scores between the shared expression's order and the query's order.
+//
+// Results are memoized per query: canonicalization is the optimizer's hottest
+// call (AND-OR enumeration, plan completion, factorization and the cost model
+// all extract the same subexpressions of the same queries), and the canonical
+// form of a fixed index sequence never changes. The returned mapping is a
+// fresh copy on every call; the Expr is shared and immutable.
 func (q *CQ) SubExpr(idxs []int) (*Expr, []int) {
+	if len(q.Atoms) > 255 {
+		atoms := make([]*Atom, len(idxs))
+		for i, ai := range idxs {
+			atoms[i] = q.Atoms[ai]
+		}
+		return canonSub(q, atoms, idxs)
+	}
+	q.subMu.Lock()
+	defer q.subMu.Unlock()
+	key := q.subKey[:0]
+	for _, ai := range idxs {
+		key = append(key, byte(ai))
+	}
+	q.subKey = key
+	if ent, ok := q.subMemo[string(key)]; ok {
+		return ent.expr, append([]int(nil), ent.mapping...)
+	}
 	atoms := make([]*Atom, len(idxs))
 	for i, ai := range idxs {
 		atoms[i] = q.Atoms[ai]
 	}
+	expr, mapping := canonSub(q, atoms, idxs)
+	if q.subMemo == nil {
+		q.subMemo = make(map[string]subEntry)
+	}
+	q.subMemo[string(key)] = subEntry{expr: expr, mapping: mapping}
+	return expr, append([]int(nil), mapping...)
+}
+
+// subEntry is one memoized SubExpr result.
+type subEntry struct {
+	expr    *Expr
+	mapping []int
+}
+
+// canonSub is the uncached SubExpr body.
+func canonSub(q *CQ, atoms []*Atom, idxs []int) (*Expr, []int) {
 	expr, perm := Canonicalize(atoms)
 	mapping := make([]int, len(perm))
 	for i, p := range perm {

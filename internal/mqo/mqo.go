@@ -151,8 +151,23 @@ func Optimize(qs []*cq.CQ, cm *costmodel.Model, cfg Config) (*Result, error) {
 		overlap:   overlap,
 		memo:      map[string]searchResult{},
 		budget:    cfg.SearchNodeBudget,
+		qOrd:      make([]int, len(qs)),
+		covered:   make([][]bool, len(cqIDs)),
+		singles:   make([][]singleUse, len(qs)),
+
+		inputsScratch: map[string]*costmodel.Input{},
+		costScratch:   costmodel.NewScratch(),
 	}
-	best := s.bestPlan(cands, nil)
+	for i, q := range qs {
+		s.qOrd[i] = cqOrd[q.ID]
+		s.covered[s.qOrd[i]] = make([]bool, len(q.Atoms))
+		s.singles[i] = make([]singleUse, len(q.Atoms))
+	}
+	// chosen's backing array is preallocated to the deepest possible DFS path
+	// so the append at every recursion step writes in place instead of
+	// reallocating (siblings reuse the slot after the prior subtree returns;
+	// nothing a memo entry retains aliases chosen).
+	best := s.bestPlan(cands, make([]*candidate, 0, len(cands)))
 	if best.inputs == nil {
 		return nil, fmt.Errorf("mqo: search failed to produce a valid plan")
 	}
@@ -327,11 +342,41 @@ type searcher struct {
 	nodes   int
 	budget  int
 
-	// keyBuf and idxScratch are reusable state-key scratch: keys are built in
-	// place and looked up via the compiler's map[string(buf)] optimization,
+	// keyBuf and candScratch are reusable state-key scratch: keys are built
+	// in place and looked up via the compiler's map[string(buf)] optimization,
 	// so a memo hit allocates nothing.
-	keyBuf     []byte
-	idxScratch []int
+	keyBuf      []byte
+	candScratch []*candidate
+
+	// restScratch[d] is the depth-d restriction buffer, and candPool a
+	// mark/release pool of restricted candidate copies: both are dead the
+	// moment the recursion they fed returns (nothing a memo entry retains
+	// points at them), so the search reuses them instead of allocating at
+	// every (state, candidate) step.
+	restScratch [][]*candidate
+	candPool    []*candidate
+	candPoolPos int
+
+	// qOrd maps each position in qs to its lexicographic ordinal; covered is
+	// the completion scratch (covered[ord][atom]), reset per complete call;
+	// singles caches each query's single-atom completion inputs — complete
+	// runs at every search leaf and re-derives the same coverage rows.
+	qOrd    []int
+	covered [][]bool
+	singles [][]singleUse
+
+	// inputsScratch and costScratch are completion-time working maps:
+	// complete builds its input set and prices it at every search leaf, and
+	// neither structure outlives the call (only the final list and the Input
+	// values escape into the memo), so both are reused across leaves.
+	inputsScratch map[string]*costmodel.Input
+	costScratch   *costmodel.Scratch
+}
+
+// singleUse is one cached single-atom completion input of a query.
+type singleUse struct {
+	expr *cq.Expr
+	occ  *cq.ExprOccurrence
 }
 
 // bestPlan implements Algorithm 1: it either completes the partial input
@@ -350,10 +395,15 @@ func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchR
 		return r
 	}
 	stored := string(key) // materialise once; key's buffer is reused below
+	depth := len(chosen)
+	for depth >= len(s.restScratch) {
+		s.restScratch = append(s.restScratch, nil)
+	}
 	best := searchResult{cost: -1}
 	for i, j := range remaining {
 		// Line 12-17: restrict the other candidates against J.
-		var rest []*candidate
+		rest := s.restScratch[depth][:0]
+		mark := s.candPoolPos
 		for k2, j2 := range remaining {
 			if k2 == i {
 				continue
@@ -362,12 +412,13 @@ func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchR
 				rest = append(rest, j2)
 				continue
 			}
-			diff := andNotBits(j2.bits, j.bits)
-			if diff != nil {
-				rest = append(rest, &candidate{idx: j2.idx, expr: j2.expr, gain: j2.gain, bits: diff})
+			if rc := s.restrict(j2, j); rc != nil {
+				rest = append(rest, rc)
 			}
 		}
 		r := s.bestPlan(rest, append(chosen, j))
+		s.restScratch[depth] = rest
+		s.candPoolPos = mark
 		if r.inputs != nil && (best.cost < 0 || r.cost < best.cost) {
 			best = r
 		}
@@ -379,20 +430,31 @@ func (s *searcher) bestPlan(remaining []*candidate, chosen []*candidate) searchR
 	return best
 }
 
-// andNotBits returns a &^ b, or nil when the result is empty.
-func andNotBits(a, b []uint64) []uint64 {
+// restrict returns j2 restricted against chosen candidate j (Algorithm 1
+// line 14): a pooled copy of j2 whose consumer set drops j's consumers, or
+// nil when no consumer survives. The copy comes from the mark/release pool —
+// the caller rewinds candPoolPos once the recursion it fed returns.
+func (s *searcher) restrict(j2, j *candidate) *candidate {
+	var c *candidate
+	if s.candPoolPos < len(s.candPool) {
+		c = s.candPool[s.candPoolPos]
+	} else {
+		c = &candidate{bits: make([]uint64, s.words)}
+		s.candPool = append(s.candPool, c)
+	}
+	bits := c.bits[:s.words]
 	var any uint64
-	for i := range a {
-		any |= a[i] &^ b[i]
+	for i := range bits {
+		v := j2.bits[i] &^ j.bits[i]
+		bits[i] = v
+		any |= v
 	}
 	if any == 0 {
-		return nil
+		return nil // c stays pooled for the next restriction
 	}
-	out := make([]uint64, len(a))
-	for i := range a {
-		out[i] = a[i] &^ b[i]
-	}
-	return out
+	s.candPoolPos++
+	c.idx, c.expr, c.uses, c.gain, c.bits = j2.idx, j2.expr, nil, j2.gain, bits
+	return c
 }
 
 // stateKey interns the chosen set (Algorithm 1's memo on A) compactly: per
@@ -400,27 +462,24 @@ func andNotBits(a, b []uint64) []uint64 {
 // returned slice aliases the searcher's scratch buffer — valid until the
 // next call — which lets memo lookups run without allocating.
 func (s *searcher) stateKey(chosen []*candidate) []byte {
-	idxs := s.idxScratch[:0]
-	for _, c := range chosen {
-		idxs = append(idxs, c.idx)
+	// Insertion sort of the candidates themselves by ordinal: chosen sets are
+	// small (≤ MaxCandidates) and this avoids both the int-slice sort and the
+	// quadratic ordinal→candidate rescan.
+	scratch := append(s.candScratch[:0], chosen...)
+	for i := 1; i < len(scratch); i++ {
+		for j := i; j > 0 && scratch[j].idx < scratch[j-1].idx; j-- {
+			scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
+		}
 	}
-	sort.Ints(idxs)
-	s.idxScratch = idxs
+	s.candScratch = scratch[:0]
 
 	entrySize := 2 + 8*s.words
 	if cap(s.keyBuf) < entrySize*len(chosen) {
 		s.keyBuf = make([]byte, entrySize*len(chosen))
 	}
 	buf := s.keyBuf[:0]
-	for _, idx := range idxs {
-		var c *candidate
-		for _, cc := range chosen {
-			if cc.idx == idx {
-				c = cc
-				break
-			}
-		}
-		buf = append(buf, byte(idx>>8), byte(idx))
+	for _, c := range scratch {
+		buf = append(buf, byte(c.idx>>8), byte(c.idx))
 		for _, w := range c.bits {
 			buf = append(buf,
 				byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
@@ -433,16 +492,29 @@ func (s *searcher) stateKey(chosen []*candidate) []byte {
 
 // eachUse calls fn for the candidate's surviving consumers in lexicographic
 // CQ-id order, recovering occurrence pointers from the original candidate.
-func (s *searcher) eachUse(c *candidate, fn func(id string, occ *cq.ExprOccurrence)) {
+func (s *searcher) eachUse(c *candidate, fn func(ord int, occ *cq.ExprOccurrence)) {
 	orig := s.origByIdx[c.idx]
 	for w, word := range c.bits {
 		for word != 0 {
 			ord := w*64 + bits.TrailingZeros64(word)
-			id := s.cqIDs[ord]
-			fn(id, orig.uses[id])
+			fn(ord, orig.uses[s.cqIDs[ord]])
 			word &= word - 1
 		}
 	}
+}
+
+// singleUseOf resolves (caching) query qi's single-atom input for atom ai.
+// The occurrence is immutable, so sharing one pointer across every
+// completion that needs it is safe.
+func (s *searcher) singleUseOf(qi, ai int) singleUse {
+	su := s.singles[qi][ai]
+	if su.expr == nil {
+		q := s.qs[qi]
+		e, mapping := q.SubExpr([]int{ai})
+		su = singleUse{expr: e, occ: &cq.ExprOccurrence{CQ: q, AtomOf: mapping}}
+		s.singles[qi][ai] = su
+	}
+	return su
 }
 
 // complete turns a set of chosen candidates into a valid input assignment:
@@ -450,13 +522,16 @@ func (s *searcher) eachUse(c *candidate, fn func(id string, occ *cq.ExprOccurren
 // single-atom expression (shared across queries via canonical keys), modes
 // are assigned per §5.1.1, and every query is guaranteed a streaming input.
 func (s *searcher) complete(chosen []*candidate) searchResult {
-	inputs := map[string]*costmodel.Input{}
-	covered := map[string]map[int]bool{} // cq id -> atom idx covered
-	for _, q := range s.qs {
-		covered[q.ID] = map[int]bool{}
+	inputs := s.inputsScratch // the map is per-leaf scratch; its values escape
+	clear(inputs)
+	covered := s.covered // covered[ord][atom]; complete runs at every leaf
+	for _, row := range covered {
+		for i := range row {
+			row[i] = false
+		}
 	}
-	addUse := func(e *cq.Expr, cqID string, occ *cq.ExprOccurrence) bool {
-		cov := covered[cqID]
+	addUse := func(e *cq.Expr, ord int, occ *cq.ExprOccurrence) bool {
+		cov := covered[ord]
 		for _, ai := range occ.AtomOf {
 			if cov[ai] {
 				return false // would double-cover an atom; skip this use
@@ -467,25 +542,26 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 			in = &costmodel.Input{Expr: e, DB: e.SingleDB(), Uses: map[string]*cq.ExprOccurrence{}}
 			inputs[e.Key()] = in
 		}
-		in.Uses[cqID] = occ
+		in.Uses[s.cqIDs[ord]] = occ
 		for _, ai := range occ.AtomOf {
 			cov[ai] = true
 		}
 		return true
 	}
 	for _, c := range chosen {
-		s.eachUse(c, func(id string, occ *cq.ExprOccurrence) {
-			addUse(c.expr, id, occ)
+		s.eachUse(c, func(ord int, occ *cq.ExprOccurrence) {
+			addUse(c.expr, ord, occ)
 		})
 	}
 	// Completion with single-atom inputs.
-	for _, q := range s.qs {
+	for qi, q := range s.qs {
+		ord := s.qOrd[qi]
 		for ai := range q.Atoms {
-			if covered[q.ID][ai] {
+			if covered[ord][ai] {
 				continue
 			}
-			e, mapping := q.SubExpr([]int{ai})
-			addUse(e, q.ID, &cq.ExprOccurrence{CQ: q, AtomOf: mapping})
+			su := s.singleUseOf(qi, ai)
+			addUse(su.expr, ord, su.occ)
 		}
 	}
 	// Assign modes, then guarantee each query at least one streaming input.
@@ -494,7 +570,14 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 		in.Mode = s.cm.ChooseMode(in.Expr)
 		list = append(list, in)
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].Expr.Key() < list[j].Expr.Key() })
+	// Insertion sort by canonical key: lists are small (one entry per
+	// distinct input expression) and this runs at every leaf, so the
+	// reflection-based sort.Slice is measurable overhead here.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].Expr.Key() < list[j-1].Expr.Key(); j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
 	for _, q := range s.qs {
 		hasStream := false
 		var smallest *costmodel.Input
@@ -516,7 +599,7 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 			smallest.Mode = costmodel.Stream
 		}
 	}
-	cost := s.cm.AssignmentCost(s.qs, list, s.cfg.K)
+	cost := s.cm.AssignmentCostScratch(s.qs, list, s.cfg.K, s.costScratch)
 	return searchResult{inputs: list, cost: cost}
 }
 

@@ -116,6 +116,35 @@ func (l *Log) Append(r *tuple.Row, epoch int) {
 	}
 }
 
+// AppendBatch records a mini-batch of delivered rows in production order —
+// equivalent to appending each row alone, but the epoch-order bookkeeping
+// and the ledger delta are paid once per batch, and when the identity set is
+// materialised the batch's identity hashes are computed in one pass before
+// the set is touched.
+func (l *Log) AppendBatch(rows []*tuple.Row, epoch int) {
+	if len(rows) == 0 {
+		return
+	}
+	if n := len(l.epochs); n > 0 && epoch < l.epochs[n-1] {
+		l.epochsSorted = false
+	} else if n == 0 {
+		l.epochsSorted = true
+	}
+	for _, r := range rows {
+		l.rows = append(l.rows, r)
+		l.epochs = append(l.epochs, epoch)
+	}
+	l.acct.Add(len(rows))
+	if l.idents != nil {
+		for _, r := range rows {
+			_ = r.IdentityHash() // hash the batch in one pass, then dedup
+		}
+		for _, r := range rows {
+			l.idents.Add(r) // accounts its own delta
+		}
+	}
+}
+
 // Len returns the number of logged rows.
 func (l *Log) Len() int { return len(l.rows) }
 

@@ -42,12 +42,28 @@ type NodeExec struct {
 	arrivals []int
 
 	// scratchPartials / scratchNext are the reusable frontier buffers of
-	// joinFrom; probeBuf is the reusable candidate buffer of probeModule.
-	// They hold only transient per-arrival state — nothing downstream retains
-	// the containers, only the freshly allocated merged part vectors.
+	// joinSeeds; probeBuf is the reusable candidate buffer of probeModule and
+	// runStoredStep, with candOff marking per-partial boundaries when a step
+	// runs batched (the scratch candidate matrix). seedBuf collects one
+	// sub-batch's translated arrivals. They hold only transient per-flush
+	// state — nothing downstream retains the containers.
 	scratchPartials [][]*tuple.Tuple
 	scratchNext     [][]*tuple.Tuple
 	probeBuf        []partialRow
+	candOff         []int
+	seedBuf         [][]*tuple.Tuple
+
+	// batchRows is the executor's mini-batch target: DeliverBatch flushes
+	// downstream in chunks of at most batchRows rows. <=1 selects the exact
+	// per-row delivery path.
+	batchRows int
+	// vecPool free-lists node-arity part vectors recycled from consumed
+	// intermediate join frontiers; vecAccounted is how many pooled vectors
+	// the ledger's scratch dimension currently reflects. Pooled vectors are
+	// fully overwritten before reuse (probeModule copies all positions), so
+	// they are never cleared on recycle.
+	vecPool      [][]*tuple.Tuple
+	vecAccounted int
 
 	// Log is the node's output history.
 	Log *Log
@@ -117,13 +133,22 @@ type probeStep struct {
 // adaptEvery is how many arrivals pass between probe-order recomputations.
 const adaptEvery = 64
 
+// DefaultBatchRows is the default mini-batch target of the batched executor:
+// join outputs are delivered downstream in chunks of at most this many rows.
+const DefaultBatchRows = 64
+
+// maxPooledVecs caps a node's part-vector free list so idle nodes do not pin
+// unbounded tuple references between flushes.
+const maxPooledVecs = 256
+
 // NewNodeExec builds runtime state for a plan node. Sources are opened by
 // the caller (the executor knows the database fleet).
 func NewNodeExec(n *plangraph.Node) *NodeExec {
 	x := &NodeExec{
-		Node:  n,
-		Log:   &Log{},
-		stats: map[[2]int]*probeStat{},
+		Node:      n,
+		Log:       &Log{},
+		stats:     map[[2]int]*probeStat{},
+		batchRows: DefaultBatchRows,
 	}
 	if n.Kind == plangraph.Join {
 		x.preds = n.Expr.JoinPreds()
@@ -290,6 +315,62 @@ func (x *NodeExec) Deliver(env *Env, r *tuple.Row, epoch int) {
 	}
 }
 
+// SetBatchRows sets the mini-batch target (n <= 1 disables batching and
+// restores the exact per-row path; 0 keeps the default). Batch size never
+// changes results: every chunk boundary is also a point the per-row path
+// passes through, so digests and work counters are byte-identical at any
+// setting.
+func (x *NodeExec) SetBatchRows(n int) {
+	switch {
+	case n == 0:
+		x.batchRows = DefaultBatchRows
+	case n < 1:
+		x.batchRows = 1
+	default:
+		x.batchRows = n
+	}
+}
+
+// BatchRows returns the node's effective mini-batch target.
+func (x *NodeExec) BatchRows() int { return x.batchRows }
+
+// DeliverBatch logs a node's output rows and pipelines them downstream in
+// mini-batches of at most batchRows rows. The serial contract is preserved
+// exactly: rows are logged and offered to sinks in production order, and a
+// chunk is fully cascaded before the next chunk is logged. Nodes with more
+// than one consumer fall back to per-row delivery — the split operator's
+// cross-consumer interleave (consumer A sees row i before consumer B, and B
+// sees row i before A sees row i+1) is observable in downstream adaptation
+// stats, and the batch contract is byte-identical digests AND counters.
+func (x *NodeExec) DeliverBatch(env *Env, rows []*tuple.Row, epoch int) {
+	if len(rows) == 0 {
+		return
+	}
+	if len(rows) == 1 || x.batchRows <= 1 || len(x.consumers) > 1 {
+		for _, r := range rows {
+			x.Deliver(env, r, epoch)
+		}
+		return
+	}
+	for lo := 0; lo < len(rows); lo += x.batchRows {
+		hi := lo + x.batchRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		chunk := rows[lo:hi]
+		env.Metrics.AddBatchFlush(len(chunk), len(chunk) == x.batchRows)
+		x.Log.AppendBatch(chunk, epoch)
+		for _, s := range x.sinks {
+			for _, r := range chunk {
+				s.Offer(env, r)
+			}
+		}
+		for _, c := range x.consumers {
+			c.target.ArriveBatch(env, chunk, c.edge, epoch)
+		}
+	}
+}
+
 // Arrive handles a row landing on one input of a join node: it is translated
 // into node space, inserted into the input's access module, and probed
 // against the other modules following the adaptive probe sequence; complete
@@ -307,19 +388,80 @@ func (x *NodeExec) Arrive(env *Env, r *tuple.Row, edge *plangraph.Edge, epoch in
 	if x.arrivals[idx]%adaptEvery == 1 {
 		x.plans[idx] = nil // recompile lazily from fresh stats
 	}
-	for _, out := range x.joinFrom(env, idx, parts, MaxEpochLive) {
-		x.Deliver(env, out, epoch)
+	x.DeliverBatch(env, x.joinFrom(env, idx, parts, MaxEpochLive), epoch)
+}
+
+// ArriveBatch handles a mini-batch of rows landing on one input of a join
+// node. It replays the serial contract exactly — rows are inserted in
+// production order, the probe plan recompiles at the same arrival counts,
+// per-step fanout stats reach the same totals — but executes each compiled
+// probeStep once over the whole surviving frontier instead of once per row.
+// The batch splits at adaptation boundaries so a recompile sees exactly the
+// stats the per-row path would have seen; inserting a sub-batch ahead of its
+// cascades is safe because cascades never probe the driving input's module.
+func (x *NodeExec) ArriveBatch(env *Env, rows []*tuple.Row, edge *plangraph.Edge, epoch int) {
+	if len(rows) == 1 || x.batchRows <= 1 {
+		for _, r := range rows {
+			x.Arrive(env, r, edge, epoch)
+		}
+		return
+	}
+	if x.Node.Kind != plangraph.Join {
+		panic("operator: ArriveBatch on non-join node " + x.Node.Key)
+	}
+	idx := edge.InputIdx
+	for lo := 0; lo < len(rows); {
+		// The sub-batch ends where the next plan recompile would fire: the
+		// row that takes arrivals to ≡1 (mod adaptEvery) must see a plan
+		// compiled from every earlier row's cascade stats.
+		hi := len(rows)
+		for k := lo + 1; k < hi; k++ {
+			if (x.arrivals[idx]+(k-lo)+1)%adaptEvery == 1 {
+				hi = k
+				break
+			}
+		}
+		seeds := x.seedBuf[:0]
+		for _, r := range rows[lo:hi] {
+			parts := x.translate(r, edge.AtomMap)
+			x.modules[idx].Insert(parts, epoch)
+			env.Metrics.AddJoinInsert()
+			env.ChargeJoin()
+			x.arrivals[idx]++
+			if x.arrivals[idx]%adaptEvery == 1 {
+				x.plans[idx] = nil // only the sub-batch's first row can trigger
+			}
+			seeds = append(seeds, parts)
+		}
+		x.seedBuf = seeds
+		x.DeliverBatch(env, x.joinSeeds(env, idx, seeds, MaxEpochLive), epoch)
+		lo = hi
 	}
 }
 
 // joinFrom extends a newly arrived partial row across all other inputs,
-// returning the complete join results. maxEpoch restricts which stored rows
-// participate (MaxEpochLive for live arrivals; the graft epoch during state
-// recovery, §6.2). The intermediate frontier lives in per-node scratch
-// buffers; only the returned rows (and their part vectors) are allocated.
+// returning the complete join results (the single-seed form of joinSeeds).
 func (x *NodeExec) joinFrom(env *Env, drive int, parts []*tuple.Tuple, maxEpoch int) []*tuple.Row {
+	x.seedBuf = append(x.seedBuf[:0], parts)
+	return x.joinSeeds(env, drive, x.seedBuf, maxEpoch)
+}
+
+// joinSeeds extends a mini-batch of newly arrived partial rows across all
+// other inputs, returning the complete join results in exactly the order the
+// per-seed serial path produces them: the frontier is step-major, and within
+// every step partials are probed in frontier order, so each seed's finished
+// descendants precede the next seed's at every step — the output sequence is
+// the concatenation of the per-seed outputs. maxEpoch restricts which stored
+// rows participate (MaxEpochLive for live arrivals; the graft epoch during
+// state recovery, §6.2). Intermediate frontiers live in per-node scratch
+// buffers and consumed intermediate part vectors are recycled through the
+// node's free list; only the returned rows keep their vectors.
+func (x *NodeExec) joinSeeds(env *Env, drive int, seeds [][]*tuple.Tuple, maxEpoch int) []*tuple.Row {
+	if len(seeds) == 0 {
+		return nil
+	}
 	steps := x.probePlan(drive)
-	cur := append(x.scratchPartials[:0], parts)
+	cur := append(x.scratchPartials[:0], seeds...)
 	next := x.scratchNext[:0]
 	for si := range steps {
 		if len(cur) == 0 {
@@ -327,17 +469,29 @@ func (x *NodeExec) joinFrom(env *Env, drive int, parts []*tuple.Tuple, maxEpoch 
 		}
 		st := &steps[si]
 		next = next[:0]
-		for _, p := range cur {
-			before := len(next)
-			next = x.probeModule(env, st, p, maxEpoch, next)
-			st.stat.probes++
-			st.stat.outputs += float64(len(next) - before)
+		if !st.probe && st.hasLookup && len(cur) > 1 {
+			next = x.runStoredStep(env, st, cur, next, maxEpoch)
+		} else {
+			for _, p := range cur {
+				before := len(next)
+				next = x.probeModule(env, st, p, maxEpoch, next)
+				st.stat.probes++
+				st.stat.outputs += float64(len(next) - before)
+			}
+		}
+		if si > 0 {
+			// The vectors in cur were merged outputs of the previous step and
+			// are fully consumed now: recycle them. Step-0 inputs are the
+			// seeds — owned by the driving module — and the final frontier's
+			// vectors transfer to the returned rows; neither is pooled.
+			x.recycleVecs(cur)
 		}
 		cur, next = next, cur
 	}
 	// Hand the (possibly swapped, possibly grown) buffers back for reuse; the
 	// part vectors inside cur are transferred to the returned rows.
 	x.scratchPartials, x.scratchNext = cur[:0], next[:0]
+	x.syncScratch()
 	if len(cur) == 0 {
 		return nil
 	}
@@ -346,6 +500,100 @@ func (x *NodeExec) joinFrom(env *Env, drive int, parts []*tuple.Tuple, maxEpoch 
 		out[i] = tuple.NewRow(p...)
 	}
 	return out
+}
+
+// runStoredStep executes one stored-input lookup step over the whole
+// frontier: a lookup pass batches every partial's index probe into one
+// scratch candidate matrix (probeBuf segmented by candOff), then a verify
+// pass merges the survivors. Work counters, fanout stats and the output
+// order are exactly those of probing each partial alone.
+func (x *NodeExec) runStoredStep(env *Env, st *probeStep, cur, next [][]*tuple.Tuple, maxEpoch int) [][]*tuple.Tuple {
+	m := x.modules[st.j]
+	x.probeBuf = x.probeBuf[:0]
+	x.candOff = x.candOff[:0]
+	for _, p := range cur {
+		env.Metrics.AddJoinProbe()
+		env.ChargeJoin()
+		x.probeBuf = m.AppendProbe(x.probeBuf, st.lookup.AtomB, st.lookup.ColB, p[st.lookup.AtomA].Val(st.lookup.ColA), maxEpoch)
+		x.candOff = append(x.candOff, len(x.probeBuf))
+	}
+	lo := 0
+	for pi, p := range cur {
+		before := len(next)
+		for _, cand := range x.probeBuf[lo:x.candOff[pi]] {
+			ok := true
+			for _, vp := range st.verify {
+				pv := p[vp.AtomA]
+				cv := cand.parts[vp.AtomB]
+				if pv == nil || cv == nil || !pv.Val(vp.ColA).Equal(cv.Val(vp.ColB)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			merged := x.getVec(len(p))
+			copy(merged, p)
+			for pos, t := range cand.parts {
+				if t != nil {
+					merged[pos] = t
+				}
+			}
+			next = append(next, merged)
+		}
+		lo = x.candOff[pi]
+		st.stat.probes++
+		st.stat.outputs += float64(len(next) - before)
+	}
+	return next
+}
+
+// getVec returns a node-arity part vector from the free list, or a fresh one.
+func (x *NodeExec) getVec(n int) []*tuple.Tuple {
+	if k := len(x.vecPool); k > 0 {
+		v := x.vecPool[k-1]
+		x.vecPool[k-1] = nil
+		x.vecPool = x.vecPool[:k-1]
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make([]*tuple.Tuple, n)
+}
+
+// recycleVecs returns consumed intermediate part vectors to the free list,
+// up to the pool cap.
+func (x *NodeExec) recycleVecs(vecs [][]*tuple.Tuple) {
+	for _, v := range vecs {
+		if len(x.vecPool) >= maxPooledVecs {
+			return
+		}
+		x.vecPool = append(x.vecPool, v)
+	}
+}
+
+// syncScratch settles the ledger's scratch dimension with the free list's
+// current size (one delta per flush instead of two atomics per vector).
+func (x *NodeExec) syncScratch() {
+	if d := len(x.vecPool) - x.vecAccounted; d != 0 {
+		x.acct.AddScratch(d)
+		x.vecAccounted = len(x.vecPool)
+	}
+}
+
+// ScratchSize reports the node's pooled scratch in rows (ledger audit).
+func (x *NodeExec) ScratchSize() int { return len(x.vecPool) }
+
+// ReleaseScratch drops the node's pooled scratch memory — the part-vector
+// free list and the transient frontier/candidate/seed buffers — and settles
+// the ledger's scratch dimension. The ATC calls it whenever the node parks,
+// so idle or evicted nodes hold no hidden pools.
+func (x *NodeExec) ReleaseScratch() {
+	x.vecPool = nil
+	x.syncScratch()
+	x.scratchPartials, x.scratchNext = nil, nil
+	x.probeBuf, x.candOff, x.seedBuf = nil, nil, nil
 }
 
 // probeModule finds the rows of the step's input joinable with the bound
@@ -384,7 +632,7 @@ func (x *NodeExec) probeModule(env *Env, st *probeStep, p []*tuple.Tuple, maxEpo
 			if !ok {
 				continue
 			}
-			merged := make([]*tuple.Tuple, len(p))
+			merged := x.getVec(len(p))
 			copy(merged, p)
 			for fi, ti := range st.edge.AtomMap {
 				merged[ti] = r.Part(fi)
@@ -415,7 +663,7 @@ func (x *NodeExec) probeModule(env *Env, st *probeStep, p []*tuple.Tuple, maxEpo
 		if !ok {
 			continue
 		}
-		merged := make([]*tuple.Tuple, len(p))
+		merged := x.getVec(len(p))
 		copy(merged, p)
 		for pos, t := range cand.parts {
 			if t != nil {
@@ -623,15 +871,35 @@ func (x *NodeExec) RecoverHistory(env *Env, e int) int {
 	}
 	have := x.Log.IdentitySet()
 	var results []*tuple.Row
-	x.modules[drive].EachBefore(e, func(pr partialRow) {
-		env.Metrics.AddReplayTuple()
-		env.ChargeJoin()
-		for _, out := range x.joinFrom(env, drive, pr.parts, e) {
+	if x.batchRows <= 1 {
+		x.modules[drive].EachBefore(e, func(pr partialRow) {
+			env.Metrics.AddReplayTuple()
+			env.ChargeJoin()
+			for _, out := range x.joinFrom(env, drive, pr.parts, e) {
+				if have.Add(out) {
+					results = append(results, out)
+				}
+			}
+		})
+	} else {
+		// Replay the driving module's pre-epoch rows as one seed batch: the
+		// step-major frontier yields exactly the per-seed serial output
+		// order, and the replay charges are hoisted ahead of the
+		// (order-insensitive) cascade charges, so counters and virtual time
+		// match the per-row path.
+		seeds := x.seedBuf[:0]
+		x.modules[drive].EachBefore(e, func(pr partialRow) {
+			env.Metrics.AddReplayTuple()
+			env.ChargeJoin()
+			seeds = append(seeds, pr.parts)
+		})
+		x.seedBuf = seeds
+		for _, out := range x.joinSeeds(env, drive, seeds, e) {
 			if have.Add(out) {
 				results = append(results, out)
 			}
 		}
-	})
+	}
 	sort.SliceStable(results, func(i, j int) bool {
 		si, sj := results[i].ScoreProduct(), results[j].ScoreProduct()
 		if si != sj {

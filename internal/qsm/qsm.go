@@ -450,6 +450,24 @@ func (m *Manager) AuditStateSize() int {
 	return total
 }
 
+// ScratchSize reports the executor's pooled scratch (free-listed part
+// vectors held between mini-batch flushes) from the running ledger, in rows.
+// Scratch is accounted beside StateSize, never inside it: it is reclaimable
+// instantly and must not sway eviction victim choice.
+func (m *Manager) ScratchSize() int { return int(m.State.Ledger.Scratch()) }
+
+// AuditScratchSize recomputes pooled executor scratch by rescanning the
+// graph; it must always equal ScratchSize.
+func (m *Manager) AuditScratchSize() int {
+	total := 0
+	for _, n := range m.Graph.Nodes() {
+		if x, ok := m.ATC.HasExec(n); ok {
+			total += x.ScratchSize()
+		}
+	}
+	return total
+}
+
 // EnforceBudget evicts currently idle state under the active policy until
 // resident state fits the budget (§6.3). The budget is the arbitrated
 // allotment when the serving layer installed one, else MemoryBudget; 0 means

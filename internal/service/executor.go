@@ -126,6 +126,9 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 		clock = simclock.NewVirtual(0)
 	}
 	env := &operator.Env{Clock: clock, Delays: simclock.DefaultDelays(rng), Metrics: &metrics.Counters{}}
+	if svc != nil {
+		env.Metrics.TeeBatch(&svc.ExecBatch, &svc.ExecBatchFlushes, &svc.ExecBatchFull)
+	}
 	graph := plangraph.New("")
 	ctrl := atc.New(graph, env, w.Fleet)
 	cat := w.Catalog.Fork()
@@ -150,6 +153,9 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 	}
 	if !cfg.JointOptimize {
 		mgr.Unit = qsm.UnitUQ
+	}
+	if cfg.BatchRows != 0 {
+		ctrl.SetBatchRows(cfg.BatchRows)
 	}
 	if cfg.Workers > 1 {
 		// Component-scheduled parallel rounds inside this shard. The seed
@@ -559,6 +565,9 @@ func (sh *shard) snapshot() ShardStats {
 		Graph:             sh.graph.Stats(),
 		StateRows:         sh.mgr.StateSize(),
 		StateRowsAudit:    sh.mgr.AuditStateSize(),
+		ScratchRows:       sh.mgr.ScratchSize(),
+		ScratchRowsAudit:  sh.mgr.AuditScratchSize(),
+		Batch:             sh.env.Metrics.BatchOccupancy(),
 		Budget:            budget,
 		Evictions:         sh.mgr.Evictions(),
 		EvictionsByPolicy: sh.mgr.State.EvictionsByPolicy(),

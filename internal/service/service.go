@@ -101,6 +101,13 @@ type Config struct {
 	// at any worker count; 1 runs the serial engine exactly. 0 defaults to
 	// GOMAXPROCS.
 	Workers int
+	// BatchRows is the executor's mini-batch target: join outputs flow
+	// downstream in chunks of at most this many rows, with one compiled
+	// probe step executed per batch instead of per row. 0 keeps the engine
+	// default (operator.DefaultBatchRows, 64); <=1 selects the exact
+	// per-row path. Purely a grouping knob — result digests and work
+	// counters are byte-identical at any setting.
+	BatchRows int
 	// Router selects shard placement: "affinity" (default) routes each query
 	// to the shard whose decaying resident keyword set it overlaps most —
 	// §6.1's cluster-affinity idea at serving scale, with a fixed-hash
@@ -225,6 +232,17 @@ type ShardStats struct {
 	// agree — a drift means accounting corruption.
 	StateRows      int
 	StateRowsAudit int
+	// ScratchRows is the shard's pooled executor scratch (free-listed part
+	// vectors held between mini-batch flushes) from the ledger's separate
+	// scratch dimension; ScratchRowsAudit recomputes it by rescanning. It is
+	// reported beside StateRows, never inside it, so pool warmth cannot sway
+	// eviction victim choice.
+	ScratchRows      int
+	ScratchRowsAudit int
+	// Batch is the executor's batch-occupancy distribution: rows per flushed
+	// mini-batch, with full-vs-output flush counts in the Work snapshot
+	// (BatchFullFlushes / BatchFlushes).
+	Batch metrics.SizeStats
 	// Budget is the shard's current arbitrated allotment (0 = unbounded).
 	Budget    int
 	Evictions int

@@ -40,6 +40,13 @@ import "sync/atomic"
 type Ledger struct {
 	total    atomic.Int64
 	accounts atomic.Int64
+	// scratch tracks pooled executor scratch memory (free-listed part
+	// vectors, batch buffers) in rows. It is kept out of Total on purpose:
+	// scratch is reclaimable instantly (dropping a free list frees it) and
+	// charging it against the eviction budget would perturb victim choice —
+	// and therefore result digests — by how warm a node's pools happen to
+	// be. It is surfaced separately so operators still see true footprint.
+	scratch atomic.Int64
 }
 
 // NewLedger creates an empty ledger.
@@ -51,6 +58,15 @@ func (l *Ledger) Total() int64 {
 		return 0
 	}
 	return l.total.Load()
+}
+
+// Scratch returns the pooled executor scratch held across all live
+// accounts, in rows. Scratch is reported beside Total, never inside it.
+func (l *Ledger) Scratch() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.scratch.Load()
 }
 
 // Accounts returns how many live accounts the ledger tracks.
@@ -82,6 +98,7 @@ func (l *Ledger) Release(a *Account) {
 	}
 	a.dead = true
 	l.total.Add(-a.rows)
+	l.scratch.Add(-a.scratch)
 	l.accounts.Add(-1)
 }
 
@@ -92,10 +109,11 @@ func (l *Ledger) Release(a *Account) {
 // plan-graph component, and the parallel executor's round barrier orders a
 // component's writes before any other goroutine reads them.
 type Account struct {
-	ledger *Ledger
-	label  string
-	rows   int64
-	dead   bool
+	ledger  *Ledger
+	label   string
+	rows    int64
+	scratch int64
+	dead    bool
 }
 
 // Add registers a size delta in rows (negative deltas release rows).
@@ -105,6 +123,25 @@ func (a *Account) Add(delta int) {
 	}
 	a.rows += int64(delta)
 	a.ledger.total.Add(int64(delta))
+}
+
+// AddScratch registers a pooled-scratch delta in rows (free-listed part
+// vectors held for reuse). Scratch rides the same ownership rules as Add but
+// lands in the ledger's separate scratch aggregate, not the eviction total.
+func (a *Account) AddScratch(delta int) {
+	if a == nil || a.dead {
+		return
+	}
+	a.scratch += int64(delta)
+	a.ledger.scratch.Add(int64(delta))
+}
+
+// ScratchRows returns the account's pooled-scratch row count.
+func (a *Account) ScratchRows() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.scratch
 }
 
 // Rows returns the account's current row count.
