@@ -1,0 +1,76 @@
+// qsys-lint is the invariant-lint multichecker: it runs the custom analyzer
+// suite in internal/analysis over the tree and exits non-zero on any
+// finding. CI runs it before the bench jobs so a broken determinism,
+// accounting, or retry-safety contract fails fast instead of surfacing as a
+// flaking digest gate an hour later.
+//
+// Usage:
+//
+//	go run ./cmd/qsys-lint ./...
+//	go run ./cmd/qsys-lint -list
+//	go run ./cmd/qsys-lint ./internal/operator ./internal/atc
+//
+// Intentional exceptions are annotated in source:
+//
+//	//qsys:allow <analyzer>: <non-empty reason>
+//
+// on the offending line or the line directly above. An empty reason is
+// itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qsys-lint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsys-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsys-lint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers, analysis.RunConfig{Strict: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsys-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "qsys-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

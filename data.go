@@ -2,6 +2,7 @@ package qsys
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/relationdb"
@@ -137,9 +138,18 @@ func (b *Builder) Build(name string) (*Workload, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	var dbs []*remotedb.DB
-	for _, store := range b.stores {
-		dbs = append(dbs, remotedb.New(store))
+	// Build the fleet in sorted database order: b.stores is a map, and
+	// letting its randomized iteration order pick the fleet layout made
+	// Builder-defined workloads nondeterministic run to run (qsys-lint
+	// maporder).
+	names := make([]string, 0, len(b.stores))
+	for db := range b.stores {
+		names = append(names, db)
+	}
+	sort.Strings(names)
+	dbs := make([]*remotedb.DB, 0, len(names))
+	for _, db := range names {
+		dbs = append(dbs, remotedb.New(b.stores[db]))
 	}
 	return &Workload{Name: name, Fleet: remotedb.NewFleet(dbs...), Catalog: b.cat, Schema: b.graph}, nil
 }

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allow is one parsed //qsys:allow <analyzer>: <reason> annotation.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	file     string
+	line     int
+}
+
+const allowPrefix = "//qsys:allow "
+
+// collectAllows parses every qsys:allow annotation in the files. The
+// annotation suppresses findings of the named analyzer on its own line and on
+// the line directly below (so it works both as an end-of-line comment and as
+// a standalone comment above the offending statement).
+func collectAllows(fset *token.FileSet, files []*ast.File) []allow {
+	var out []allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				name, rest, ok := strings.Cut(text, ":")
+				if !ok {
+					continue
+				}
+				// Fixture files carry `// want` expectations inside the same
+				// line comment; they are harness metadata, not justification.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, allow{
+					analyzer: strings.TrimSpace(name),
+					reason:   strings.TrimSpace(rest),
+					pos:      c.Pos(),
+					file:     p.Filename,
+					line:     p.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding is covered by a non-empty-reason allow
+// annotation for its analyzer.
+func suppressed(allows []allow, fset *token.FileSet, d Diagnostic) bool {
+	p := fset.Position(d.Pos)
+	for _, al := range allows {
+		if al.analyzer != d.Analyzer || al.reason == "" || al.file != p.Filename {
+			continue
+		}
+		if al.line == p.Line || al.line+1 == p.Line {
+			return true
+		}
+	}
+	return false
+}

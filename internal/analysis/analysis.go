@@ -1,0 +1,144 @@
+// Package analysis is the invariant-lint suite: a set of custom static
+// analyzers that mechanically enforce the contracts every digest gate in this
+// repo rests on, plus the small driver framework they run in.
+//
+// The contracts (see DESIGN.md "Mechanically enforced invariants"):
+//
+//   - determinism-domain packages draw time and randomness only from seeded
+//     simclock models and node-key-seeded RNGs, never the wall clock or the
+//     global math/rand state (analyzer "wallclock");
+//   - map iteration never feeds digest-affecting output — appended slices,
+//     hashers, encoders, channels — without a dominating deterministic sort
+//     (analyzer "maporder");
+//   - every structure that grows a state.Account has a reachable release
+//     path, so the accounting ledger cannot leak (analyzer "ledgerpair");
+//   - fleet code surfaces errors to the client retry loop only with an
+//     explicit retryable/shed classification, because retrying a request
+//     that may have been admitted double-executes it (analyzer "retryclass").
+//
+// The framework deliberately mirrors the golang.org/x/tools go/analysis API
+// (Analyzer, Pass, Diagnostic) so the analyzers port to the real multichecker
+// verbatim if that dependency ever lands; it is rebuilt here on the standard
+// library alone — go/parser + go/types over export data from `go list
+// -export` — because the build must work hermetically offline.
+//
+// Intentional exceptions carry a
+//
+//	//qsys:allow <analyzer>: <reason>
+//
+// annotation on the offending line or the line above. The driver verifies
+// the reason is non-empty: a silent exception is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //qsys:allow
+	// annotations. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract statement printed by qsys-lint.
+	Doc string
+	// Run inspects one type-checked package and reports findings on the
+	// pass.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunConfig tunes a Run over one package.
+type RunConfig struct {
+	// Strict flags //qsys:allow annotations naming an analyzer outside the
+	// running set (typo'd annotations silently suppress nothing otherwise).
+	// qsys-lint runs strict; single-analyzer fixture tests do not.
+	Strict bool
+}
+
+// Run executes the analyzers over pkg, applies //qsys:allow filtering, and
+// returns the surviving findings ordered by position. Allow annotations with
+// an empty reason are themselves returned as findings of the analyzer they
+// name — the escape hatch requires a justification.
+func Run(pkg *Package, analyzers []*Analyzer, cfg RunConfig) ([]Diagnostic, error) {
+	var out []Diagnostic
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, al := range allows {
+		switch {
+		case known[al.analyzer] && al.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: al.analyzer,
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("qsys:allow %s: empty reason; exceptions must say why they are safe", al.analyzer),
+			})
+		case cfg.Strict && !known[al.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("qsys:allow names unknown analyzer %q", al.analyzer),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !suppressed(allows, pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full invariant-lint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, MapOrder, LedgerPair, RetryClass}
+}

@@ -1,0 +1,241 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its findings against `// want "regexp"` expectations embedded in the
+// fixture source — the same contract as golang.org/x/tools'
+// go/analysis/analysistest, rebuilt on the standard library so fixtures stay
+// runnable offline.
+//
+// A fixture directory holds one package. Every diagnostic the analyzer
+// reports must be matched by a want expectation on its line, and every want
+// expectation must be hit. Fixtures may import standard-library and module
+// packages; types resolve through export data from `go list -export`, so the
+// fixture exercises the analyzer exactly as qsys-lint does — including
+// //qsys:allow filtering and the empty-reason finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation: a diagnostic whose message matches rx on line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir, runs the analyzer through the same
+// allow-filtering driver qsys-lint uses, and reports any mismatch between
+// findings and `// want` expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	run(t, a, dir, analysis.RunConfig{})
+}
+
+// RunStrict is Run under the multichecker's strict mode, where a qsys:allow
+// naming an unknown analyzer is itself a finding.
+func RunStrict(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	run(t, a, dir, analysis.RunConfig{Strict: true})
+}
+
+func run(t *testing.T, a *analysis.Analyzer, dir string, cfg analysis.RunConfig) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, cfg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		hit := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected finding: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants parses `// want "rx"` (one or more quoted or backquoted
+// regexps) out of every comment.
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					var body string
+					if q[0] == '`' {
+						body = q[1 : len(q)-1]
+					} else {
+						body = strings.ReplaceAll(q[1:len(q)-1], `\"`, `"`)
+					}
+					rx, err := regexp.Compile(body)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, body, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// loadFixture parses and type-checks the single package in dir, resolving
+// its imports (stdlib and module packages alike) from `go list -export`
+// compile artifacts.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	exports, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	path := "fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture: %w", err)
+	}
+	return &analysis.Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// exportData maps every (transitive) dependency of the fixture imports to
+// its compiled export file, building them if needed.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for imp := range imports {
+		paths = append(paths, imp)
+	}
+	sort.Strings(paths)
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot()
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list -export: %w\n%s", err, msg)
+	}
+	exports := map[string]string{}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, exp, ok := strings.Cut(line, "\t")
+		if ok && exp != "" {
+			exports[path] = exp
+		}
+	}
+	return exports, nil
+}
+
+// moduleRoot locates the enclosing module so fixture imports of module
+// packages resolve regardless of the test's working directory.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "."
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "."
+	}
+	return filepath.Dir(gomod)
+}

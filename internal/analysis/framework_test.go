@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Strict mode (what qsys-lint runs) turns a qsys:allow naming an unknown
+// analyzer into a finding, so suppressions can't rot silently.
+func TestStrictUnknownAllow(t *testing.T) {
+	analysistest.RunStrict(t, analysis.Wallclock, "testdata/src/allowstrict")
+}
+
+// The go list + export-data loader must type-check a real module package —
+// this is the path qsys-lint takes over the whole tree.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/simclock")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "simclock" || p.Types == nil || len(p.Files) == 0 {
+		t.Fatalf("bad package: name=%q types=%v files=%d", p.Name, p.Types, len(p.Files))
+	}
+	diags, err := analysis.Run(p, analysis.All(), analysis.RunConfig{Strict: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("simclock should be clean, got %d findings: %+v", len(diags), diags)
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LedgerPair flags struct fields holding a state.Account that some code in
+// the package grows (Add/AddScratch) while nothing releases: no negative
+// delta, no release-named method touching it, and no escape of the account
+// to code that could release it elsewhere (Ledger.Release, an accessor, an
+// aliasing assignment). This is the PR 8 ScratchRows leak class — rows that
+// enter the accounting ledger and never leave silently skew every budget
+// and eviction decision downstream.
+var LedgerPair = &Analyzer{
+	Name: "ledgerpair",
+	Doc: "every state.Account grow needs a reachable release path: a negative " +
+		"Add/AddScratch, a Ledger.Release, or exposing the account for its " +
+		"owner to release",
+	Run: runLedgerPair,
+}
+
+// releaseMethodPrefixes name functions that are themselves the release path:
+// an Add with a runtime-signed delta inside ReleaseScratch or Close is
+// release-side even though the sign is not syntactically visible.
+var releaseMethodPrefixes = []string{"Release", "Close", "Reset", "Free", "Drop", "Shrink", "Evict", "Unlink"}
+
+// accountUse accumulates the package-wide evidence for one Account field.
+type accountUse struct {
+	owner    string    // display name of the holding struct
+	growPos  token.Pos // first grow-side call
+	growCall string    // method name of that call
+	grown    bool
+	released bool
+}
+
+func runLedgerPair(pass *Pass) error {
+	uses := make(map[*types.Var]*accountUse)
+	var order []*types.Var
+	record := func(sel *ast.SelectorExpr, fv *types.Var) *accountUse {
+		u := uses[fv]
+		if u == nil {
+			u = &accountUse{owner: ownerName(pass, sel)}
+			uses[fv] = u
+			order = append(order, fv)
+		}
+		return u
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inRelease := releaseNamed(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					// x.f.METHOD(...) — grow, shrink, or read.
+					if mSel, ok := n.Fun.(*ast.SelectorExpr); ok {
+						if fSel, fv := directAccountSel(pass, mSel.X); fv != nil {
+							classifyAccountCall(record(fSel, fv), mSel.Sel.Name, n, inRelease)
+						}
+					}
+					// Ledger.Release(x.f) or any helper taking the account:
+					// the callee owns the release from here.
+					for _, arg := range n.Args {
+						if fSel, fv := directAccountSel(pass, arg); fv != nil {
+							record(fSel, fv).released = true
+						}
+					}
+				case *ast.AssignStmt:
+					// RHS aliasing hands the lifecycle to another holder;
+					// LHS assignment from NewAccount is ownership
+					// initialization (neutral: the owner must pair it), while
+					// assignment from anything else is *borrowing* — the
+					// field references an account someone else owns and
+					// releases (a Log's identity set riding its Log account).
+					for _, rhs := range n.Rhs {
+						if fSel, fv := directAccountSel(pass, rhs); fv != nil {
+							record(fSel, fv).released = true
+						}
+					}
+					for i, lhs := range n.Lhs {
+						fSel, fv := directAccountSel(pass, lhs)
+						if fv == nil {
+							continue
+						}
+						rhs := n.Rhs[0]
+						if len(n.Rhs) == len(n.Lhs) {
+							rhs = n.Rhs[i]
+						}
+						if !isNewAccountCall(rhs) {
+							record(fSel, fv).released = true
+						}
+					}
+				case *ast.ReturnStmt:
+					// Accessor: the caller owns the lifecycle (this is how
+					// ATC releases operator-held accounts).
+					for _, res := range n.Results {
+						if fSel, fv := directAccountSel(pass, res); fv != nil {
+							record(fSel, fv).released = true
+						}
+					}
+				case *ast.KeyValueExpr:
+					if fSel, fv := directAccountSel(pass, n.Value); fv != nil {
+						record(fSel, fv).released = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fv := range order {
+		u := uses[fv]
+		if u.grown && !u.released {
+			owner := u.owner
+			if owner == "" {
+				owner = "its holder"
+			}
+			pass.Reportf(u.growPos,
+				"%s.%s grows via %s but nothing in this package releases it: pair the grow with a negative delta, a Ledger.Release, or an accessor exposing the account",
+				owner, fv.Name(), u.growCall)
+		}
+	}
+	return nil
+}
+
+// classifyAccountCall folds one x.f.METHOD(args) call into the evidence.
+func classifyAccountCall(u *accountUse, method string, call *ast.CallExpr, inRelease bool) {
+	switch method {
+	case "Add", "AddScratch":
+		if inRelease {
+			u.released = true
+			return
+		}
+		if len(call.Args) == 1 {
+			if neg, ok := call.Args[0].(*ast.UnaryExpr); ok && neg.Op == token.SUB {
+				u.released = true
+				return
+			}
+		}
+		if !u.grown {
+			u.grown = true
+			u.growPos = call.Pos()
+			u.growCall = method
+		}
+	case "Rows", "ScratchRows", "Live":
+		// Read-only: neutral.
+	default:
+		// An unknown method on the account: assume lifecycle management
+		// rather than fabricate a leak.
+		u.released = true
+	}
+}
+
+// isNewAccountCall reports whether e is a call to a NewAccount method or
+// function — the one RHS that confers ownership on assignment.
+func isNewAccountCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "NewAccount"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "NewAccount"
+	}
+	return false
+}
+
+// directAccountSel unwraps parens and & and resolves e to a struct-field
+// selector of type state.Account / *state.Account.
+func directAccountSel(pass *Pass, e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			v, ok := pass.Info.Uses[x.Sel].(*types.Var)
+			if !ok || !v.IsField() || !isAccountType(v.Type()) {
+				return nil, nil
+			}
+			return x, v
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func isAccountType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Account" && obj.Pkg() != nil && obj.Pkg().Name() == "state"
+}
+
+// ownerName renders the holding struct's name for the finding message.
+func ownerName(pass *Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return strings.TrimPrefix(t.String(), "*")
+}
+
+func releaseNamed(name string) bool {
+	for _, p := range releaseMethodPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

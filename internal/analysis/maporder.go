@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration that feeds order-sensitive sinks — slice
+// appends with no dominating sort, hasher/encoder/builder writes, channel
+// sends. Go randomizes map iteration order on purpose; letting it reach a
+// digest, a wire encoding or a worker channel is the canonical way a
+// "byte-identical at any worker count" gate starts flaking.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration order is randomized; output assembled inside a map " +
+		"range must be deterministically sorted before it can feed digests, " +
+		"encoders or channels",
+	Run: runMapOrder,
+}
+
+// orderSinkMethods are method names whose call inside a map range emits
+// bytes or values in iteration order.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true,
+}
+
+// fmtPrinters are the fmt functions that stream into an io.Writer.
+var fmtPrinters = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if ok && rangesOverMap(pass, rs) {
+					checkMapRange(pass, fd, rs)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// rangesOverMap reports whether the range statement iterates a map — either
+// directly or through the maps.Keys/Values/All iterators, which inherit the
+// same randomized order.
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	if call, ok := rs.X.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "maps" {
+					switch sel.Sel.Name {
+					case "Keys", "Values", "All":
+						return true
+					}
+				}
+			}
+		}
+	}
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange walks one map-range body for order-sensitive effects.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration delivers values in randomized order")
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, fd, rs, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr) {
+	// x = append(x, ...) where x outlives the range and is never sorted.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if bucketKeyedByRangeKey(pass, rs, call.Args[0]) {
+			// m2[k] = append(m2[k], ...) with k the iteration key: each
+			// bucket sees a deterministic subsequence; only the (invisible)
+			// interleaving across buckets follows map order.
+			return
+		}
+		if obj := rootObject(pass, call.Args[0]); obj != nil && declaredOutside(obj, rs) && !sortedInFunc(pass, fd, obj) {
+			pass.Reportf(call.Pos(),
+				"append to %s in map-iteration order with no deterministic sort in %s; sort it (or the map's keys) before it can feed a digest",
+				obj.Name(), funcName(fd))
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.Fprint* streaming into a writer that outlives the range.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && fmtPrinters[sel.Sel.Name] && len(call.Args) > 0 {
+				if obj := rootObject(pass, call.Args[0]); obj != nil && declaredOutside(obj, rs) {
+					pass.Reportf(call.Pos(), "fmt.%s into %s in map-iteration order emits nondeterministic output", sel.Sel.Name, obj.Name())
+				}
+			}
+			return
+		}
+	}
+	// Hasher/encoder/builder writes on a receiver that outlives the range.
+	if orderSinkMethods[sel.Sel.Name] {
+		if obj := rootObject(pass, sel.X); obj != nil && declaredOutside(obj, rs) {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside map iteration feeds bytes in randomized order", obj.Name(), sel.Sel.Name)
+		}
+	}
+}
+
+// rootObject resolves the leftmost identifier of an expression to its
+// object: buf in buf.Write, x in x.h.Sum, s in s[i].
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration is outside the range
+// statement: effects on loop-local state cannot leak iteration order.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// bucketKeyedByRangeKey reports whether target is an index expression whose
+// index mentions the range's key variable — the bucketing idiom.
+func bucketKeyedByRangeKey(pass *Pass, rs *ast.RangeStmt, target ast.Expr) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.Info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.Info.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := target.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	return mentions(pass, idx.Index, keyObj)
+}
+
+// mentions reports whether expr references obj anywhere.
+func mentions(pass *Pass, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedInFunc reports whether the enclosing function deterministically
+// sorts obj: a sort.*/slices.* call (or a Sort* method call) that mentions
+// it — directly, or through an alias (a range-value variable over obj, or a
+// variable bound to one of obj's buckets). Collect-then-sort is the
+// sanctioned idiom for map traversal.
+func sortedInFunc(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	targets := map[types.Object]bool{obj: true}
+	// Aliases: `for k, vs := range obj` makes vs an alias of obj's content;
+	// `vs := obj[k]` likewise.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if rootObject(pass, n.X) == obj && n.Value != nil {
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if vo := pass.Info.Defs[id]; vo != nil {
+						targets[vo] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if ix, ok := rhs.(*ast.IndexExpr); ok && rootObject(pass, ix.X) == obj {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if vo := pass.Info.Defs[id]; vo != nil {
+							targets[vo] = true
+						} else if vo := pass.Info.Uses[id]; vo != nil {
+							targets[vo] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sorter := false
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				sorter = p == "sort" || p == "slices"
+			}
+		}
+		if !sorter && strings.HasPrefix(sel.Sel.Name, "Sort") {
+			// x.Sort(), keys.SortStable(): receiver is the sorted value.
+			if targets[rootObject(pass, sel.X)] {
+				found = true
+				return false
+			}
+		}
+		if !sorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && targets[pass.Info.Uses[id]] {
+					mentioned = true
+					return false
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if t := fd.Recv.List[0].Type; t != nil {
+			base := t
+			if st, ok := base.(*ast.StarExpr); ok {
+				base = st.X
+			}
+			if id, ok := base.(*ast.Ident); ok {
+				return id.Name + "." + fd.Name.Name
+			}
+		}
+	}
+	return fd.Name.Name
+}

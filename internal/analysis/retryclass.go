@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RetryClass enforces the fleet tier's retry-safety contract. The client
+// retry loop resubmits a search only when its error proves the request never
+// reached admission; anything else risks double-executing a UQ, which breaks
+// the exactly-once admission the digest gates rest on. Three rules keep that
+// classification explicit:
+//
+//  1. error responses leave a shard through the classifying writers
+//     (writeRPCError / WriteShedError), never raw http.Error or WriteHeader —
+//     a raw write silently defaults to "not retryable" today and to
+//     "whatever the decoder guesses" tomorrow;
+//  2. RPCError / wireError composite literals state Retryable explicitly;
+//  3. retryable=true is only ever claimed for pre-admission 503s — a
+//     retryable flag on any other status is a lie the client would act on.
+var RetryClass = &Analyzer{
+	Name: "retryclass",
+	Doc: "fleet errors surfaced to the client retry loop carry an explicit " +
+		"retryable/shed classification; implicit or misclassified errors " +
+		"double-execute searches",
+	Run: runRetryClass,
+}
+
+// retryClassWriters are the sanctioned classification seams: inside them,
+// raw response writes are the implementation, not a bypass.
+var retryClassWriters = map[string]bool{
+	"writeRPCError":  true,
+	"WriteShedError": true,
+}
+
+// retryClassLiterals are the wire-classification structs that must set
+// Retryable explicitly when constructed.
+var retryClassLiterals = map[string]bool{
+	"RPCError":  true,
+	"wireError": true,
+}
+
+func runRetryClass(pass *Pass) error {
+	if pass.Pkg.Name() != "fleet" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inWriter := retryClassWriters[fd.Name.Name]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkRetryCall(pass, n, inWriter)
+				case *ast.CompositeLit:
+					checkRetryLiteral(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkRetryCall(pass *Pass, call *ast.CallExpr, inWriter bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// writeRPCError(rw, status, msg, retryable): a literal true is only
+		// legal on a pre-admission 503.
+		if fun.Name == "writeRPCError" && len(call.Args) >= 4 {
+			if lit, ok := call.Args[3].(*ast.Ident); ok && lit.Name == "true" {
+				if !isStatusServiceUnavailable(pass, call.Args[1]) {
+					pass.Reportf(call.Pos(),
+						"retryable=true on a non-503 status: the client only resubmits provably-pre-admission rejections")
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if inWriter {
+			return
+		}
+		// http.Error(rw, ...) bypasses classification entirely.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				if pn.Imported().Path() == "net/http" && fun.Sel.Name == "Error" {
+					pass.Reportf(call.Pos(),
+						"http.Error surfaces an unclassified error to the retry loop; use writeRPCError/WriteShedError")
+				}
+				return
+			}
+		}
+		// rw.WriteHeader(...) on a ResponseWriter outside the writers.
+		if fun.Sel.Name == "WriteHeader" && isResponseWriter(pass, fun.X) {
+			pass.Reportf(call.Pos(),
+				"raw WriteHeader outside the classifying writers; error responses must state their retryable/shed classification")
+		}
+	}
+}
+
+// checkRetryLiteral requires composite RPCError/wireError literals to set
+// Retryable — by key, or positionally with every field present.
+func checkRetryLiteral(pass *Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[cl]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !retryClassLiterals[named.Obj().Name()] {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(cl.Elts) == st.NumFields() && (len(cl.Elts) == 0 || !isKeyed(cl)) {
+		if st.NumFields() > 0 {
+			return // positional with every field: explicit enough
+		}
+	}
+	for _, e := range cl.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Retryable" {
+				return
+			}
+		}
+	}
+	pass.Reportf(cl.Pos(),
+		"%s constructed without an explicit Retryable classification; state it even when false", named.Obj().Name())
+}
+
+func isKeyed(cl *ast.CompositeLit) bool {
+	for _, e := range cl.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isStatusServiceUnavailable reports whether e is (a constant equal to)
+// net/http.StatusServiceUnavailable.
+func isStatusServiceUnavailable(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return tv.Value.String() == "503"
+	}
+	return false
+}
+
+// isResponseWriter reports whether e's type is net/http.ResponseWriter.
+func isResponseWriter(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

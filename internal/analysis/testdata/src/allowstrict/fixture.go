@@ -1,0 +1,9 @@
+// Package allowstrict exercises the multichecker's strict mode: a
+// qsys:allow naming an analyzer that doesn't exist is itself a finding, so
+// suppressions can't silently rot when analyzers are renamed.
+package allowstrict
+
+func typoedSuppression() int {
+	x := 1 //qsys:allow wallclcok: misspelled analyzer name // want `names unknown analyzer "wallclcok"`
+	return x
+}

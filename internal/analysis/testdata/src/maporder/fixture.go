@@ -1,0 +1,111 @@
+// Package mapfix exercises the maporder analyzer: map iteration feeding
+// order-sensitive sinks versus the sanctioned idioms.
+package mapfix
+
+import (
+	"fmt"
+	"hash/fnv"
+	"maps"
+	"os"
+	"sort"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order with no deterministic sort`
+	}
+	return keys
+}
+
+func flaggedMapsKeysIterator(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) {
+		keys = append(keys, k) // want `append to keys`
+	}
+	return keys
+}
+
+func flaggedHasher(m map[string]int) uint32 {
+	h := fnv.New32a()
+	for k := range m {
+		h.Write([]byte(k)) // want `h.Write inside map iteration feeds bytes in randomized order`
+	}
+	return h.Sum32()
+}
+
+func flaggedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration delivers values in randomized order`
+	}
+}
+
+func flaggedPrint(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k) // want `fmt.Fprintln into os in map-iteration order`
+	}
+}
+
+// legal: collect then sort is the sanctioned map-traversal idiom.
+func legalCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// legal: a loop-local hasher cannot leak iteration order.
+func legalLocalHasher(m map[string]int) map[string]uint32 {
+	out := make(map[string]uint32, len(m))
+	for k := range m {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		out[k] = h.Sum32()
+	}
+	return out
+}
+
+// legal: bucketing keyed by the iteration key — each bucket sees a
+// deterministic subsequence.
+func legalBucketed(m map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// legal: buckets sorted through the range-value alias before use.
+func legalSortedViaAlias(m map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[v] = append(out[v], k)
+		}
+	}
+	for _, ids := range out {
+		sort.Strings(ids)
+	}
+	return out
+}
+
+func allowedAppend(m map[string]int) []string {
+	var victims []string
+	for k := range m {
+		//qsys:allow maporder: victims are all deleted from the same map; order is unobservable
+		victims = append(victims, k)
+	}
+	return victims
+}
+
+func allowedEmptyReason(m map[string]int) []string {
+	var victims []string
+	for k := range m {
+		victims = append(victims, k) //qsys:allow maporder: // want `empty reason` `append to victims`
+	}
+	return victims
+}

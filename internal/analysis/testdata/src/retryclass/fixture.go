@@ -1,0 +1,72 @@
+// Package fleet is a retryclass fixture: its name places it under the
+// fleet tier's retry-safety contract.
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+type wireError struct {
+	Error     string
+	Retryable bool
+	Reason    string
+}
+
+// RPCError mirrors the real fleet wire error.
+type RPCError struct {
+	Status     int
+	Msg        string
+	Retryable  bool
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RPCError) Error() string { return e.Msg }
+
+// writeRPCError is the classifying writer: raw header writes inside it are
+// the implementation, not a bypass.
+func writeRPCError(rw http.ResponseWriter, code int, msg string, retryable bool) {
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(wireError{Error: msg, Retryable: retryable, Reason: ""})
+}
+
+func flaggedHTTPError(rw http.ResponseWriter, err error) {
+	http.Error(rw, err.Error(), http.StatusInternalServerError) // want `http.Error surfaces an unclassified error to the retry loop`
+}
+
+func flaggedRawHeader(rw http.ResponseWriter) {
+	rw.WriteHeader(http.StatusBadGateway) // want `raw WriteHeader outside the classifying writers`
+}
+
+func flaggedLiteral(status int, msg string) error {
+	return &RPCError{Status: status, Msg: msg} // want `RPCError constructed without an explicit Retryable classification`
+}
+
+func flaggedRetryableClaim(rw http.ResponseWriter, msg string) {
+	writeRPCError(rw, http.StatusInternalServerError, msg, true) // want `retryable=true on a non-503 status`
+}
+
+// legal: explicit classification, even when false.
+func legalLiteral(status int, msg string) error {
+	return &RPCError{Status: status, Msg: msg, Retryable: false}
+}
+
+// legal: a retryable claim on a pre-admission 503.
+func legalRetryableClaim(rw http.ResponseWriter, msg string) {
+	writeRPCError(rw, http.StatusServiceUnavailable, msg, true)
+}
+
+// legal: non-retryable rejection through the writer.
+func legalRejection(rw http.ResponseWriter, msg string) {
+	writeRPCError(rw, http.StatusUnprocessableEntity, msg, false)
+}
+
+func allowedRawHeader(rw http.ResponseWriter) {
+	rw.WriteHeader(http.StatusNoContent) //qsys:allow retryclass: fixture probe response carries no error to classify
+}
+
+func allowedEmptyReason(rw http.ResponseWriter) {
+	rw.WriteHeader(http.StatusNoContent) //qsys:allow retryclass: // want `empty reason` `raw WriteHeader`
+}

@@ -1,0 +1,39 @@
+// Package operator is a wallclock fixture: its name puts it in the
+// determinism domain, where ambient time and global randomness are banned.
+package operator
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flaggedTime() {
+	_ = time.Now()               // want `wall-clock time.Now in determinism-domain package operator`
+	start := time.Now()          // want `wall-clock time.Now`
+	_ = time.Since(start)        // want `wall-clock time.Since`
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep`
+	t := time.NewTimer(0)        // want `wall-clock time.NewTimer`
+	t.Stop()
+}
+
+func flaggedRand() {
+	_ = rand.Intn(4)                   // want `global rand.Intn in determinism-domain package operator`
+	rand.Shuffle(2, func(a, b int) {}) // want `global rand.Shuffle`
+}
+
+// legal: seeded sources, virtual durations, and instance methods draw
+// nothing from ambient state.
+func legal(seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(4)
+	d := 3 * time.Second
+	return d + time.Duration(rng.Int63n(int64(time.Millisecond)))
+}
+
+func allowed() {
+	_ = time.Now() //qsys:allow wallclock: fixture wall read feeding stats only, never digests
+}
+
+func allowedEmptyReason() {
+	_ = time.Now() //qsys:allow wallclock: // want `empty reason` `wall-clock time.Now`
+}

@@ -1,0 +1,14 @@
+// Package webfront is outside the determinism domain: wall-clock reads and
+// the global RNG are legitimate here (admission windows, jittered backoff).
+package webfront
+
+import (
+	"math/rand"
+	"time"
+)
+
+func legalEverywhere() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+	return time.Since(start)
+}

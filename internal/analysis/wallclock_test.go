@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysis.Wallclock, "testdata/src/wallclock")
+}
+
+// Outside the determinism domain the same calls are legal: the analyzer must
+// stay silent on serving-tier packages.
+func TestWallclockOutsideDomain(t *testing.T) {
+	analysistest.Run(t, analysis.Wallclock, "testdata/src/wallclock_outside")
+}

@@ -292,7 +292,7 @@ func (a *ATC) runRoundParallel() bool {
 		return a.serialRound()
 	}
 
-	roundStart := time.Now()
+	roundStart := time.Now() //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 	now := a.Env.Clock.Now()
 	_, virtual := a.Env.Clock.(*simclock.Virtual)
 	ends := make([]time.Duration, len(comps))
@@ -312,14 +312,14 @@ func (a *ATC) runRoundParallel() bool {
 		wg.Add(1)
 		p.pool.submit(func() {
 			defer wg.Done()
-			t0 := time.Now()
+			t0 := time.Now() //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 			for _, m := range comp {
 				if m.Done {
 					continue
 				}
 				a.driveMerge(m, env)
 			}
-			p.stats.busyNS.Add(int64(time.Since(t0)))
+			p.stats.busyNS.Add(int64(time.Since(t0))) //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 			if clk != nil {
 				ends[i] = clk.Now()
 			}
@@ -337,7 +337,7 @@ func (a *ATC) runRoundParallel() bool {
 		}
 	}
 	p.stats.parRounds.Add(1)
-	p.stats.wallNS.Add(int64(time.Since(roundStart)))
+	p.stats.wallNS.Add(int64(time.Since(roundStart))) //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 
 	live := a.active[:0]
 	for _, m := range a.active {
@@ -388,7 +388,7 @@ type mergeTask struct {
 // always progress; blocked workers never exceed workers-1.
 func (a *ATC) runRoundStealing(comps [][]*MergeState, merges int) bool {
 	p := a.par
-	roundStart := time.Now()
+	roundStart := time.Now() //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 	now := a.Env.Clock.Now()
 	_, virtual := a.Env.Clock.(*simclock.Virtual)
 
@@ -426,7 +426,7 @@ func (a *ATC) runRoundStealing(comps [][]*MergeState, merges int) bool {
 					start = d.end
 				}
 			}
-			t0 := time.Now()
+			t0 := time.Now() //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 			env := a.Env
 			var clk *simclock.Virtual
 			if virtual {
@@ -436,7 +436,7 @@ func (a *ATC) runRoundStealing(comps [][]*MergeState, merges int) bool {
 			if !t.m.Done {
 				a.driveMerge(t.m, env)
 			}
-			p.stats.busyNS.Add(int64(time.Since(t0)))
+			p.stats.busyNS.Add(int64(time.Since(t0))) //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 			if clk != nil {
 				t.end = clk.Now()
 			}
@@ -451,7 +451,7 @@ func (a *ATC) runRoundStealing(comps [][]*MergeState, merges int) bool {
 	p.stats.parRounds.Add(1)
 	p.stats.stolenRounds.Add(1)
 	p.stats.stolenMerges.Add(int64(merges))
-	p.stats.wallNS.Add(int64(time.Since(roundStart)))
+	p.stats.wallNS.Add(int64(time.Since(roundStart))) //qsys:allow wallclock: wall busy/round stats for observability only; merge order and digests ride the virtual clock
 
 	live := a.active[:0]
 	for _, m := range a.active {

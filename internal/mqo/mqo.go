@@ -568,6 +568,7 @@ func (s *searcher) complete(chosen []*candidate) searchResult {
 	list := make([]*costmodel.Input, 0, len(inputs))
 	for _, in := range inputs {
 		in.Mode = s.cm.ChooseMode(in.Expr)
+		//qsys:allow maporder: the hand-rolled insertion sort below canonicalizes list by Expr.Key before any order-sensitive use
 		list = append(list, in)
 	}
 	// Insertion sort by canonical key: lists are small (one entry per
