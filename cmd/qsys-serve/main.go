@@ -21,7 +21,7 @@
 //	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
 //	           [-fleet URL,URL,...] [-probe-interval 2s] [-rehome-factor 0]
 //	           [-user-rate 0] [-total-rate 0] [-max-pending 0]
-//	           [-deadline 0] [-adaptive-window]
+//	           [-deadline 0] [-adaptive-window] [-redispatch]
 //
 // The admission flags enable overload control: per-user token buckets with
 // fair arbitration under a global rate (shed as retryable 503 + Retry-After),
@@ -87,6 +87,7 @@ func main() {
 	adaptiveWindow := flag.Bool("adaptive-window", false, "admission: replace the fixed batch window with a control loop over queue depth and recent latency (bounded by -window)")
 	maxInFlight := flag.Int("max-inflight", 0, "admission: bound concurrently executing merges per shard so deadline shedding can trim the queue while admitted searches still finish in budget (0 = unbounded)")
 	batchRows := flag.Int("batch-rows", 0, "executor mini-batch target: join outputs flow downstream in columnar chunks of at most this many rows (0 = engine default 64, 1 = exact per-row path); result digests and work counters are identical at any value")
+	redispatch := flag.Bool("redispatch", false, "front-end mode: resubmit a search to another healthy shard after confirming its shard crashed with the query in flight (process gone, or journaled as a recovered abort by the restart)")
 	flag.Parse()
 
 	adm := admission.Config{
@@ -139,6 +140,7 @@ func main() {
 			ProbeInterval: *probeEvery,
 			RehomeFactor:  *rehome,
 			Metrics:       fm,
+			Redispatch:    *redispatch,
 		}, backends)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -15,20 +15,30 @@
 //	           [-workers 0] [-k 50] [-memory-budget 0]
 //	           [-evict-policy lru|benefit] [-spill-dir DIR] [-realtime]
 //	           [-max-pending 0] [-deadline 0] [-adaptive-window]
-//	           [-drain-deadline 0]
+//	           [-drain-deadline 0] [-recover-dir DIR] [-checkpoint-interval 5s]
 //
 // Endpoints:
 //
 //	POST /rpc/search          expanded user query → ranked answers
 //	GET  /rpc/stats           engine + serving counters
-//	GET  /rpc/health          health/drain state
+//	GET  /rpc/health          health/drain/recovery state
+//	GET  /rpc/recovered       queries journaled in flight at the last crash
 //	POST /rpc/migrate/export  serialize + discard a topic's idle state
 //	POST /rpc/migrate/import  stage a migrated topic behind the consistency gate
 //	POST /rpc/drain           stop admissions, finish in-flight, hand state off
 //
+// -recover-dir enables the crash-recovery tier: retained plan state is
+// checkpointed there every -checkpoint-interval (atomic generation-numbered
+// manifests), admissions are journaled, and a restart over the same directory
+// warm-starts — the newest checkpoint is imported through the consistency
+// gate while /rpc/health reports "recovering", then the shard flips to
+// "ready". Queries the journal proves were in flight at the crash surface on
+// /rpc/recovered for the front-end's re-dispatch.
+//
 // SIGTERM/SIGINT drains gracefully: new searches are rejected as retryable,
 // in-flight searches finish, and the engine shuts down with its state-teardown
-// error logged rather than swallowed.
+// error logged rather than swallowed. SIGKILL is the crash the recovery tier
+// is for.
 package main
 
 import (
@@ -70,6 +80,8 @@ func main() {
 	adaptiveWindow := flag.Bool("adaptive-window", false, "admission: replace the fixed batch window with a control loop over queue depth and recent latency (bounded by -window)")
 	maxInFlight := flag.Int("max-inflight", 0, "admission: bound concurrently executing merges so deadline shedding can trim the queue while admitted searches still finish in budget (0 = unbounded)")
 	drainDeadline := flag.Duration("drain-deadline", 0, "bound the drain's wait for in-flight searches; past it they are aborted so the state handoff completes (0 = 60s default)")
+	recoverDir := flag.String("recover-dir", "", "durable checkpoint + admission-journal directory; enables crash recovery and warm restart over the same path (survives shutdown)")
+	cpInterval := flag.Duration("checkpoint-interval", 5*time.Second, "period of the checkpoint loop under -recover-dir (0 = checkpoint only on demand)")
 	flag.Parse()
 
 	if _, err := state.ParsePolicy(*policy); err != nil {
@@ -104,6 +116,13 @@ func main() {
 		EvictPolicy:   *policy,
 		SpillDir:      *spillDir,
 		RealTime:      *realtime,
+		CheckpointDir: *recoverDir,
+		CheckpointInterval: func() time.Duration {
+			if *recoverDir == "" {
+				return 0
+			}
+			return *cpInterval
+		}(),
 		Admission: admission.Config{
 			MaxPending:     *maxPending,
 			Deadline:       *deadline,
@@ -114,6 +133,12 @@ func main() {
 	})
 	shard := fleet.NewShardServer(svc)
 	shard.DrainDeadline = *drainDeadline
+	if *recoverDir != "" {
+		// Listen in the recovering state so probes observe the transition:
+		// health says "recovering" (unrouted, searches refused as retryable)
+		// until the checkpoint import lands, then flips to "ready".
+		shard.SetRecovering(true)
+	}
 
 	server := &http.Server{Addr: *addr, Handler: shard.Handler()}
 	go func() {
@@ -123,6 +148,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+
+	if *recoverDir != "" {
+		rep, err := shard.Recover()
+		if err != nil {
+			log.Printf("qsys-shard: recover: %v", err)
+		} else if rep.Generation > 0 {
+			log.Printf("qsys-shard: slot %d warm-started from checkpoint generation %d: %d segments installed, %d dropped (%d rows); %d journaled aborts",
+				*shardID, rep.Generation, rep.Installed, rep.Dropped, rep.Rows, len(svc.RecoveredAborts()))
+		} else {
+			log.Printf("qsys-shard: slot %d cold start, checkpointing to %s every %v", *shardID, *recoverDir, *cpInterval)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

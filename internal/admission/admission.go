@@ -37,6 +37,12 @@ const (
 	// ReasonDrain: the request was aborted by a drain deadline so the shard
 	// could complete its state handoff.
 	ReasonDrain = "drain"
+	// ReasonRecoveredAbort: the admission journal of a crashed-and-restarted
+	// shard proves the query was in flight when the process died. The merge
+	// may have partially executed, so the shed is post-admission and
+	// non-retryable at the RPC layer; only the front-end's explicit
+	// re-dispatch path — which confirms the crash first — may resubmit it.
+	ReasonRecoveredAbort = "recovered-abort"
 )
 
 // ShedError reports a load-shed decision. It flows from the admission layer

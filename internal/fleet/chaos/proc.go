@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Proc supervises one OS process for process-level fault injection: the
+// failure mode the transport-level faults in this package cannot express is
+// the whole shard dying — SIGKILL, no drain, no deferred cleanup, exactly
+// what the crash-recovery tier must survive. Tests start a shard binary under
+// a Proc, kill it mid-wave, and restart it over the same -recover-dir.
+type Proc struct {
+	cmd *exec.Cmd
+
+	mu     sync.Mutex
+	waited bool
+	werr   error
+}
+
+// StartProc launches bin with args, wiring both output streams to logTo
+// (nil = discard).
+func StartProc(bin string, args []string, logTo io.Writer) (*Proc, error) {
+	if logTo == nil {
+		logTo = io.Discard
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logTo
+	cmd.Stderr = logTo
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: start %s: %w", bin, err)
+	}
+	return &Proc{cmd: cmd}, nil
+}
+
+// Pid returns the supervised process id.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Kill delivers SIGKILL — the process gets no chance to flush, drain, or
+// clean up — and reaps it. Idempotent.
+func (p *Proc) Kill() error {
+	p.cmd.Process.Kill() //nolint:errcheck // already-dead is fine
+	return p.wait()
+}
+
+// Signal delivers sig without waiting (e.g. SIGTERM for a graceful drain).
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Wait reaps the process and returns its exit error. Idempotent.
+func (p *Proc) Wait() error { return p.wait() }
+
+func (p *Proc) wait() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.waited {
+		p.waited = true
+		p.werr = p.cmd.Wait()
+	}
+	return p.werr
+}

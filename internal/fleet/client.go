@@ -315,6 +315,13 @@ func (c *Client) Health(ctx context.Context) (HealthView, error) {
 	return hv, err
 }
 
+// Recovered fetches the shard's journaled crash aborts.
+func (c *Client) Recovered(ctx context.Context) (RecoveredView, error) {
+	var rv RecoveredView
+	err := c.call(ctx, "/rpc/recovered", nil, &rv)
+	return rv, err
+}
+
 // Stats snapshots the shard's counters.
 func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
 	var st service.Stats

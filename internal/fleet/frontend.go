@@ -33,6 +33,16 @@ type FrontendConfig struct {
 	RehomeFactor float64
 	// Metrics receives fleet counters; nil allocates a private set.
 	Metrics *metrics.Fleet
+	// Redispatch resubmits a search to another healthy shard when its shard
+	// crashed with the query in flight. The front-end confirms the crash
+	// first — the process is provably gone, or the restarted shard's
+	// admission journal lists the query as a recovered abort — so only
+	// queries whose response can never be delivered are re-run; answers are
+	// a pure function of the query and the sources, so the re-run is
+	// byte-identical to what the crashed shard would have returned. Off by
+	// default: an unconfirmed mid-response failure is surfaced, never
+	// resubmitted.
+	Redispatch bool
 }
 
 // ErrNoHealthyShard is returned by Search when every backend has been marked
@@ -44,13 +54,14 @@ var ErrNoHealthyShard = errors.New("fleet: no healthy shard")
 // health, but no engine state — everything it holds can be rebuilt by
 // restarting it, at the cost of re-expanding and re-routing from scratch.
 type Frontend struct {
-	exp      *service.Expander
-	placer   *service.Placer
-	svc      *metrics.Service
-	fm       *metrics.Fleet
-	adm      *admission.Controller // nil unless rate limits are configured
-	backends []Backend
-	rehome   float64
+	exp        *service.Expander
+	placer     *service.Placer
+	svc        *metrics.Service
+	fm         *metrics.Fleet
+	adm        *admission.Controller // nil unless rate limits are configured
+	backends   []Backend
+	rehome     float64
+	redispatch bool
 
 	mu   sync.Mutex
 	down []bool // marked by failed probes/searches, cleared by probes
@@ -79,15 +90,16 @@ func NewFrontend(w *workload.Workload, cfg FrontendConfig, backends []Backend) (
 		fm = &metrics.Fleet{}
 	}
 	f := &Frontend{
-		exp:      service.NewExpander(w, svcCfg),
-		placer:   placer,
-		svc:      svc,
-		fm:       fm,
-		adm:      admission.NewController(svcCfg.Admission),
-		backends: backends,
-		rehome:   cfg.RehomeFactor,
-		down:     make([]bool, len(backends)),
-		stop:     make(chan struct{}),
+		exp:        service.NewExpander(w, svcCfg),
+		placer:     placer,
+		svc:        svc,
+		fm:         fm,
+		adm:        admission.NewController(svcCfg.Admission),
+		backends:   backends,
+		rehome:     cfg.RehomeFactor,
+		redispatch: cfg.Redispatch,
+		down:       make([]bool, len(backends)),
+		stop:       make(chan struct{}),
 	}
 	if cfg.ProbeInterval > 0 {
 		timeout := cfg.ProbeTimeout
@@ -168,12 +180,64 @@ func (f *Frontend) Search(ctx context.Context, user string, keywords []string, k
 			return nil, err
 		}
 		if !retryable(err) && !errors.Is(err, ErrCircuitOpen) {
+			if f.redispatch && transportFailure(err) && ctx.Err() == nil &&
+				f.confirmAborted(ctx, sh, uq.ID) {
+				// The shard crashed with the search in flight: the process is
+				// provably gone, or its restart's admission journal lists the
+				// query as a recovered abort. Either way the original response
+				// can never be delivered, so resubmitting to another shard
+				// cannot double-deliver — and the deterministic engine answers
+				// the re-run byte-identically.
+				f.fm.Redispatches.Inc()
+				f.setDown(sh, true)
+				tried[sh] = true
+				continue
+			}
 			return nil, err
 		}
 		// The query provably never reached admission on sh; route around it.
 		f.setDown(sh, true)
 		tried[sh] = true
 	}
+}
+
+// redispatchProbeTimeout bounds the crash-confirmation probes.
+const redispatchProbeTimeout = 2 * time.Second
+
+// transportFailure reports whether err is a raw transport error with no HTTP
+// response behind it — the connection died mid-request, so the shard may have
+// admitted the query but can no longer answer it. Client-side timeouts and
+// context cancellations are excluded: there the shard is (as far as we know)
+// alive and still executing.
+func transportFailure(err error) bool {
+	var rpcErr *RPCError
+	return !errors.As(err, &rpcErr) && !errors.Is(err, ErrCircuitOpen) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// confirmAborted verifies that a search which died on the wire was a crash
+// casualty: the shard process is unreachable at the connection level (its
+// in-flight responses died with it), or it restarted and its admission
+// journal lists the query as a recovered abort. Anything weaker — the shard
+// answers health and does not report the query aborted — returns false and
+// the original error is surfaced, preserving the strict no-double-execution
+// rule for mere packet loss.
+func (f *Frontend) confirmAborted(ctx context.Context, sh int, uqID string) bool {
+	pctx, cancel := context.WithTimeout(ctx, redispatchProbeTimeout)
+	defer cancel()
+	if _, err := f.backends[sh].Health(pctx); err != nil {
+		return connectFailure(err)
+	}
+	rv, err := f.backends[sh].Recovered(pctx)
+	if err != nil {
+		return false
+	}
+	for _, q := range rv.Queries {
+		if q.ID == uqID {
+			return true
+		}
+	}
+	return false
 }
 
 // maybeRehome migrates the topic to its affinity-suggested home when the
@@ -257,12 +321,15 @@ type HealthzView struct {
 
 // ShardHealthView is one backend's health as last observed.
 type ShardHealthView struct {
-	Shard    int    `json:"shard"`
-	Endpoint string `json:"endpoint,omitempty"`
-	Healthy  bool   `json:"healthy"`
-	Draining bool   `json:"draining"`
-	InFlight int    `json:"in_flight"`
-	Error    string `json:"error,omitempty"`
+	Shard           int    `json:"shard"`
+	Endpoint        string `json:"endpoint,omitempty"`
+	Healthy         bool   `json:"healthy"`
+	Draining        bool   `json:"draining"`
+	InFlight        int    `json:"in_flight"`
+	State           string `json:"state,omitempty"`
+	CheckpointGen   int    `json:"checkpoint_gen,omitempty"`
+	RecoveredAborts int    `json:"recovered_aborts,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 // Healthz probes every backend and aggregates: OK iff at least one shard is
@@ -282,6 +349,9 @@ func (f *Frontend) Healthz(ctx context.Context) HealthzView {
 			sv.Healthy = hv.Healthy
 			sv.Draining = hv.Draining
 			sv.InFlight = hv.InFlight
+			sv.State = hv.State
+			sv.CheckpointGen = hv.CheckpointGen
+			sv.RecoveredAborts = hv.RecoveredAborts
 			f.setDown(i, !hv.Healthy)
 		}
 		if sv.Healthy {

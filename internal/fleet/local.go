@@ -17,6 +17,9 @@ type Backend interface {
 	Search(ctx context.Context, uq *cq.UQ) (*ResultView, error)
 	// Health probes the shard.
 	Health(ctx context.Context) (HealthView, error)
+	// Recovered lists the queries the shard's admission journal proved in
+	// flight at its last crash (empty when recovery is disabled).
+	Recovered(ctx context.Context) (RecoveredView, error)
 	// Stats snapshots the shard's serving and execution counters.
 	Stats(ctx context.Context) (*service.Stats, error)
 	// Export serializes and discards the topic's idle state on the shard.
@@ -52,6 +55,13 @@ func (b *LocalBackend) Search(ctx context.Context, uq *cq.UQ) (*ResultView, erro
 // no transport to fail, and a closed service surfaces through Search.
 func (b *LocalBackend) Health(ctx context.Context) (HealthView, error) {
 	return HealthView{Healthy: true}, nil
+}
+
+// Recovered reports the wrapped service's journaled crash aborts (empty
+// unless the service was built over a checkpoint directory).
+func (b *LocalBackend) Recovered(ctx context.Context) (RecoveredView, error) {
+	recs := b.Svc.RecoveredAborts()
+	return RecoveredView{Count: len(recs), Queries: recs}, nil
 }
 
 // Stats snapshots the wrapped service.

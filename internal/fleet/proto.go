@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/cq"
+	"repro/internal/recovery"
 	"repro/internal/scoring"
 	"repro/internal/service"
 	"repro/internal/tuple"
@@ -270,11 +271,28 @@ func DigestAnswers(h hash.Hash, v *ResultView) {
 	}
 }
 
-// HealthView is a shard's self-reported health.
+// HealthView is a shard's self-reported health. State is the lifecycle
+// phase: "ready", "recovering" (a warm restart is importing its checkpoint —
+// the front-end must not route searches yet), or "draining". CheckpointGen
+// is the newest durable checkpoint generation (0 = none / recovery
+// disabled); RecoveredAborts counts the queries the admission journal proved
+// in flight at the last crash.
 type HealthView struct {
-	Healthy  bool `json:"healthy"`
-	Draining bool `json:"draining"`
-	InFlight int  `json:"in_flight"`
+	Healthy         bool   `json:"healthy"`
+	Draining        bool   `json:"draining"`
+	InFlight        int    `json:"in_flight"`
+	State           string `json:"state,omitempty"`
+	CheckpointGen   int    `json:"checkpoint_gen,omitempty"`
+	RecoveredAborts int    `json:"recovered_aborts,omitempty"`
+}
+
+// RecoveredView lists the queries a restarted shard's admission journal
+// proved were in flight when the previous process crashed. The front-end's
+// re-dispatch path consults it to confirm a failed search was a crash
+// casualty before resubmitting it elsewhere.
+type RecoveredView struct {
+	Count   int                    `json:"count"`
+	Queries []recovery.QueryRecord `json:"queries,omitempty"`
 }
 
 // ImportCounts reports what a migration import did with its segments:

@@ -30,7 +30,12 @@ type ShardServer struct {
 
 	mu       sync.Mutex
 	draining bool
-	inflight int
+	// recovering marks a warm restart that has not yet imported its
+	// checkpoint: searches are refused (retryable — nothing was admitted) and
+	// health reports unhealthy so the front-end keeps the shard unrouted
+	// until the import finishes.
+	recovering bool
+	inflight   int
 	// idle is closed when draining has been requested and the last in-flight
 	// search has finished.
 	idle chan struct{}
@@ -48,23 +53,29 @@ func (s *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("POST /rpc/search", s.handleSearch)
 	mux.HandleFunc("GET /rpc/stats", s.handleStats)
 	mux.HandleFunc("GET /rpc/health", s.handleHealth)
+	mux.HandleFunc("GET /rpc/recovered", s.handleRecovered)
 	mux.HandleFunc("POST /rpc/migrate/export", s.handleExport)
 	mux.HandleFunc("POST /rpc/migrate/import", s.handleImport)
 	mux.HandleFunc("POST /rpc/drain", s.handleDrain)
 	return mux
 }
 
-// beginSearch claims an in-flight slot unless the shard is draining. The
-// claim and the drain check are one critical section, so no search can slip
-// past a drain that has already counted the in-flight set.
-func (s *ShardServer) beginSearch() bool {
+// beginSearch claims an in-flight slot unless the shard is draining or still
+// recovering; the refusal reason rides back for the 503. The claim and the
+// state checks are one critical section, so no search can slip past a drain
+// that has already counted the in-flight set or reach an engine whose
+// checkpoint import has not finished.
+func (s *ShardServer) beginSearch() (bool, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.draining {
-		return false
+	switch {
+	case s.draining:
+		return false, "shard draining"
+	case s.recovering:
+		return false, "shard recovering"
 	}
 	s.inflight++
-	return true
+	return true, ""
 }
 
 func (s *ShardServer) endSearch() {
@@ -92,8 +103,10 @@ func (s *ShardServer) InFlight() int {
 }
 
 func (s *ShardServer) handleSearch(rw http.ResponseWriter, req *http.Request) {
-	if !s.beginSearch() {
-		writeRPCError(rw, http.StatusServiceUnavailable, "shard draining", true)
+	ok, refusal := s.beginSearch()
+	if !ok {
+		// Refused strictly before admission — retryable by construction.
+		writeRPCError(rw, http.StatusServiceUnavailable, refusal, true)
 		return
 	}
 	defer s.endSearch()
@@ -137,9 +150,29 @@ func (s *ShardServer) handleStats(rw http.ResponseWriter, req *http.Request) {
 
 func (s *ShardServer) handleHealth(rw http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
-	hv := HealthView{Healthy: !s.draining, Draining: s.draining, InFlight: s.inflight}
+	draining, recovering, inflight := s.draining, s.recovering, s.inflight
 	s.mu.Unlock()
-	writeRPCJSON(rw, hv)
+	st := "ready"
+	switch {
+	case draining:
+		st = "draining"
+	case recovering:
+		st = "recovering"
+	}
+	rs := s.svc.RecoveryStats()
+	writeRPCJSON(rw, HealthView{
+		Healthy:         !draining && !recovering,
+		Draining:        draining,
+		InFlight:        inflight,
+		State:           st,
+		CheckpointGen:   rs.Generation,
+		RecoveredAborts: rs.JournaledAborts,
+	})
+}
+
+func (s *ShardServer) handleRecovered(rw http.ResponseWriter, req *http.Request) {
+	recs := s.svc.RecoveredAborts()
+	writeRPCJSON(rw, RecoveredView{Count: len(recs), Queries: recs})
 }
 
 func (s *ShardServer) handleExport(rw http.ResponseWriter, req *http.Request) {
@@ -231,6 +264,25 @@ func (s *ShardServer) Drain(ctx context.Context) (*state.TopicExport, error) {
 		}
 	}
 	return s.svc.ExportAll(0)
+}
+
+// SetRecovering flips the warm-restart gate. A starting shard process sets it
+// before listening when a checkpoint or journal was loaded, runs the import,
+// and clears it — the front-end's probes observe recovering→ready.
+func (s *ShardServer) SetRecovering(v bool) {
+	s.mu.Lock()
+	s.recovering = v
+	s.mu.Unlock()
+}
+
+// Recover imports the checkpoint staged at startup through the consistency
+// gate, then opens the shard for searches regardless of the outcome: a failed
+// or partial import leaves a cold-but-correct engine that re-derives state
+// from source replay.
+func (s *ShardServer) Recover() (*service.RecoverReport, error) {
+	rep, err := s.svc.Recover(0)
+	s.SetRecovering(false)
+	return rep, err
 }
 
 // Close stops admissions and shuts the wrapped service down, logging — not

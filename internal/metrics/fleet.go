@@ -35,6 +35,18 @@ type Fleet struct {
 	MigrationSegs  Counter
 	MigrationRows  Counter
 	MigrationDrops Counter
+
+	// Crash-recovery tier. CheckpointsWritten/Loaded count checkpoint
+	// generations published and warm-restart loads; SegmentsRecovered/
+	// SegmentsDropped split a restart's segments by whether the consistency
+	// gate installed them or dropped them to source replay; Redispatches
+	// counts journaled-aborted queries the front-end resubmitted to a
+	// healthy shard after confirming the original crashed.
+	CheckpointsWritten Counter
+	CheckpointsLoaded  Counter
+	SegmentsRecovered  Counter
+	SegmentsDropped    Counter
+	Redispatches       Counter
 }
 
 // FleetSnapshot is an immutable copy of a Fleet's state.
@@ -54,6 +66,12 @@ type FleetSnapshot struct {
 	MigrationSegs  int64 `json:"migration_segs"`
 	MigrationRows  int64 `json:"migration_rows"`
 	MigrationDrops int64 `json:"migration_drops"`
+
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointsLoaded  int64 `json:"checkpoints_loaded"`
+	SegmentsRecovered  int64 `json:"segments_recovered"`
+	SegmentsDropped    int64 `json:"segments_dropped"`
+	Redispatches       int64 `json:"redispatches"`
 }
 
 // Snapshot copies the current values.
@@ -72,5 +90,11 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 		MigrationSegs:  f.MigrationSegs.Value(),
 		MigrationRows:  f.MigrationRows.Value(),
 		MigrationDrops: f.MigrationDrops.Value(),
+
+		CheckpointsWritten: f.CheckpointsWritten.Value(),
+		CheckpointsLoaded:  f.CheckpointsLoaded.Value(),
+		SegmentsRecovered:  f.SegmentsRecovered.Value(),
+		SegmentsDropped:    f.SegmentsDropped.Value(),
+		Redispatches:       f.Redispatches.Value(),
 	}
 }

@@ -1,0 +1,47 @@
+package qsm
+
+import (
+	"repro/internal/plangraph"
+	"repro/internal/state"
+)
+
+// CheckpointExport serializes the retained state of every quiescent plan
+// node WITHOUT discarding anything — the non-destructive sibling of
+// ExportNodes, used by the crash-recovery tier's periodic checkpoints. The
+// capture runs on the shard's executor goroutine between scheduling rounds,
+// so it is a single point in time: parent log lengths and module part
+// counts are mutually consistent, which is exactly what the import gate's
+// structural checks require. Nodes with pending work are skipped (their
+// state is mid-flight and would fail the gate anyway); probe nodes carry no
+// checkpointable state. Unlike migration there is no evictability
+// requirement and no fixpoint — nothing detaches, so consumer edges never
+// block a capture.
+func (m *Manager) CheckpointExport() *state.TopicExport {
+	exp := &state.TopicExport{Epoch: m.ATC.Epoch()}
+	for _, n := range m.Graph.Nodes() {
+		if n.Kind == plangraph.SourceProbe {
+			continue
+		}
+		x, ok := m.ATC.HasExec(n)
+		if !ok || x.HasWork() {
+			continue
+		}
+		snap := m.ATC.ExportNode(n)
+		if snap == nil {
+			continue
+		}
+		data, rows, err := state.EncodeSegment(snap)
+		if err != nil {
+			continue
+		}
+		seg := state.TopicSegment{
+			Key: n.Key, ExprKey: n.Expr.Key(), Kind: int(n.Kind),
+			StreamPos: snap.StreamPos, Card: -1, Rows: rows, Data: data,
+		}
+		if n.Kind == plangraph.SourceStream && x.Stream != nil && x.Stream.Exhausted() {
+			seg.Card = float64(x.Stream.Len())
+		}
+		exp.Segments = append(exp.Segments, seg)
+	}
+	return exp
+}

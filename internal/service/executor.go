@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/operator"
 	"repro/internal/plangraph"
 	"repro/internal/qsm"
+	"repro/internal/recovery"
 	"repro/internal/simclock"
 	"repro/internal/state"
 	"repro/internal/workload"
@@ -33,6 +35,7 @@ type request struct {
 	enqueued  time.Time
 	deadline  time.Time // zero = no latency budget
 	admitted  time.Time // set at admission; feeds the merge-time estimate
+	journaled bool      // an admit record exists; settlement must close it
 	ctx       context.Context
 	resp      chan response
 	batchSize int // set at admission
@@ -106,6 +109,21 @@ type shard struct {
 	// goroutine only.
 	topics     map[string]map[string]bool
 	topicOrder []string
+
+	// Crash-recovery tier (nil/empty unless Config.CheckpointDir is set).
+	// store owns the shard's checkpoint directory; cpMu serializes its Write
+	// against the periodic loop. jnl is the admission journal, confined to
+	// the executor goroutine (Admit/Done in admit/respond, Rewrite inside
+	// the checkpoint exec closure). pendingRecover holds a loaded checkpoint
+	// until Recover imports it (executor goroutine via exec); recovered is
+	// the journal's replayed in-flight set, static after newShard.
+	store          *recovery.Store
+	cpMu           sync.Mutex
+	jnl            *recovery.Journal
+	pendingRecover *state.TopicExport
+	pendingGen     int
+	recovered      []recovery.QueryRecord
+	rec            recStats
 }
 
 // maxTopicFootprints bounds the per-shard topic→footprint table; the oldest
@@ -184,6 +202,37 @@ func newShard(id int, w *workload.Workload, cfg Config, svc *metrics.Service, ar
 	if cfg.Admission.AdaptiveWindow {
 		sh.win = admission.NewWindowController(
 			cfg.Admission.WindowMin, cfg.Admission.WindowMax, cfg.Admission.Deadline)
+	}
+	if cfg.CheckpointDir != "" {
+		dir := filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%d", eid))
+		store, err := recovery.Open(dir)
+		if err != nil {
+			panic("service: " + err.Error())
+		}
+		sh.store = store
+		// A committed generation from a previous process is staged here and
+		// imported by Recover — after this shard's graph exists but before
+		// the front-end routes queries at it.
+		cp, err := store.Load()
+		if err == nil && cp != nil {
+			sh.pendingRecover = cp.Export
+			sh.pendingGen = cp.Generation
+			sh.rec.generation.Store(int64(cp.Generation))
+			sh.rec.loaded.Add(1)
+			sh.rec.segsDropped.Add(int64(cp.Dropped))
+			if fm := cfg.FleetMetrics; fm != nil {
+				fm.CheckpointsLoaded.Inc()
+				fm.SegmentsDropped.Add(int64(cp.Dropped))
+			}
+		}
+		// Journal replay: admits without a done are the queries in flight at
+		// the crash — the recovered-abort set.
+		jnl, aborted, err := store.OpenJournal()
+		if err != nil {
+			panic("service: " + err.Error())
+		}
+		sh.jnl = jnl
+		sh.recovered = aborted
 	}
 	go sh.run()
 	return sh
@@ -451,6 +500,19 @@ func (sh *shard) admit(batch []*request) {
 	sh.mgr.SyncCatalog()
 	sh.svc.Batches.Inc()
 	sh.svc.BatchOccupancy.Observe(len(batch))
+	if sh.jnl != nil {
+		// Journal the batch durable BEFORE the engine sees it: an admitted
+		// merge the journal does not know about could silently vanish in a
+		// crash and violate the no-double-execution retry contract. A failed
+		// journal write only widens what a restart re-derives — never admits
+		// untracked work silently wrong, so it is best-effort here.
+		recs := make([]recovery.QueryRecord, len(batch))
+		for i, r := range batch {
+			recs[i] = queryRecord(r)
+			r.journaled = true
+		}
+		sh.jnl.Admit(recs)
+	}
 	if _, err := sh.mgr.Admit(subs, mqo.Config{K: maxK}); err != nil {
 		// Admit may have registered merges for earlier batch members before
 		// failing; cancel and drop them so no orphaned query keeps running.
@@ -522,6 +584,12 @@ func (sh *shard) respond(r *request, res *Result, err error) {
 		sh.svc.Canceled.Inc()
 	default:
 		sh.svc.Rejected.Inc()
+	}
+	if sh.jnl != nil && r.journaled {
+		// Every settlement of an admitted query — success, cancel, shed,
+		// abort — closes its journal entry: a merge that reached the engine
+		// and was settled is no longer a crash casualty.
+		sh.jnl.Done(r.uq.ID)
 	}
 	r.resp <- response{res: res, err: err}
 }

@@ -1,0 +1,192 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// TestCheckpointRacingEvictionSpillAndMigration churns every state-moving
+// mechanism at once: a bounded-budget spill-enabled service with a fast
+// periodic checkpoint loop, concurrent searches (half racing tight
+// deadlines), explicit checkpoints, and a live topic migration bouncing the
+// same topic between the two shards. The checkpoint capture runs on the
+// executor goroutine, so none of this may corrupt the ledger, tear a
+// manifest, or leak goroutines — the invariants the race detector watches
+// (the service suite runs under -race in CI).
+func TestCheckpointRacingEvictionSpillAndMigration(t *testing.T) {
+	w, err := workload.GUS(1, workload.GUSScaleDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	cpDir := t.TempDir()
+	fm := &metrics.Fleet{}
+	svc := service.New(w, service.Config{
+		K:                  15,
+		Seed:               7,
+		Shards:             2,
+		BatchWindow:        2 * time.Millisecond,
+		BatchSize:          3,
+		MemoryBudget:       600,
+		EvictPolicy:        "benefit",
+		SpillDir:           filepath.Join(t.TempDir(), "spill"),
+		CheckpointDir:      cpDir,
+		CheckpointInterval: 10 * time.Millisecond,
+		FleetMetrics:       fm,
+	})
+
+	var pool [][]string
+	for _, s := range w.Submissions {
+		if len(s.UQ.Keywords) > 0 {
+			pool = append(pool, s.UQ.Keywords)
+		}
+	}
+	if len(pool) == 0 {
+		t.Fatal("workload has no keyword suite")
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+
+	// Explicit checkpoints race the periodic loop and the executor.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Checkpoint(i % 2); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// Live migration bounces one topic's retained state between the shards
+	// while both are being checkpointed and evicted. Export can legitimately
+	// find nothing resident (evicted, or mid-merge); only hard errors fail.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		kw := pool[0]
+		from, to := 0, 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			exp, err := svc.ExportTopic(from, kw)
+			if err == nil && len(exp.Segments) > 0 {
+				if _, _, _, err := svc.ImportTopic(to, exp); err != nil {
+					t.Errorf("import: %v", err)
+					return
+				}
+				from, to = to, from
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const users, requests = 6, 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed := 0
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(u) + 42))
+			for i := 0; i < requests; i++ {
+				kw := pool[rng.Intn(len(pool))]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%2 == 1 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+rng.Intn(20))*time.Millisecond)
+				}
+				_, err := svc.Search(ctx, fmt.Sprintf("user%d", u), kw, 15)
+				if cancel != nil {
+					cancel()
+				}
+				if err == nil {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	if completed == 0 {
+		t.Fatal("no search completed under churn")
+	}
+	st := svc.Stats()
+	for _, sh := range st.Shards {
+		if sh.StateRows != sh.StateRowsAudit {
+			t.Fatalf("shard %d ledger %d != audit %d — checkpoint capture corrupted accounting",
+				sh.Shard, sh.StateRows, sh.StateRowsAudit)
+		}
+	}
+	if st.Recovery.CheckpointsWritten == 0 {
+		t.Fatal("no checkpoint generation was written under churn")
+	}
+	if fm.CheckpointsWritten.Value() != st.Recovery.CheckpointsWritten {
+		t.Fatalf("fleet counter %d != recovery stats %d",
+			fm.CheckpointsWritten.Value(), st.Recovery.CheckpointsWritten)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Every published generation must parse and verify cleanly — a torn
+	// manifest or segment under churn would surface here as Dropped > 0.
+	for shard := 0; shard < 2; shard++ {
+		store, err := recovery.Open(filepath.Join(cpDir, fmt.Sprintf("shard-%d", shard)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := store.Load()
+		if err != nil {
+			t.Fatalf("shard %d checkpoint unreadable: %v", shard, err)
+		}
+		if cp == nil {
+			t.Fatalf("shard %d has no loadable generation", shard)
+		}
+		if cp.Dropped > 0 {
+			t.Fatalf("shard %d checkpoint has %d torn/corrupt segments", shard, cp.Dropped)
+		}
+	}
+
+	// The checkpoint loop, executors and migration helpers must all be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d > base %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

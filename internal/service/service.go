@@ -45,6 +45,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/metrics"
 	"repro/internal/plangraph"
+	"repro/internal/recovery"
 	"repro/internal/state"
 	"repro/internal/tuple"
 	"repro/internal/workload"
@@ -79,6 +80,23 @@ type Config struct {
 	// reads (§6.3 disk tier). The per-shard directories are removed on
 	// Close. New panics if the directory cannot be created.
 	SpillDir string
+
+	// CheckpointDir enables the crash-recovery tier: each shard owns a
+	// durable checkpoint store and admission journal under
+	// CheckpointDir/shard-<eid>. Unlike SpillDir the directories survive
+	// Close — durability across process death is the point. A Service built
+	// over a directory holding a committed checkpoint stages it; Recover
+	// imports it through the consistency gate (warm restart). New panics if
+	// the directory cannot be created.
+	CheckpointDir string
+	// CheckpointInterval is the periodic checkpoint cadence (0 disables the
+	// loop; Checkpoint can still be called explicitly). Only meaningful with
+	// CheckpointDir set.
+	CheckpointInterval time.Duration
+	// FleetMetrics, when non-nil, mirrors the recovery tier's counters
+	// (checkpoints written/loaded, segments recovered/dropped) into the
+	// fleet metrics a serving binary exports.
+	FleetMetrics *metrics.Fleet
 
 	// BatchSize releases an admission batch as soon as this many queries
 	// collect (§7.1 uses 5). 0 means the default of 5; negative disables the
@@ -220,6 +238,10 @@ type Stats struct {
 	Shared SharedSplit
 	// Shards holds per-engine detail.
 	Shards []ShardStats
+	// Recovery reports the crash-recovery tier (zero when disabled):
+	// checkpoint generation, checkpoints written/loaded, segments
+	// recovered/dropped, journaled-abort count.
+	Recovery recovery.StatsSnapshot
 }
 
 // ShardStats describes one shard's engine.
@@ -297,6 +319,11 @@ type Service struct {
 	shards []*shard
 	router *router
 
+	// cpStop/cpDone bracket the periodic checkpoint loop (nil when no
+	// CheckpointInterval is configured).
+	cpStop chan struct{}
+	cpDone chan struct{}
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -323,6 +350,11 @@ func New(w *workload.Workload, cfg Config) *Service {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(i, w, cfg, s.svc, arb))
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointInterval > 0 {
+		s.cpStop = make(chan struct{})
+		s.cpDone = make(chan struct{})
+		go s.checkpointLoop(cfg.CheckpointInterval)
 	}
 	return s
 }
@@ -458,6 +490,7 @@ func (s *Service) Stats() Stats {
 		st.Work = st.Work.Add(ss.Work)
 	}
 	st.Shared = st.SharedSplit()
+	st.Recovery = s.RecoveryStats()
 	return st
 }
 
@@ -474,6 +507,12 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Stop the checkpoint loop before the executors: a checkpoint capture
+	// needs a live executor goroutine to run its exec closure on.
+	if s.cpStop != nil {
+		close(s.cpStop)
+		<-s.cpDone
+	}
 	for _, sh := range s.shards {
 		close(sh.stopCh)
 	}
@@ -482,10 +521,14 @@ func (s *Service) Close() error {
 		<-sh.doneCh
 		// The executor has exited; release the shard's parallel workers and
 		// reclaim its spill segments so no run leaves goroutines or disk
-		// state behind.
+		// state behind. The checkpoint directory, unlike the spill tier, is
+		// deliberately NOT removed — it must outlive the process.
 		sh.ctrl.Close()
 		if err := sh.mgr.State.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("service: shard %d state teardown: %w", sh.id, err))
+		}
+		if err := sh.jnl.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("service: shard %d journal close: %w", sh.id, err))
 		}
 	}
 	return errors.Join(errs...)

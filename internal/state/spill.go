@@ -97,7 +97,26 @@ func NewSpill(dir string, resolve TupleResolver) (*Spill, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("state: spill dir: %w", err)
 	}
+	// A crash between staging and rename leaves orphan temp files; they were
+	// never published, so discard them. (Pre-existing .seg files are also
+	// orphans — the index is in-memory only — but harmless: Write replaces
+	// them per key and Close removes the directory.)
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
 	return &Spill{dir: dir, resolve: resolve, index: map[string]string{}}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Best
+// effort: some filesystems refuse directory fsync, and the rename itself
+// already guarantees atomicity for readers.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // Dir returns the store's directory.
@@ -120,10 +139,14 @@ func (s *Spill) Has(key string) bool {
 }
 
 // Write serializes a snapshot to a segment file, replacing any previous
-// segment for the same key. It returns the rows and bytes written.
+// segment for the same key. It returns the rows and bytes written. The
+// segment is staged in a temp file and published by rename so a crash
+// mid-write can never leave a torn segment under the final name — readers
+// see either the old complete segment or the new one.
 func (s *Spill) Write(snap *NodeSnapshot) (rows int, bytes int64, err error) {
 	path := filepath.Join(s.dir, segmentName(snap.Key))
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -131,18 +154,28 @@ func (s *Spill) Write(snap *NodeSnapshot) (rows int, bytes int64, err error) {
 	cw := &countWriter{w: w}
 	if err := encodeSnapshot(cw, snap); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return 0, 0, err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return 0, 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		os.Remove(tmp)
 		return 0, 0, err
 	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	syncDir(s.dir)
 	s.index[snap.Key] = path
 	rows = snap.rows()
 	s.stats.SegmentsWritten++

@@ -183,6 +183,60 @@ func TestSpillRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSpillTornWriteNeverServed pins the crash-safety contract of the disk
+// tier: Write stages into a temp file and publishes by rename, so a crash
+// mid-write leaves only an orphan .tmp (cleaned on reopen), never a torn
+// segment under the final name — and even a segment torn by outside forces
+// decodes to an error, never to garbage state.
+func TestSpillTornWriteNeverServed(t *testing.T) {
+	rels, resolve := spillFixture(t)
+	dir := filepath.Join(t.TempDir(), "shard-0")
+	sp, err := NewSpill(dir, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &NodeSnapshot{
+		Key:       "join::R&S",
+		Kind:      2,
+		LogRows:   []*tuple.Row{tuple.NewRow(rels["R"][0], rels["S"][1]), tuple.NewRow(rels["R"][2], rels["S"][3])},
+		LogEpochs: []int{1, 2},
+	}
+	if _, _, err := sp.Write(snap); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file survives a successful publish.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("temp files left after Write: %v", tmps)
+	}
+
+	// Tear the published segment (as a crashed kernel page-out might) and
+	// confirm Take reports an error instead of returning partial state.
+	path := sp.index[snap.Key]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _, err := sp.Take(snap.Key); err == nil {
+		t.Fatalf("torn segment served: %+v", got)
+	}
+
+	// A crash between staging and rename leaves an orphan .tmp; a fresh
+	// Spill over the same directory removes it.
+	orphan := filepath.Join(dir, "deadbeefdeadbeef.seg.tmp")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpill(dir, resolve); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp survived reopen: %v", err)
+	}
+}
+
 func TestSpillCloseRemovesDir(t *testing.T) {
 	_, resolve := spillFixture(t)
 	dir := filepath.Join(t.TempDir(), "spill", "shard-3")
